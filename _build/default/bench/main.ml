@@ -1,0 +1,159 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per paper artefact
+   (Table I and Figs. 8-13), timing the scheduling kernel each experiment
+   exercises on a small fixed workload.
+
+   Part 2 — the full reproduction harness: regenerates every table and
+   figure of the evaluation at the configured scale (ALADDIN_SCALE,
+   default 0.05 here so a bench run stays in minutes; use the
+   experiments_main binary for larger scales). *)
+
+open Bechamel
+
+let bench_workload =
+  lazy (Alibaba.generate { (Alibaba.scaled 0.005) with Alibaba.seed = 42 })
+
+let machines_for w = max 8 (Workload.n_containers w / 10)
+
+let replay_test ~name sched_of =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let w = Lazy.force bench_workload in
+         ignore
+           (Replay.run_workload (sched_of ()) w ~n_machines:(machines_for w))))
+
+(* Table I: the common substrate every scheduler shares — building the
+   tiered flow network over a batch. *)
+let test_table1 =
+  Test.make ~name:"table1/flow-graph-build"
+    (Staged.stage (fun () ->
+         let w = Lazy.force bench_workload in
+         let cluster =
+           Cluster.create
+             (Workload.topology w ~n_machines:(machines_for w))
+             ~constraints:(Workload.constraint_set w)
+         in
+         ignore (Aladdin.Flow_graph.build cluster w.Workload.containers)))
+
+(* Fig. 8: workload generation and characterisation. *)
+let test_fig8 =
+  Test.make ~name:"fig8/trace-generate"
+    (Staged.stage (fun () ->
+         ignore
+           (Workload_stats.compute
+              (Alibaba.generate
+                 { (Alibaba.scaled 0.002) with Alibaba.seed = 7 }))))
+
+(* Fig. 9: placement quality — one bench per scheduler family. *)
+let test_fig9_aladdin =
+  replay_test ~name:"fig9/aladdin" (fun () -> Sched_zoo.aladdin ~base:16 ())
+
+let test_fig9_firmament =
+  replay_test ~name:"fig9/firmament-quincy" (fun () ->
+      Sched_zoo.firmament Cost_model.Quincy ~reschd:8)
+
+let test_fig9_medea =
+  replay_test ~name:"fig9/medea" (fun () -> Sched_zoo.medea ~a:1. ~b:1. ~c:0.)
+
+let test_fig9_gokube =
+  replay_test ~name:"fig9/gokube" (fun () -> Sched_zoo.gokube ())
+
+(* Fig. 10/11: the capacity-planning bisection. *)
+let test_fig10 =
+  Test.make ~name:"fig10/capacity-plan-aladdin"
+    (Staged.stage (fun () ->
+         let w = Lazy.force bench_workload in
+         ignore (Capacity_planner.plan (Sched_zoo.aladdin ()) w)))
+
+(* Fig. 12: the three Aladdin policies (the IL/DL latency ablation). *)
+let test_fig12_plain =
+  replay_test ~name:"fig12/aladdin-plain" (fun () ->
+      Sched_zoo.aladdin ~il:false ~dl:false ())
+
+let test_fig12_il =
+  replay_test ~name:"fig12/aladdin-il" (fun () ->
+      Sched_zoo.aladdin ~il:true ~dl:false ())
+
+let test_fig12_il_dl =
+  replay_test ~name:"fig12/aladdin-il-dl" (fun () -> Sched_zoo.aladdin ())
+
+(* Fig. 13: the worst arrival characteristic (CSA). *)
+let test_fig13 =
+  Test.make ~name:"fig13/aladdin-csa"
+    (Staged.stage (fun () ->
+         let w = Lazy.force bench_workload in
+         let w = Arrival.apply Arrival.Small_anti_affinity_first w in
+         ignore
+           (Replay.run_workload (Sched_zoo.aladdin ()) w
+              ~n_machines:(machines_for w))))
+
+let tests =
+  Test.make_grouped ~name:"aladdin-bench"
+    [
+      test_table1;
+      test_fig8;
+      test_fig9_aladdin;
+      test_fig9_firmament;
+      test_fig9_medea;
+      test_fig9_gokube;
+      test_fig10;
+      test_fig12_plain;
+      test_fig12_il;
+      test_fig12_il_dl;
+      test_fig13;
+    ]
+
+let run_microbenches () =
+  Format.printf "== Bechamel micro-benchmarks ==@.";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        let est =
+          match Analyze.OLS.estimates v with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Format.printf "%-45s %10.3f s/run@." name (ns /. 1e9)
+      else if ns >= 1e6 then
+        Format.printf "%-45s %10.3f ms/run@." name (ns /. 1e6)
+      else Format.printf "%-45s %10.0f ns/run@." name ns)
+    rows;
+  Format.printf "@."
+
+let run_full_harness () =
+  let cfg =
+    match Sys.getenv_opt "ALADDIN_SCALE" with
+    | Some _ -> Exp_config.of_env ()
+    | None -> Exp_config.make ~factor:0.05 ()
+  in
+  Format.printf
+    "== Full reproduction harness (scale %.2f; set ALADDIN_SCALE to change) ==@."
+    cfg.Exp_config.factor;
+  Table1.print ();
+  Fig8.print cfg;
+  Fig9.print cfg;
+  Fig10.print cfg;
+  Fig12.print cfg;
+  Fig13.print cfg;
+  Ablations.print cfg;
+  Heterogeneous.print cfg;
+  Online.print cfg;
+  Failure.print cfg
+
+let () =
+  run_microbenches ();
+  run_full_harness ()

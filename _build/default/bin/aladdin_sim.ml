@@ -1,0 +1,203 @@
+(* aladdin-sim: generate workloads, replay them with any scheduler, and
+   compare schedulers — the operational CLI around the library. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Workload scale relative to the paper's trace (1.0 = ~100k containers)." in
+  Arg.(value & opt float 0.02 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic generation seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let machines_arg =
+  let doc = "Cluster size (machines). 0 = derive from the workload (10 containers/machine)." in
+  Arg.(value & opt int 0 & info [ "machines"; "m" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Replay this saved trace file instead of generating one. Files ending \
+     in .csv are parsed as the public Alibaba cluster-trace \
+     container_meta schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let order_arg =
+  let doc = "Arrival order: submitted, CHP, CLP, CLA or CSA." in
+  Arg.(value & opt string "submitted" & info [ "order" ] ~docv:"ORDER" ~doc)
+
+let scheduler_arg =
+  let doc =
+    "Scheduler: aladdin, aladdin-plain, aladdin-il, gokube, medea, \
+     firmament-trivial, firmament-quincy, firmament-octopus."
+  in
+  Arg.(value & opt string "aladdin" & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+
+let reschd_arg =
+  let doc = "Firmament rescheduling budget reschd(i)." in
+  Arg.(value & opt int 4 & info [ "reschd" ] ~docv:"I" ~doc)
+
+let medea_weights_arg =
+  let doc = "Medea weights a,b,c." in
+  Arg.(value & opt (t3 ~sep:',' float float float) (1., 1., 0.) & info [ "weights" ] ~docv:"A,B,C" ~doc)
+
+let load_workload trace scale seed =
+  match trace with
+  | Some path when Filename.check_suffix path ".csv" -> Alibaba_csv.load path
+  | Some path -> Trace_io.load path
+  | None ->
+      Alibaba.generate { (Alibaba.scaled scale) with Alibaba.seed = seed }
+
+let scheduler_of_name name reschd (a, b, c) =
+  match String.lowercase_ascii name with
+  | "aladdin" -> Some (Sched_zoo.aladdin ())
+  | "aladdin-plain" -> Some (Sched_zoo.aladdin ~il:false ~dl:false ())
+  | "aladdin-il" -> Some (Sched_zoo.aladdin ~il:true ~dl:false ())
+  | "gokube" | "go-kube" -> Some (Sched_zoo.gokube ())
+  | "medea" -> Some (Sched_zoo.medea ~a ~b ~c)
+  | "firmament-trivial" ->
+      Some (Sched_zoo.firmament Cost_model.Trivial ~reschd)
+  | "firmament-quincy" -> Some (Sched_zoo.firmament Cost_model.Quincy ~reschd)
+  | "firmament-octopus" ->
+      Some (Sched_zoo.firmament Cost_model.Octopus ~reschd)
+  | _ -> None
+
+let derive_machines machines w =
+  if machines > 0 then machines
+  else max 4 (Workload.n_containers w / 10)
+
+let report_run (r : Replay.run) =
+  let total = r.Replay.n_submitted in
+  Format.printf "scheduler : %s@." r.Replay.scheduler;
+  Format.printf "outcome   : %a@." Scheduler.pp_outcome r.Replay.outcome;
+  Format.printf "undeployed: %s@."
+    (Report.pct (Metrics.undeployed_pct r.Replay.outcome ~total));
+  Format.printf "machines  : %d used@." (Cluster.used_machines r.Replay.cluster);
+  Format.printf "latency   : %.3f ms/container (%.3f s total)@."
+    (Replay.per_container_ms r) r.Replay.elapsed_s;
+  Format.printf "utilization: %a@." Metrics.pp_util
+    (Metrics.utilization_summary r.Replay.cluster)
+
+(* ---- generate ---- *)
+
+let generate out scale seed =
+  let w = Alibaba.generate { (Alibaba.scaled scale) with Alibaba.seed = seed } in
+  Trace_io.save w out;
+  Format.printf "wrote %s@.%a@." out Workload_stats.pp (Workload_stats.compute w)
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate and save a calibrated synthetic trace")
+    Term.(const generate $ out $ scale_arg $ seed_arg)
+
+(* ---- replay ---- *)
+
+let replay trace scale seed machines order name reschd weights =
+  let w = load_workload trace scale seed in
+  let order =
+    match Arrival.of_string order with Some o -> o | None -> Arrival.As_submitted
+  in
+  match scheduler_of_name name reschd weights with
+  | None ->
+      Format.eprintf "unknown scheduler %S@." name;
+      exit 2
+  | Some sched ->
+      let n_machines = derive_machines machines w in
+      Format.printf "workload: %d containers, %d apps; cluster: %d machines@."
+        (Workload.n_containers w) (Workload.n_apps w) n_machines;
+      report_run (Replay.run_workload ~order sched w ~n_machines)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a workload with one scheduler")
+    Term.(
+      const replay $ trace_arg $ scale_arg $ seed_arg $ machines_arg
+      $ order_arg $ scheduler_arg $ reschd_arg $ medea_weights_arg)
+
+(* ---- compare ---- *)
+
+let compare_ trace scale seed machines order =
+  let w = load_workload trace scale seed in
+  let order =
+    match Arrival.of_string order with Some o -> o | None -> Arrival.As_submitted
+  in
+  let n_machines = derive_machines machines w in
+  let total = Workload.n_containers w in
+  Format.printf "workload: %d containers, %d apps; cluster: %d machines@.@."
+    total (Workload.n_apps w) n_machines;
+  let schedulers =
+    [
+      Sched_zoo.aladdin ();
+      Sched_zoo.firmament Cost_model.Quincy ~reschd:8;
+      Sched_zoo.firmament Cost_model.Trivial ~reschd:8;
+      Sched_zoo.firmament Cost_model.Octopus ~reschd:8;
+      Sched_zoo.medea ~a:1. ~b:1. ~c:0.;
+      Sched_zoo.gokube ();
+    ]
+  in
+  Report.table
+    ~header:
+      [ "scheduler"; "undeployed"; "violations"; "used"; "ms/container" ]
+    (List.map
+       (fun sched ->
+         let r = Replay.run_workload ~order sched w ~n_machines in
+         [
+           r.Replay.scheduler;
+           Report.pct (Metrics.undeployed_pct r.Replay.outcome ~total);
+           string_of_int (List.length r.Replay.outcome.Scheduler.violations);
+           string_of_int (Cluster.used_machines r.Replay.cluster);
+           Printf.sprintf "%.3f" (Replay.per_container_ms r);
+         ])
+       schedulers)
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every scheduler on the same workload")
+    Term.(
+      const compare_ $ trace_arg $ scale_arg $ seed_arg $ machines_arg
+      $ order_arg)
+
+(* ---- stats ---- *)
+
+let stats trace scale seed =
+  let w = load_workload trace scale seed in
+  Format.printf "%a@.@." Workload_stats.pp (Workload_stats.compute w);
+  let sizes =
+    Histogram.of_list
+      (Array.to_list w.Workload.apps
+      |> List.map (fun (a : Application.t) ->
+             float_of_int a.Application.n_containers))
+  in
+  let cpus =
+    Histogram.of_list
+      (Array.to_list w.Workload.containers
+      |> List.map (fun (c : Container.t) -> Resource.cpu c.Container.demand))
+  in
+  let degrees =
+    let d = Workload.anti_affinity_degrees w in
+    Histogram.of_list
+      (Hashtbl.fold (fun _ v acc -> float_of_int v :: acc) d [])
+  in
+  Format.printf "app sizes           : %a@." Histogram.pp sizes;
+  Format.printf "container cpu       : %a@." Histogram.pp cpus;
+  Format.printf "anti-affinity degree: %a@.@." Histogram.pp degrees;
+  Format.printf "app-size buckets:@.";
+  List.iter
+    (fun (lo, hi, n) -> Format.printf "  [%6.0f, %6.0f)  %d@." lo hi n)
+    (Histogram.buckets sizes ~n:10)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Characterise a trace (histograms, percentiles)")
+    Term.(const stats $ trace_arg $ scale_arg $ seed_arg)
+
+let () =
+  let doc = "Aladdin cluster-scheduling simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "aladdin-sim" ~doc)
+          [ generate_cmd; replay_cmd; compare_cmd; stats_cmd ]))

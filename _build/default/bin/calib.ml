@@ -1,0 +1,16 @@
+let () =
+  List.iter (fun f ->
+    let w = Alibaba.generate (Alibaba.scaled f) in
+    let total = Resource.to_array (Workload.total_demand w) in
+    let cap = Resource.to_array w.Workload.machine_capacity in
+    let machines = int_of_float (10000. *. f) in
+    let s = Workload_stats.compute w in
+    Printf.printf "scale %.2f: apps=%d ctrs=%d load=%.1f%% single=%.0f%% lt50=%.0f%% anti=%.0f%% prio=%.0f%% max_app=%d\n%!"
+      f s.Workload_stats.n_apps s.Workload_stats.n_containers
+      (100. *. float_of_int total.(0) /. float_of_int (cap.(0) * machines))
+      (100. *. float_of_int s.Workload_stats.n_single_instance /. float_of_int s.Workload_stats.n_apps)
+      (100. *. float_of_int s.Workload_stats.n_lt_50 /. float_of_int s.Workload_stats.n_apps)
+      (100. *. float_of_int s.Workload_stats.n_anti_affinity /. float_of_int s.Workload_stats.n_apps)
+      (100. *. float_of_int s.Workload_stats.n_priority /. float_of_int s.Workload_stats.n_apps)
+      s.Workload_stats.max_app_size)
+    [0.02; 0.05; 0.1; 0.5; 1.0]

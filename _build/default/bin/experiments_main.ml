@@ -1,0 +1,71 @@
+(* CLI driver: reproduce any table/figure of the paper by id. *)
+
+let known =
+  [
+    ("table1", fun (_ : Exp_config.t) -> Table1.print ());
+    ("fig8", Fig8.print);
+    ("fig9", Fig9.print);
+    ("fig10", Fig10.print);
+    ("fig11", Fig10.print);
+    (* Fig. 11 is printed by the Fig. 10 driver *)
+    ("fig12", Fig12.print);
+    ("fig13", Fig13.print);
+    ("ablations", Ablations.print);
+    ("hetero", Heterogeneous.print);
+    ("online", Online.print);
+    ("failure", Failure.print);
+  ]
+
+let run_one cfg id =
+  match List.assoc_opt id known with
+  | Some f -> f cfg
+  | None ->
+      Format.eprintf "unknown experiment %S@." id;
+      exit 2
+
+open Cmdliner
+
+let ids =
+  let doc =
+    "Experiments to run: table1, fig8, fig9, fig10, fig11, fig12, fig13, \
+     ablations, hetero, or 'all'."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let scale =
+  let doc = "Scale factor relative to the paper (1.0 = 10k machines/100k containers)." in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed =
+  let doc = "Workload generation seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let data_dir =
+  let doc = "Also write each figure's raw data as TSV files into this directory." in
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+
+let main ids scale seed data_dir =
+  let cfg = Exp_config.make ~seed ~factor:scale () in
+  (match data_dir with
+  | Some dir ->
+      let written = Data_export.export ~dir cfg in
+      List.iter (fun p -> Format.printf "wrote %s@." p) written
+  | None -> ());
+  let ids =
+    if List.mem "all" ids then List.map fst known
+    else ids
+  in
+  (* fig11 duplicates fig10's driver; drop it when both are requested. *)
+  let ids =
+    if List.mem "fig10" ids then List.filter (fun i -> i <> "fig11") ids
+    else ids
+  in
+  List.iter (run_one cfg) ids
+
+let cmd =
+  let doc = "Reproduce the Aladdin paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const main $ ids $ scale $ seed $ data_dir)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,28 @@
+(* Quick sanity probe: every scheduler against one small calibrated
+   workload. Not part of the evaluation — use experiments_main for that. *)
+
+let () =
+  let params = { (Alibaba.scaled 0.02) with Alibaba.seed = 42 } in
+  let w = Alibaba.generate params in
+  Format.printf "workload:@.%a@.@." Workload_stats.pp (Workload_stats.compute w);
+  let n_machines = Workload.n_containers w / 10 in
+  let schedulers =
+    [
+      Sched_zoo.aladdin ();
+      Sched_zoo.aladdin ~il:false ~dl:false ();
+      Sched_zoo.firmament Cost_model.Quincy ~reschd:8;
+      Sched_zoo.firmament Cost_model.Trivial ~reschd:1;
+      Sched_zoo.firmament Cost_model.Octopus ~reschd:4;
+      Sched_zoo.medea ~a:1. ~b:1. ~c:0.;
+      Sched_zoo.medea ~a:1. ~b:1. ~c:0.5;
+      Sched_zoo.gokube ();
+    ]
+  in
+  List.iter
+    (fun sched ->
+      let r = Replay.run_workload sched w ~n_machines in
+      Format.printf "%-22s %a | used=%d (%.3f ms/ctr)@." r.Replay.scheduler
+        Scheduler.pp_outcome r.Replay.outcome
+        (Cluster.used_machines r.Replay.cluster)
+        (Replay.per_container_ms r))
+    schedulers

@@ -1,0 +1,1 @@
+examples/black_friday.ml: Aladdin Alibaba Application Array Cluster Constraint_set Format List Metrics Printf Resource Scheduler Topology Unix Workload

@@ -1,0 +1,1 @@
+examples/black_friday.mli:

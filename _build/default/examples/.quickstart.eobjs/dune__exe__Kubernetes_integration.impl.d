@@ -1,0 +1,1 @@
+examples/kubernetes_integration.ml: Cluster Controller Format Kube_api Kube_objects List Printf Resolver Resource

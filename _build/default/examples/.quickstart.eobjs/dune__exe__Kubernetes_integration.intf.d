@@ -1,0 +1,1 @@
+examples/kubernetes_integration.mli:

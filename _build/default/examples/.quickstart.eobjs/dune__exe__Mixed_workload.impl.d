@@ -1,0 +1,1 @@
+examples/mixed_workload.ml: Aladdin Application Array Cluster Constraint_set Container Format List Resource Rng Scheduler Topology

@@ -1,0 +1,1 @@
+examples/priority_preemption.ml: Aladdin Application Array Cluster Constraint_set Container Format List Machine Printf Resource Scheduler String Topology

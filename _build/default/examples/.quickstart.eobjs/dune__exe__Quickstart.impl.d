@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aladdin Application Array Cluster Constraint_set Format List Resource Scheduler Topology

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Alibaba Cluster Cost_model Filename Format Fun List Metrics Printf Replay Report Sched_zoo Sys Trace_io Workload Workload_stats

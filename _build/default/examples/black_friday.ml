@@ -1,0 +1,71 @@
+(* Black Friday / 11.11 scale-out (§I): a running cluster suddenly receives
+   a burst that multiplies the instances of the online applications ~100x.
+   The burst must land fast, without violating anti-affinity, and without
+   displacing what already runs.
+
+   Run with: dune exec examples/black_friday.exe *)
+
+let pct a b = 100. *. float_of_int a /. float_of_int (max 1 b)
+
+let () =
+  (* Steady state: a modest calibrated workload on a 400-machine cluster. *)
+  let steady =
+    Alibaba.generate { (Alibaba.scaled 0.01) with Alibaba.target_containers = 1500 }
+  in
+  (* The flash-sale tier: 3 online apps that scale from 2 to 200 containers
+     each. High priority, strict anti-affinity within each app. *)
+  let base_id = Array.length steady.Workload.apps in
+  let sale_apps =
+    Array.init 3 (fun i ->
+        Application.make ~id:(base_id + i)
+          ~name:(Printf.sprintf "flash-sale-%d" i)
+          ~n_containers:200
+          ~demand:(Resource.cpu_only 4.)
+          ~priority:3 ~anti_affinity_within:true ())
+  in
+  let apps = Array.append steady.Workload.apps sale_apps in
+  let cs = Constraint_set.of_apps apps in
+  let topology =
+    Topology.homogeneous ~n_machines:400
+      ~capacity:steady.Workload.machine_capacity ()
+  in
+  let cluster = Cluster.create topology ~constraints:cs in
+  let scheduler = Aladdin.Aladdin_scheduler.make () in
+
+  (* Phase 1: steady state lands. *)
+  let o1 = scheduler.Scheduler.schedule cluster steady.Workload.containers in
+  Format.printf "steady state : %a@." Scheduler.pp_outcome o1;
+  Format.printf "               %d machines used, utilization %a@.@."
+    (Cluster.used_machines cluster)
+    Metrics.pp_util
+    (Metrics.utilization_summary cluster);
+
+  (* Phase 2: the burst arrives all at once — 600 high-priority containers
+     that must all run on distinct machines per app. *)
+  let burst =
+    Array.of_list
+      (List.concat_map
+         (fun (a : Application.t) ->
+           Application.containers a
+             ~first_id:(100_000 + (1000 * a.Application.id))
+             ~first_arrival:0)
+         (Array.to_list sale_apps))
+  in
+  let t0 = Unix.gettimeofday () in
+  let o2 = scheduler.Scheduler.schedule cluster burst in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "flash burst  : %a@." Scheduler.pp_outcome o2;
+  Format.printf "               placed %d/%d burst containers (%.1f%%) in %.0f ms@."
+    (List.length o2.Scheduler.placed)
+    (Array.length burst)
+    (pct (List.length o2.Scheduler.placed) (Array.length burst))
+    (1000. *. dt);
+  Format.printf "               migrations %d, preemptions %d@."
+    o2.Scheduler.migrations o2.Scheduler.preemptions;
+  Format.printf "               %d machines used, utilization %a@."
+    (Cluster.used_machines cluster)
+    Metrics.pp_util
+    (Metrics.utilization_summary cluster);
+  Format.printf "               violations: %d@."
+    (List.length (Cluster.current_violations cluster));
+  assert (Cluster.current_violations cluster = [])

@@ -1,0 +1,76 @@
+(* The co-design architecture of §IV.C / Fig. 6: Aladdin driving a
+   (mock) Kubernetes API server through the events handling center, the
+   model adaptor and the resolvers.
+
+   Run with: dune exec examples/kubernetes_integration.exe *)
+
+let () =
+  (* An API server with a small mixed node pool. *)
+  let api = Kube_api.create () in
+  for i = 0 to 5 do
+    Kube_api.add_node api
+      {
+        Kube_objects.node_name = Printf.sprintf "node-%d" i;
+        capacity = Resource.cpu_only (if i < 4 then 32. else 64.);
+      }
+  done;
+  (* Application profiles carry the LLA-level constraints. *)
+  Kube_api.add_profile api
+    {
+      Kube_objects.profile_name = "storefront";
+      app_id = 0;
+      demand = Resource.cpu_only 8.;
+      priority = 2;
+      anti_affinity_within = true;
+      anti_affinity_across = [ 1 ];
+      replicas = 4;
+    };
+  Kube_api.add_profile api
+    {
+      Kube_objects.profile_name = "analytics";
+      app_id = 1;
+      demand = Resource.cpu_only 16.;
+      priority = 0;
+      anti_affinity_within = false;
+      anti_affinity_across = [];
+      replicas = 3;
+    };
+
+  let ctl = Controller.create api in
+
+  (* Deployment 1: the analytics batch lands first. *)
+  for i = 0 to 2 do
+    ignore
+      (Kube_api.create_pod api
+         ~name:(Printf.sprintf "analytics-%d" i)
+         ~profile:"analytics")
+  done;
+  let r1 = Controller.sync ctl in
+  Format.printf "round 1: bound %d pods@." (List.length r1.Resolver.bound);
+
+  (* Deployment 2: the storefront scales out; it must avoid analytics
+     machines (anti-across) and spread (anti-within). *)
+  for i = 0 to 3 do
+    ignore
+      (Kube_api.create_pod api
+         ~name:(Printf.sprintf "storefront-%d" i)
+         ~profile:"storefront")
+  done;
+  let r2 = Controller.sync ctl in
+  Format.printf "round 2: bound %d pods, %d migrations@."
+    (List.length r2.Resolver.bound)
+    r2.Resolver.migrations;
+
+  Format.printf "@.pod placements:@.";
+  List.iter
+    (fun (p : Kube_objects.pod) ->
+      Format.printf "  %-14s %a@." p.Kube_objects.pod_name Kube_objects.pp_phase
+        p.Kube_objects.phase)
+    (Kube_api.pods api);
+  match Controller.cluster ctl with
+  | Some cluster ->
+      Format.printf "@.scheduler mirror: %d placed, %d violations@."
+        (Cluster.n_placed cluster)
+        (List.length (Cluster.current_violations cluster));
+      assert (Cluster.current_violations cluster = [])
+  | None -> assert false

@@ -1,0 +1,60 @@
+(* Long-lived applications and short-lived batch tasks sharing one cluster
+   (§IV.D): tasks churn through the free capacity while LLA batches arrive
+   and keep their constraints satisfied throughout.
+
+   Run with: dune exec examples/mixed_workload.exe *)
+
+let () =
+  let apps =
+    [|
+      Application.make ~id:0 ~name:"online-service" ~n_containers:12
+        ~demand:(Resource.cpu_only 8.) ~priority:2 ~anti_affinity_within:true ();
+      Application.make ~id:1 ~name:"stream-processor" ~n_containers:6
+        ~demand:(Resource.cpu_only 4.) ~priority:1 ~anti_affinity_across:[ 0 ] ();
+      Application.make ~id:2 ~name:"batch-tasks" ~n_containers:1
+        ~demand:(Resource.cpu_only 1.) ();
+    |]
+  in
+  let topo =
+    Topology.homogeneous ~n_machines:24 ~capacity:(Resource.cpu_only 32.) ()
+  in
+  let cluster = Cluster.create topo ~constraints:(Constraint_set.of_apps apps) in
+
+  (* LLA waves: the online service at t=10, the stream processor at t=40. *)
+  let containers_of app_id first_id n demand priority =
+    Array.init n (fun i ->
+        Container.make ~id:(first_id + i) ~app:app_id
+          ~demand:(Resource.cpu_only demand) ~priority ~arrival:i)
+  in
+  let lla_batches =
+    [
+      (10., containers_of 0 100 12 8. 2);
+      (40., containers_of 1 200 6 4. 1);
+    ]
+  in
+  (* 200 short tasks, Poisson-ish arrivals, 5-30s durations. *)
+  let rng = Rng.create 7 in
+  let tasks =
+    List.init 200 (fun i ->
+        Aladdin.Short_lived.make_task ~task_id:i
+          ~demand:(Resource.cpu_only (float_of_int (1 + Rng.int rng 4)))
+          ~duration:(5. +. Rng.float rng *. 25.)
+          ~arrival:(Rng.float rng *. 100.))
+  in
+  let stats =
+    Aladdin.Short_lived.run ~cluster ~task_app:2
+      ~lla_scheduler:(Aladdin.Aladdin_scheduler.make ())
+      ~lla_batches tasks
+  in
+  Format.printf "short-lived tasks : %d completed, %d expired@."
+    stats.Aladdin.Short_lived.completed stats.Aladdin.Short_lived.expired;
+  Format.printf "                    mean wait %.1fs, mean turnaround %.1fs, peak queue %d@."
+    stats.Aladdin.Short_lived.mean_wait stats.Aladdin.Short_lived.mean_turnaround
+    stats.Aladdin.Short_lived.peak_queue;
+  Format.printf "long-lived apps   : %a@." Scheduler.pp_outcome
+    stats.Aladdin.Short_lived.lla_outcome;
+  Format.printf "final cluster     : %d containers resident, %d violations@."
+    (Cluster.n_placed cluster)
+    (List.length (Cluster.current_violations cluster));
+  assert (Cluster.current_violations cluster = []);
+  assert (stats.Aladdin.Short_lived.lla_outcome.Scheduler.undeployed = [])

@@ -1,0 +1,71 @@
+(* A walk-through of the paper's §III.B mechanisms on a two-machine
+   cluster: the weighted flow keeps high-priority containers safe from
+   preemption, migration makes room the way Fig. 3(b) describes, and
+   rescheduling-for-capacity reproduces Fig. 7.
+
+   Run with: dune exec examples/priority_preemption.exe *)
+
+let show cluster label =
+  Format.printf "%s@." label;
+  Array.iter
+    (fun m ->
+      let names =
+        Machine.containers m
+        |> List.map (fun (c : Container.t) ->
+               Printf.sprintf "c%d(app%d,p%d)" c.Container.id c.Container.app
+                 c.Container.priority)
+        |> String.concat " "
+      in
+      Format.printf "  machine %d: [%s] free=%s@." (Machine.id m) names
+        (Resource.to_string (Machine.free m)))
+    (Cluster.machines cluster);
+  Format.printf "@."
+
+let () =
+  (* Apps: A (high priority) and B (low priority) may not co-locate. *)
+  let apps =
+    [|
+      Application.make ~id:0 ~name:"A" ~n_containers:2
+        ~demand:(Resource.cpu_only 8.) ~priority:2 ~anti_affinity_across:[ 1 ] ();
+      Application.make ~id:1 ~name:"B" ~n_containers:1
+        ~demand:(Resource.cpu_only 24.) ();
+      Application.make ~id:2 ~name:"filler" ~n_containers:2
+        ~demand:(Resource.cpu_only 8.) ();
+    |]
+  in
+  let topo =
+    Topology.homogeneous ~n_machines:2 ~capacity:(Resource.cpu_only 32.) ()
+  in
+  let cluster = Cluster.create topo ~constraints:(Constraint_set.of_apps apps) in
+  let scheduler = Aladdin.Aladdin_scheduler.make () in
+
+  (* Scene 1 (Fig. 3(a) analogue): A and B arrive together. The weighted
+     flow deploys A first; B lands on the other machine. No preemption of
+     the high-priority container is possible. *)
+  let a0 = Container.make ~id:0 ~app:0 ~demand:(Resource.cpu_only 8.) ~priority:2 ~arrival:0 in
+  let b0 = Container.make ~id:1 ~app:1 ~demand:(Resource.cpu_only 24.) ~priority:0 ~arrival:1 in
+  let o = scheduler.Scheduler.schedule cluster [| a0; b0 |] in
+  Format.printf "scene 1: %a@." Scheduler.pp_outcome o;
+  show cluster "after scheduling A (prio 2) and B (prio 0, anti to A):";
+
+  (* Scene 2 (Fig. 3(b)): a filler occupies B's machine so the second A
+     container only fits next to B — Aladdin migrates instead of
+     violating. *)
+  let filler =
+    Container.make ~id:2 ~app:2 ~demand:(Resource.cpu_only 8.) ~priority:0 ~arrival:2
+  in
+  let a1 = Container.make ~id:3 ~app:0 ~demand:(Resource.cpu_only 8.) ~priority:2 ~arrival:3 in
+  let o2 = scheduler.Scheduler.schedule cluster [| filler; a1 |] in
+  Format.printf "scene 2: %a@." Scheduler.pp_outcome o2;
+  show cluster "after the filler and a second A container (migration if needed):";
+
+  (* Scene 3 (Fig. 7): a wide container arrives when no single machine has
+     room — containers are rescheduled to make a hole. *)
+  let wide =
+    Container.make ~id:4 ~app:2 ~demand:(Resource.cpu_only 16.) ~priority:0 ~arrival:4
+  in
+  let o3 = scheduler.Scheduler.schedule cluster [| wide |] in
+  Format.printf "scene 3: %a@." Scheduler.pp_outcome o3;
+  show cluster "after the wide container (rescheduling-for-capacity):";
+  Format.printf "final violations: %d (always 0 under Aladdin)@."
+    (List.length (Cluster.current_violations cluster))

@@ -1,0 +1,58 @@
+(* Quickstart: build a small cluster, describe three applications with
+   anti-affinity and priority constraints, and let Aladdin place them.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Describe the applications (the CM inputs of Fig. 2): a replicated
+     web tier that must spread across machines, a cache that must not sit
+     next to the web tier, and a low-priority batch filler. *)
+  let web =
+    Application.make ~id:0 ~name:"web" ~n_containers:4
+      ~demand:(Resource.make ~cpu:8. ~mem_gb:16.)
+      ~priority:2 ~anti_affinity_within:true ()
+  in
+  let cache =
+    Application.make ~id:1 ~name:"cache" ~n_containers:2
+      ~demand:(Resource.make ~cpu:4. ~mem_gb:24.)
+      ~priority:1 ~anti_affinity_across:[ 0 ] ()
+  in
+  let batch =
+    Application.make ~id:2 ~name:"batch" ~n_containers:6
+      ~demand:(Resource.make ~cpu:2. ~mem_gb:2.)
+      ()
+  in
+  let apps = [| web; cache; batch |] in
+
+  (* 2. Build a cluster: 8 machines of 32 CPU / 64 GB (the MM side). *)
+  let topology =
+    Topology.homogeneous ~n_machines:8
+      ~capacity:(Resource.make ~cpu:32. ~mem_gb:64.)
+      ()
+  in
+  let cluster =
+    Cluster.create topology ~constraints:(Constraint_set.of_apps apps)
+  in
+
+  (* 3. Materialise the submission batch and schedule it with Aladdin. *)
+  let containers =
+    Array.of_list
+      (List.concat_map
+         (fun (a : Application.t) ->
+           Application.containers a ~first_id:(100 * a.Application.id)
+             ~first_arrival:0)
+         (Array.to_list apps))
+  in
+  let scheduler = Aladdin.Aladdin_scheduler.make () in
+  let outcome = scheduler.Scheduler.schedule cluster containers in
+
+  (* 4. Inspect the result. *)
+  Format.printf "outcome: %a@.@." Scheduler.pp_outcome outcome;
+  List.iter
+    (fun (cid, mid) -> Format.printf "container %3d -> machine %d@." cid mid)
+    (List.sort compare outcome.Scheduler.placed);
+  Format.printf "@.used machines: %d@." (Cluster.used_machines cluster);
+  Format.printf "violations in final placement: %d@."
+    (List.length (Cluster.current_violations cluster));
+  assert (outcome.Scheduler.undeployed = []);
+  assert (Cluster.current_violations cluster = [])

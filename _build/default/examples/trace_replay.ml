@@ -1,0 +1,45 @@
+(* Generate a calibrated synthetic Alibaba-style trace, save it, reload it,
+   and replay it under every scheduler on the same cluster — a miniature
+   version of the paper's evaluation pipeline.
+
+   Run with: dune exec examples/trace_replay.exe *)
+
+let () =
+  let path = Filename.temp_file "aladdin_example" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* generate + persist *)
+      let w = Alibaba.generate { (Alibaba.scaled 0.02) with Alibaba.seed = 1 } in
+      Trace_io.save w path;
+      Format.printf "trace written to %s@." path;
+      Format.printf "%a@.@." Workload_stats.pp (Workload_stats.compute w);
+
+      (* reload (round-trips exactly) *)
+      let w = Trace_io.load path in
+      let machines = Workload.n_containers w / 10 in
+      let total = Workload.n_containers w in
+
+      let schedulers =
+        [
+          Sched_zoo.aladdin ();
+          Sched_zoo.firmament Cost_model.Quincy ~reschd:8;
+          Sched_zoo.medea ~a:1. ~b:1. ~c:0.;
+          Sched_zoo.gokube ();
+        ]
+      in
+      Format.printf "replaying %d containers on %d machines:@.@." total machines;
+      Report.table
+        ~header:[ "scheduler"; "undeployed"; "used"; "avg util"; "ms/ctr" ]
+        (List.map
+           (fun sched ->
+             let r = Replay.run_workload sched w ~n_machines:machines in
+             let u = Metrics.utilization_summary r.Replay.cluster in
+             [
+               r.Replay.scheduler;
+               Report.pct (Metrics.undeployed_pct r.Replay.outcome ~total);
+               string_of_int (Cluster.used_machines r.Replay.cluster);
+               Report.pct u.Metrics.mean_pct;
+               Printf.sprintf "%.3f" (Replay.per_container_ms r);
+             ])
+           schedulers))

@@ -1,0 +1,1 @@
+lib/baselines/classify.ml: Cluster Container List Machine Resource Violation

@@ -1,0 +1,1 @@
+lib/baselines/classify.mli: Cluster Container Violation

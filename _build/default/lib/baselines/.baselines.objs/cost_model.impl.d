@@ -1,0 +1,1 @@
+lib/baselines/cost_model.ml: Machine Resource String

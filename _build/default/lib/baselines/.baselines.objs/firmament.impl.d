@@ -1,0 +1,1 @@
+lib/baselines/firmament.ml: Array Classify Cluster Container Cost_model Flownet Hashtbl Int List Machine Option Printf Queue Resource Scheduler Topology

@@ -1,0 +1,1 @@
+lib/baselines/firmament.mli: Container Cost_model Scheduler

@@ -1,0 +1,1 @@
+lib/baselines/gokube.ml: Array Classify Cluster Constraint_set Container Float Hashtbl List Machine Option Queue Resource Scheduler

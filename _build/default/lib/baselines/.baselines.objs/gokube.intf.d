@@ -1,0 +1,1 @@
+lib/baselines/gokube.mli: Container Machine Scheduler

@@ -1,0 +1,1 @@
+lib/baselines/medea.ml: Array Classify Cluster Constraint_set Container Float Hashtbl Int List Lp Machine Option Printf Resource Scheduler Violation

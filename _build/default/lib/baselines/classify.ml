@@ -1,0 +1,55 @@
+let undeployed_violation cluster (c : Container.t) =
+  let n = Cluster.n_machines cluster in
+  let anti = ref None in
+  let inversion = ref None in
+  (try
+     for mid = 0 to n - 1 do
+       (match Cluster.admissible cluster c mid with
+       | Error (Cluster.Blacklisted against) ->
+           if Machine.fits (Cluster.machine cluster mid) c.Container.demand
+           then begin
+             anti :=
+               Some
+                 (Violation.Anti_affinity
+                    { container = c.Container.id; machine = mid; against });
+             raise Exit
+           end
+       | Error Cluster.No_capacity ->
+           if !inversion = None then begin
+             (* Would evicting strictly-lower-priority containers free
+                enough room? *)
+             let m = Cluster.machine cluster mid in
+             let lower =
+               List.filter
+                 (fun (b : Container.t) ->
+                   b.Container.priority < c.Container.priority)
+                 (Machine.containers m)
+             in
+             match lower with
+             | [] -> ()
+             | first :: _ ->
+                 let freed =
+                   List.fold_left
+                     (fun acc (b : Container.t) ->
+                       Resource.add acc b.Container.demand)
+                     (Machine.free m) lower
+                 in
+                 if Resource.fits ~demand:c.Container.demand ~within:freed then
+                   inversion :=
+                     Some
+                       (Violation.Priority_inversion
+                          {
+                            container = c.Container.id;
+                            displaced_by = first.Container.id;
+                          })
+           end
+       | Ok () ->
+           (* The caller decided not to use an admissible machine; treat as
+              no violation — it is a scheduler-quality issue. *)
+           ())
+     done
+   with Exit -> ());
+  match !anti with Some _ as v -> v | None -> !inversion
+
+let violations_of_undeployed cluster cs =
+  List.filter_map (undeployed_violation cluster) cs

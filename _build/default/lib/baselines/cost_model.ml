@@ -1,0 +1,30 @@
+type t = Trivial | Quincy | Octopus
+
+let name = function
+  | Trivial -> "TRIVIAL"
+  | Quincy -> "QUINCY"
+  | Octopus -> "OCTOPUS"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "TRIVIAL" -> Some Trivial
+  | "QUINCY" -> Some Quincy
+  | "OCTOPUS" -> Some Octopus
+  | _ -> None
+
+let unscheduled_cost = 1_000_000
+
+(* Deterministic small hash for Quincy's locality perturbation. *)
+let perturb x = (x * 2654435761) land 0xff
+
+let machine_cost model m =
+  let free_pct =
+    int_of_float
+      (1000.
+      *. Resource.utilization ~used:(Machine.free m)
+           ~capacity:(Machine.capacity m))
+  in
+  match model with
+  | Trivial -> free_pct (* least free = cheapest = pack *)
+  | Quincy -> (4 * free_pct) + perturb (Machine.rack m)
+  | Octopus -> 100 * Machine.n_containers m

@@ -1,0 +1,24 @@
+(** Firmament cost models (the three the paper selects from Firmament's
+    code base, Table I). Costs are per-machine arc costs on the N→t tier of
+    the scheduling flow network; lower is preferred. *)
+
+type t =
+  | Trivial
+      (** pack: prefer machines with the least free capacity, so
+          containers are always scheduled while resources are idle *)
+  | Quincy
+      (** original Quincy: cost grows with the idle resources left behind
+          (a data-transfer proxy), with a deterministic per-rack locality
+          perturbation *)
+  | Octopus
+      (** load balancing: cost = number of containers already deployed *)
+
+val name : t -> string
+val of_string : string -> t option
+
+val machine_cost : t -> Machine.t -> int
+(** Arc cost for one slot on this machine, in integer cost units. *)
+
+val unscheduled_cost : int
+(** Cost of routing a task to the unscheduled aggregator; high enough that
+    any real machine is preferred. *)

@@ -1,0 +1,197 @@
+type solver = Ssp | Cost_scaling
+
+type config = {
+  cost_model : Cost_model.t;
+  reschd : int;
+  max_rounds : int;
+  solver : solver;
+}
+
+let default =
+  { cost_model = Cost_model.Quincy; reschd = 4; max_rounds = 8; solver = Ssp }
+
+let name c =
+  Printf.sprintf "Firmament-%s(%d)" (Cost_model.name c.cost_model) c.reschd
+
+let slot_size_millis batch =
+  if Array.length batch = 0 then 1000
+  else begin
+    let total =
+      Array.fold_left
+        (fun acc (c : Container.t) ->
+          acc + (Resource.to_array c.Container.demand).(Resource.cpu_dim))
+        0 batch
+    in
+    max 1 (total / Array.length batch)
+  end
+
+(* One scheduling round: solve the slot network, return per-machine quotas
+   (how many pending tasks the flow routed to each machine). [penalty]
+   carries the cost feedback from earlier rounds' conflicts — the
+   multi-round mechanism that steers the flow away from machines where
+   placements kept failing. *)
+let solve_round config cluster ~n_pending ~slot ~penalty =
+  let topo = Cluster.topology cluster in
+  let nr = Topology.n_racks topo in
+  let nn = Topology.n_machines topo in
+  let source = 0 and sink = 1 and unsched = 2 and agg = 3 in
+  let rv x = 4 + x in
+  let nv y = 4 + nr + y in
+  (* super source bounding total flow to the pending count, so both
+     solvers can run to their natural max flow *)
+  let super = 4 + nr + nn in
+  let g =
+    Flownet.Graph.create ~arc_hint:(6 + nr + (3 * nn)) (5 + nr + nn)
+  in
+  ignore (Flownet.Graph.add_arc g ~src:super ~dst:source ~cap:n_pending ~cost:0);
+  ignore
+    (Flownet.Graph.add_arc g ~src:source ~dst:agg ~cap:n_pending ~cost:0);
+  ignore
+    (Flownet.Graph.add_arc g ~src:source ~dst:unsched ~cap:n_pending
+       ~cost:Cost_model.unscheduled_cost);
+  ignore (Flownet.Graph.add_arc g ~src:unsched ~dst:sink ~cap:n_pending ~cost:0);
+  for x = 0 to nr - 1 do
+    ignore (Flownet.Graph.add_arc g ~src:agg ~dst:(rv x) ~cap:n_pending ~cost:0)
+  done;
+  let machine_arc = Array.make nn (-1) in
+  for y = 0 to nn - 1 do
+    let m = Cluster.machine cluster y in
+    let free_cpu = (Resource.to_array (Machine.free m)).(Resource.cpu_dim) in
+    let slots = free_cpu / slot in
+    ignore
+      (Flownet.Graph.add_arc g ~src:(rv (Topology.rack_of topo y)) ~dst:(nv y)
+         ~cap:slots ~cost:0);
+    machine_arc.(y) <-
+      Flownet.Graph.add_arc g ~src:(nv y) ~dst:sink ~cap:slots
+        ~cost:(Cost_model.machine_cost config.cost_model m + (5_000 * penalty.(y)))
+  done;
+  let _stats =
+    match config.solver with
+    | Ssp -> Flownet.Mincost.run g ~src:super ~dst:sink
+    | Cost_scaling -> Flownet.Cost_scaling.run g ~src:super ~dst:sink
+  in
+  Array.map
+    (fun arc -> if arc < 0 then 0 else Flownet.Graph.flow g arc)
+    machine_arc
+
+let schedule config cluster batch =
+  let pending = ref (Array.to_list batch) in
+  let terminal = ref [] in
+  let round = ref 0 in
+  let progress = ref true in
+  let penalty = Array.make (Cluster.n_machines cluster) 0 in
+  while !pending <> [] && !progress && !round < config.max_rounds do
+    incr round;
+    let pending_arr = Array.of_list !pending in
+    let n_pending = Array.length pending_arr in
+    let slot = slot_size_millis pending_arr in
+    let quotas = solve_round config cluster ~n_pending ~slot ~penalty in
+    (* Extraction: the flow decided *which* machines receive how many
+       slots; any task-to-slot decomposition is cost-equivalent, so tasks
+       are dealt round-robin over the selected machines (in cost order) —
+       block-filling would dump whole anti-within apps on one machine. *)
+    let machine_order =
+      let ids =
+        Array.of_list
+          (List.filter
+             (fun i -> quotas.(i) > 0)
+             (List.init (Array.length quotas) (fun i -> i)))
+      in
+      Array.sort
+        (fun a b ->
+          Int.compare
+            (Cost_model.machine_cost config.cost_model (Cluster.machine cluster a))
+            (Cost_model.machine_cost config.cost_model (Cluster.machine cluster b)))
+        ids;
+      ids
+    in
+    let remaining = Array.map (fun q -> q) quotas in
+    let assignments = Queue.create () in
+    let next_task = ref 0 in
+    let made_progress = ref true in
+    while !next_task < n_pending && !made_progress do
+      made_progress := false;
+      Array.iter
+        (fun mid ->
+          if remaining.(mid) > 0 && !next_task < n_pending then begin
+            Queue.push (pending_arr.(!next_task), mid) assignments;
+            incr next_task;
+            remaining.(mid) <- remaining.(mid) - 1;
+            made_progress := true
+          end)
+        machine_order
+    done;
+    (* Tasks beyond the total quota stay pending (the flow sent them to the
+       unscheduled aggregator). *)
+    let unrouted = ref [] in
+    for i = n_pending - 1 downto !next_task do
+      unrouted := pending_arr.(i) :: !unrouted
+    done;
+    let requeued = ref [] in
+    let conflicts_per_machine = Hashtbl.create 64 in
+    let placed_this_round = ref 0 in
+    (* On conflict, rescheduling first tries the other machines the flow
+       gave quota to (the solver would reassign the task within the same
+       solution); only then does the reschd(i) budget decide between
+       another round and giving up. *)
+    let spill c =
+      let placed = ref false in
+      Array.iter
+        (fun mid ->
+          if (not !placed) && remaining.(mid) > 0 then
+            match Cluster.place cluster c mid with
+            | Ok () ->
+                remaining.(mid) <- remaining.(mid) - 1;
+                placed := true
+            | Error _ -> ())
+        machine_order;
+      !placed
+    in
+    Queue.iter
+      (fun ((c : Container.t), mid) ->
+        match Cluster.place cluster c mid with
+        | Ok () -> incr placed_this_round
+        | Error _ ->
+            if spill c then incr placed_this_round
+            else begin
+              let k =
+                Option.value ~default:0
+                  (Hashtbl.find_opt conflicts_per_machine mid)
+              in
+              Hashtbl.replace conflicts_per_machine mid (k + 1);
+              (* reschd(i): at most i conflicted containers per machine are
+                 picked for another round; the rest are given up on. *)
+              if k < config.reschd then requeued := c :: !requeued
+              else terminal := c :: !terminal
+            end)
+      assignments;
+    Hashtbl.iter
+      (fun mid k -> penalty.(mid) <- penalty.(mid) + k)
+      conflicts_per_machine;
+    (* penalised rounds with requeues still count as progress: the next
+       solve sees different costs *)
+    progress := !placed_this_round > 0 || !requeued <> [];
+    pending := List.rev_append !requeued !unrouted
+  done;
+  let undeployed = !terminal @ !pending in
+  let placed =
+    Array.to_list batch
+    |> List.filter_map (fun (c : Container.t) ->
+           Option.map
+             (fun mid -> (c.Container.id, mid))
+             (Cluster.machine_of cluster c.Container.id))
+  in
+  {
+    Scheduler.placed;
+    undeployed;
+    violations = Classify.violations_of_undeployed cluster undeployed;
+    migrations = 0;
+    preemptions = 0;
+    rounds = !round;
+  }
+
+let make ?(config = default) () =
+  {
+    Scheduler.name = name config;
+    schedule = (fun cluster batch -> schedule config cluster batch);
+  }

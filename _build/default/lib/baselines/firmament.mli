@@ -1,0 +1,35 @@
+(** Firmament baseline: min-cost max-flow scheduling over a one-dimensional
+    slot-based network with pluggable cost models, plus the multi-round
+    conflict-rescheduling mechanism the paper evaluates as
+    Firmament-{TRIVIAL,QUINCY,OCTOPUS}(reschd).
+
+    The flow network is s → C/U → racks → machines → t with linear scalar
+    capacities (slots). That linearity is the point of comparison: it can
+    express neither anti-affinity nor priority, so conflicts only surface
+    when a flow assignment is applied to the real cluster, and are then
+    retried for up to [reschd] containers per machine per round (a timeout
+    bounds the rounds). *)
+
+type solver = Ssp | Cost_scaling
+(** Successive shortest paths (default) or Goldberg–Tarjan cost scaling —
+    the algorithm family the real Firmament uses. Both are exact, so
+    placement quality is identical; only solve latency differs. *)
+
+type config = {
+  cost_model : Cost_model.t;
+  reschd : int;      (** rescheduling budget per machine per round *)
+  max_rounds : int;  (** round timeout *)
+  solver : solver;
+}
+
+val default : config
+(** QUINCY, reschd 4, 8 rounds, SSP solver. *)
+
+val name : config -> string
+(** e.g. ["Firmament-QUINCY(4)"]. *)
+
+val make : ?config:config -> unit -> Scheduler.t
+
+val slot_size_millis : Container.t array -> int
+(** The scalar slot the 1-D network quantizes demand into: the mean CPU
+    demand of the batch, in millicores (exposed for tests). *)

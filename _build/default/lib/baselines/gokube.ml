@@ -1,0 +1,162 @@
+type config = { preemption : bool; max_requeues : int }
+
+let default = { preemption = true; max_requeues = 2 }
+
+(* LeastRequestedPriority: 10 * free_after / capacity, averaged over
+   dimensions. BalancedResourceAllocation: 10 - 10*spread between the
+   per-dimension fractions (0 for one-dimensional resources). *)
+let score m (c : Container.t) =
+  let cap = Resource.to_array (Machine.capacity m) in
+  let free = Resource.to_array (Machine.free m) in
+  let demand = Resource.to_array c.Container.demand in
+  let dims = Array.length cap in
+  let fracs =
+    Array.init dims (fun d ->
+        if cap.(d) = 0 then 0.
+        else float_of_int (free.(d) - demand.(d)) /. float_of_int cap.(d))
+  in
+  let least =
+    10. *. Array.fold_left ( +. ) 0. fracs /. float_of_int dims
+  in
+  let balanced =
+    if dims < 2 then 10.
+    else begin
+      let requested = Array.map (fun f -> 1. -. f) fracs in
+      let mean =
+        Array.fold_left ( +. ) 0. requested /. float_of_int dims
+      in
+      let dev =
+        Array.fold_left (fun acc r -> acc +. Float.abs (r -. mean)) 0. requested
+        /. float_of_int dims
+      in
+      10. *. (1. -. dev)
+    end
+  in
+  least +. balanced
+
+let pick cluster (c : Container.t) =
+  let nm = Cluster.n_machines cluster in
+  let best = ref None in
+  for mid = 0 to nm - 1 do
+    if Cluster.admissible cluster c mid = Ok () then begin
+      let s = score (Cluster.machine cluster mid) c in
+      match !best with
+      | Some (_, s') when s' >= s -> ()
+      | _ -> best := Some (mid, s)
+    end
+  done;
+  Option.map fst !best
+
+(* k8s-1.11 preemption: evict strictly-lower-priority pods to free
+   *resources* only. Inter-pod anti-affinity is handled by the filter, not
+   by preemption — a machine hosting any conflicting pod is ineligible.
+   This "supports the two constraint kinds separately" behaviour is what
+   the paper contrasts with Aladdin's global view. *)
+let preempt cluster (c : Container.t) =
+  let cs = Cluster.constraints cluster in
+  let nm = Cluster.n_machines cluster in
+  let best = ref None in
+  for mid = 0 to nm - 1 do
+    let m = Cluster.machine cluster mid in
+    let conflicts =
+      List.exists
+        (fun (b : Container.t) ->
+          Constraint_set.conflict cs c.Container.app b.Container.app)
+        (Machine.containers m)
+    in
+    if not conflicts then begin
+      let victims =
+        List.filter
+          (fun (b : Container.t) -> b.Container.priority < c.Container.priority)
+          (Machine.containers m)
+        |> List.sort (fun (a : Container.t) (b : Container.t) ->
+               Resource.compare a.Container.demand b.Container.demand)
+      in
+      let rec take freed acc = function
+        | [] -> None
+        | (b : Container.t) :: tl ->
+            let freed = Resource.add freed b.Container.demand in
+            let acc = b :: acc in
+            if Resource.fits ~demand:c.Container.demand ~within:freed then
+              Some acc
+            else take freed acc tl
+      in
+      if Resource.fits ~demand:c.Container.demand ~within:(Machine.free m) then
+        (match !best with
+        | Some (_, e') when List.length e' = 0 -> ()
+        | _ -> best := Some (mid, []))
+      else
+        match take (Machine.free m) [] victims with
+        | Some evict -> (
+            match !best with
+            | Some (_, e') when List.length e' <= List.length evict -> ()
+            | _ -> best := Some (mid, evict))
+        | None -> ()
+    end
+  done;
+  match !best with Some (_, []) -> None | other -> other
+
+let schedule config cluster batch =
+  let queue = Queue.create () in
+  Array.iter (fun c -> Queue.push c queue) batch;
+  let requeues = Hashtbl.create 64 in
+  let undeployed = ref [] in
+  let preemptions = ref 0 in
+  let rounds = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr rounds;
+    let c = Queue.pop queue in
+    match pick cluster c with
+    | Some mid -> (
+        match Cluster.place cluster c mid with
+        | Ok () -> ()
+        | Error _ -> assert false)
+    | None -> (
+        let handled =
+          if config.preemption && c.Container.priority > 0 then
+            match preempt cluster c with
+            | Some (mid, evict) ->
+                List.iter
+                  (fun (b : Container.t) ->
+                    Cluster.remove cluster b.Container.id;
+                    let k =
+                      1
+                      + Option.value ~default:0
+                          (Hashtbl.find_opt requeues b.Container.id)
+                    in
+                    Hashtbl.replace requeues b.Container.id k;
+                    if k <= config.max_requeues then Queue.push b queue
+                    else undeployed := b :: !undeployed)
+                  evict;
+                preemptions := !preemptions + List.length evict;
+                (match Cluster.place cluster c mid with
+                | Ok () -> ()
+                | Error _ -> undeployed := c :: !undeployed);
+                true
+            | None -> false
+          else false
+        in
+        if not handled then undeployed := c :: !undeployed)
+  done;
+  let placed =
+    Array.to_list batch
+    |> List.filter_map (fun (c : Container.t) ->
+           Option.map
+             (fun mid -> (c.Container.id, mid))
+             (Cluster.machine_of cluster c.Container.id))
+  in
+  let undeployed = List.rev !undeployed in
+  {
+    Scheduler.placed;
+    undeployed;
+    violations = Classify.violations_of_undeployed cluster undeployed;
+    migrations = 0;
+    preemptions = !preemptions;
+    rounds = !rounds;
+  }
+
+let make ?(config = default) () =
+  {
+    Scheduler.name = "Go-Kube";
+    schedule = (fun cluster batch -> schedule config cluster batch);
+  }

@@ -1,0 +1,22 @@
+(** Go-Kube baseline: the Kubernetes 1.11 default scheduler's decision
+    procedure — one container at a time, hard predicate filtering
+    (resources + required anti-affinity) followed by priority scoring with
+    LeastRequestedPriority and BalancedResourceAllocation, and a separate
+    preemption pass for unschedulable high-priority pods.
+
+    Constraints are honoured *per pod*, never globally; the spreading
+    scorer and the lack of lookahead are what the paper's evaluation
+    exposes (21.2% undeployed, most machines used). *)
+
+type config = {
+  preemption : bool;      (** k8s priority preemption pass *)
+  max_requeues : int;     (** budget for preempted pods *)
+}
+
+val default : config
+
+val make : ?config:config -> unit -> Scheduler.t
+
+val score : Machine.t -> Container.t -> float
+(** The k8s-1.11 node score in [0, 20]: LeastRequested + BalancedResource
+    (exposed for tests). Higher is better. *)

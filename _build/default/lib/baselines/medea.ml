@@ -1,0 +1,314 @@
+type weights = { a : float; b : float; c : float }
+
+type config = {
+  weights : weights;
+  exact_max_cells : int;
+  node_budget : int;
+  local_search_passes : int;
+}
+
+let default =
+  {
+    weights = { a = 1.; b = 1.; c = 0. };
+    exact_max_cells = 64;
+    node_budget = 50_000;
+    local_search_passes = 2;
+  }
+
+let fmt_weight w =
+  if Float.is_integer w then string_of_int (int_of_float w)
+  else Printf.sprintf "%g" w
+
+let name c =
+  Printf.sprintf "MEDEA(%s,%s,%s)" (fmt_weight c.weights.a)
+    (fmt_weight c.weights.b) (fmt_weight c.weights.c)
+
+let place_reward = 10.
+let violation_penalty = 5.
+
+(* ---------- exact ILP path (small instances) ---------- *)
+
+let solve_exact config cluster batch =
+  let n = Array.length batch in
+  let nm = Cluster.n_machines cluster in
+  let cs = Cluster.constraints cluster in
+  let m = Lp.Model.create () in
+  let x = Array.make_matrix n nm (-1) in
+  for i = 0 to n - 1 do
+    for j = 0 to nm - 1 do
+      x.(i).(j) <-
+        Lp.Model.add_var ~upper:1.0 ~integer:true
+          ~name:(Printf.sprintf "x_%d_%d" i j)
+          m
+    done
+  done;
+  let z = Array.init nm (fun j ->
+      Lp.Model.add_var ~upper:1.0 ~integer:true
+        ~name:(Printf.sprintf "z_%d" j) m)
+  in
+  let tolerant = config.weights.c > 0. in
+  let viols = ref [] in
+  (* each container placed at most once *)
+  for i = 0 to n - 1 do
+    Lp.Model.add_constraint m
+      (List.init nm (fun j -> (x.(i).(j), 1.0)))
+      Lp.Model.Le 1.0
+  done;
+  (* capacity per machine and dimension, against current free resources *)
+  let dims = Resource.dims batch.(0).Container.demand in
+  for j = 0 to nm - 1 do
+    let free = Resource.to_array (Machine.free (Cluster.machine cluster j)) in
+    for d = 0 to dims - 1 do
+      Lp.Model.add_constraint m
+        (List.init n (fun i ->
+             (x.(i).(j),
+              float_of_int (Resource.to_array batch.(i).Container.demand).(d))))
+        Lp.Model.Le
+        (float_of_int free.(d))
+    done;
+    (* machine-used indicators *)
+    for i = 0 to n - 1 do
+      Lp.Model.add_constraint m
+        [ (x.(i).(j), 1.0); (z.(j), -1.0) ]
+        Lp.Model.Le 0.0
+    done
+  done;
+  (* anti-affinity between batch containers *)
+  for i = 0 to n - 1 do
+    for k = i + 1 to n - 1 do
+      if Constraint_set.conflict cs batch.(i).Container.app batch.(k).Container.app
+      then
+        for j = 0 to nm - 1 do
+          if tolerant then begin
+            let y =
+              Lp.Model.add_var ~upper:1.0 ~integer:true
+                ~name:(Printf.sprintf "y_%d_%d_%d" i k j)
+                m
+            in
+            viols := y :: !viols;
+            Lp.Model.add_constraint m
+              [ (x.(i).(j), 1.0); (x.(k).(j), 1.0); (y, -1.0) ]
+              Lp.Model.Le 1.0
+          end
+          else
+            Lp.Model.add_constraint m
+              [ (x.(i).(j), 1.0); (x.(k).(j), 1.0) ]
+              Lp.Model.Le 1.0
+        done
+    done
+  done;
+  (* anti-affinity against already-deployed apps *)
+  for i = 0 to n - 1 do
+    for j = 0 to nm - 1 do
+      let machine = Cluster.machine cluster j in
+      let blocked = ref false in
+      Machine.iter_apps machine (fun app _ ->
+          if Constraint_set.conflict cs batch.(i).Container.app app then
+            blocked := true);
+      if !blocked then
+        if tolerant then begin
+          let y =
+            Lp.Model.add_var ~upper:1.0 ~integer:true
+              ~name:(Printf.sprintf "yd_%d_%d" i j)
+              m
+          in
+          viols := y :: !viols;
+          Lp.Model.add_constraint m
+            [ (x.(i).(j), 1.0); (y, -1.0) ]
+            Lp.Model.Le 0.0
+        end
+        else
+          Lp.Model.add_constraint m [ (x.(i).(j), 1.0) ] Lp.Model.Le 0.0
+    done
+  done;
+  let w = config.weights in
+  let obj =
+    List.concat
+      [
+        List.concat
+          (List.init n (fun i ->
+               List.init nm (fun j ->
+                   ( x.(i).(j),
+                     w.a
+                     *. (place_reward +. float_of_int batch.(i).Container.priority)
+                   ))));
+        List.init nm (fun j -> (z.(j), -.w.b));
+        List.map (fun y -> (y, -.((1. -. w.c) *. violation_penalty))) !viols;
+      ]
+  in
+  Lp.Model.set_objective m obj;
+  match Lp.Ilp.solve ~node_budget:config.node_budget m with
+  | Lp.Ilp.Infeasible -> None
+  | Lp.Ilp.Solved { x = sol; _ } ->
+      let plan = ref [] in
+      for i = 0 to n - 1 do
+        for j = 0 to nm - 1 do
+          if sol.(x.(i).(j)) > 0.5 then plan := (i, j) :: !plan
+        done
+      done;
+      Some (List.rev !plan)
+
+(* ---------- heuristic path (trace scale) ---------- *)
+
+(* Weighted greedy: the score mirrors the ILP objective restricted to one
+   container. Returns (machine, forced?) or None. *)
+let greedy_pick config cluster (c : Container.t) =
+  let w = config.weights in
+  let nm = Cluster.n_machines cluster in
+  let best = ref None in
+  let consider mid score forced =
+    match !best with
+    | Some (_, s, _) when s >= score -> ()
+    | _ -> best := Some (mid, score, forced)
+  in
+  for mid = 0 to nm - 1 do
+    let m = Cluster.machine cluster mid in
+    let packing =
+      if Machine.is_used m then
+        w.b *. Resource.utilization ~used:(Machine.used m)
+                 ~capacity:(Machine.capacity m)
+      else -.w.b
+    in
+    match Cluster.admissible cluster c mid with
+    | Ok () -> consider mid ((w.a *. place_reward) +. packing) false
+    | Error Cluster.No_capacity -> ()
+    | Error (Cluster.Blacklisted _) ->
+        if w.c > 0. then
+          consider mid
+            ((w.a *. place_reward) +. packing
+            -. ((1. -. w.c) *. violation_penalty))
+            true
+  done;
+  Option.map (fun (mid, _, forced) -> (mid, forced)) !best
+
+(* Local search: try to empty lightly-loaded machines by moving their
+   containers onto other used machines — the fragmentation term of the
+   objective. *)
+let defragment config cluster =
+  let moves = ref 0 in
+  for _pass = 1 to config.local_search_passes do
+    let machines = Cluster.machines cluster in
+    let light =
+      Array.to_list machines
+      |> List.filter (fun m ->
+             Machine.is_used m && Machine.utilization m < 0.34)
+      |> List.sort (fun a b ->
+             Float.compare (Machine.utilization a) (Machine.utilization b))
+    in
+    List.iter
+      (fun m ->
+        List.iter
+          (fun (c : Container.t) ->
+            let nm = Array.length machines in
+            let target = ref None in
+            for mid = 0 to nm - 1 do
+              if !target = None && mid <> Machine.id m then begin
+                let cand = machines.(mid) in
+                if
+                  Machine.is_used cand
+                  && Machine.utilization cand > Machine.utilization m
+                  && Cluster.admissible cluster c mid = Ok ()
+                then target := Some mid
+              end
+            done;
+            match !target with
+            | Some mid ->
+                Cluster.remove cluster c.Container.id;
+                (match Cluster.place cluster c mid with
+                | Ok () -> incr moves
+                | Error _ ->
+                    (* lost the spot to a blacklist we created: put back *)
+                    (match Cluster.place cluster c (Machine.id m) with
+                    | Ok () -> ()
+                    | Error _ -> assert false))
+            | None -> ())
+          (Machine.containers m))
+      light
+  done;
+  !moves
+
+let schedule config cluster batch =
+  let n = Array.length batch in
+  let nm = Cluster.n_machines cluster in
+  let forced_violations = ref [] in
+  let undeployed = ref [] in
+  let moves = ref 0 in
+  let exact_plan =
+    if n > 0 && n * nm <= config.exact_max_cells then
+      solve_exact config cluster batch
+    else None
+  in
+  (match exact_plan with
+  | Some plan ->
+      let assigned = Hashtbl.create n in
+      List.iter
+        (fun (i, j) ->
+          Hashtbl.replace assigned i ();
+          let c = batch.(i) in
+          let forced = Cluster.admissible cluster c j <> Ok () in
+          (match Cluster.admissible cluster c j with
+          | Error (Cluster.Blacklisted against) ->
+              forced_violations :=
+                Violation.Anti_affinity
+                  { container = c.Container.id; machine = j; against }
+                :: !forced_violations
+          | _ -> ());
+          match Cluster.place ~force:forced cluster c j with
+          | Ok () -> ()
+          | Error _ -> undeployed := c :: !undeployed)
+        plan;
+      Array.iteri
+        (fun i c ->
+          if not (Hashtbl.mem assigned i) then undeployed := c :: !undeployed)
+        batch
+  | None ->
+      (* ILP would favor feasibility of the big rows first: priority, then
+         demand, descending. *)
+      let order = Array.copy batch in
+      Array.sort
+        (fun (a : Container.t) (b : Container.t) ->
+          match Int.compare b.Container.priority a.Container.priority with
+          | 0 ->
+              Resource.compare b.Container.demand a.Container.demand
+          | c -> c)
+        order;
+      Array.iter
+        (fun (c : Container.t) ->
+          match greedy_pick config cluster c with
+          | None -> undeployed := c :: !undeployed
+          | Some (mid, forced) -> (
+              (match Cluster.admissible cluster c mid with
+              | Error (Cluster.Blacklisted against) when forced ->
+                  forced_violations :=
+                    Violation.Anti_affinity
+                      { container = c.Container.id; machine = mid; against }
+                    :: !forced_violations
+              | _ -> ());
+              match Cluster.place ~force:forced cluster c mid with
+              | Ok () -> ()
+              | Error _ -> undeployed := c :: !undeployed))
+        order;
+      moves := defragment config cluster);
+  let placed =
+    Array.to_list batch
+    |> List.filter_map (fun (c : Container.t) ->
+           Option.map
+             (fun mid -> (c.Container.id, mid))
+             (Cluster.machine_of cluster c.Container.id))
+  in
+  let undeployed = List.rev !undeployed in
+  {
+    Scheduler.placed;
+    undeployed;
+    violations =
+      !forced_violations @ Classify.violations_of_undeployed cluster undeployed;
+    migrations = !moves;
+    preemptions = 0;
+    rounds = 1;
+  }
+
+let make ?(config = default) () =
+  {
+    Scheduler.name = name config;
+    schedule = (fun cluster batch -> schedule config cluster batch);
+  }

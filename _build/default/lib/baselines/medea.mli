@@ -1,0 +1,28 @@
+(** Medea baseline: ILP placement of long-running applications with the
+    weight triple (a, b, c) — reward for deployed containers, penalty for
+    fragmentation (machines opened), and tolerance for constraint
+    violations (c = 0 forbids them; c > 0 lets a violating placement pay a
+    reduced penalty, which is how Medea trades violations for density).
+
+    Small instances are solved exactly with the in-repo branch-and-bound
+    ({!Lp.Ilp}); at trace scale the same objective is optimized by the
+    weighted greedy + local-search rounding Medea's time-bounded MIP solve
+    degrades to in production. *)
+
+type weights = { a : float; b : float; c : float }
+
+type config = {
+  weights : weights;
+  exact_max_cells : int;
+      (** use the exact ILP when |batch|·|machines| is at most this *)
+  node_budget : int;            (** branch-and-bound node budget *)
+  local_search_passes : int;    (** defragmentation passes (heuristic path) *)
+}
+
+val default : config
+(** weights (1, 1, 0), exact up to 64 cells, 2 local-search passes. *)
+
+val name : config -> string
+(** e.g. ["MEDEA(1,1,0.5)"]. *)
+
+val make : ?config:config -> unit -> Scheduler.t

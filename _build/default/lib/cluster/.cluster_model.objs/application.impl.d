@@ -1,0 +1,1 @@
+lib/cluster/application.ml: Container Format Int List Printf Resource

@@ -1,0 +1,1 @@
+lib/cluster/application.mli: Container Format Resource

@@ -1,0 +1,1 @@
+lib/cluster/blacklist.ml: Application Array Constraint_set Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/cluster/blacklist.mli: Application Constraint_set Machine

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Application Array Blacklist Constraint_set Container Hashtbl List Machine Option Topology Violation

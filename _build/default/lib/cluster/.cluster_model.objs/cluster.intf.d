@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Application Blacklist Constraint_set Container Machine Topology Violation

@@ -1,0 +1,1 @@
+lib/cluster/constraint_set.ml: Application Array Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/cluster/constraint_set.mli: Application

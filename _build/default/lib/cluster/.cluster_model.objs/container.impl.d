@@ -1,0 +1,1 @@
+lib/cluster/container.ml: Format Int Resource

@@ -1,0 +1,1 @@
+lib/cluster/container.mli: Format Resource

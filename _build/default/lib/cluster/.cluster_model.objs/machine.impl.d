@@ -1,0 +1,1 @@
+lib/cluster/machine.ml: Application Container Format Hashtbl Option Resource

@@ -1,0 +1,1 @@
+lib/cluster/machine.mli: Application Container Format Resource

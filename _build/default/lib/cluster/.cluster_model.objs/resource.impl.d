@@ -1,0 +1,1 @@
+lib/cluster/resource.ml: Array Float Format List Printf Stdlib

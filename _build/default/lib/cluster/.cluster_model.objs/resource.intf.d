@@ -1,0 +1,1 @@
+lib/cluster/resource.mli: Format

@@ -1,0 +1,1 @@
+lib/cluster/topology.ml: Array Format List Resource

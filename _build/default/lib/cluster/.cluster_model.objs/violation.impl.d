@@ -1,0 +1,1 @@
+lib/cluster/violation.ml: Application Container Format List Machine

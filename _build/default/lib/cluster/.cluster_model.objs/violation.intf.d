@@ -1,0 +1,1 @@
+lib/cluster/violation.mli: Application Container Format Machine

@@ -1,0 +1,44 @@
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  n_containers : int;
+  demand : Resource.t;
+  priority : int;
+  anti_affinity_within : bool;
+  anti_affinity_across : id list;
+}
+
+let make ~id ?name ~n_containers ~demand ?(priority = 0)
+    ?(anti_affinity_within = false) ?(anti_affinity_across = []) () =
+  if n_containers <= 0 then invalid_arg "Application.make: no containers";
+  if priority < 0 then invalid_arg "Application.make: negative priority";
+  let name = match name with Some n -> n | None -> Printf.sprintf "app-%d" id in
+  {
+    id;
+    name;
+    n_containers;
+    demand;
+    priority;
+    anti_affinity_within;
+    anti_affinity_across = List.sort_uniq Int.compare anti_affinity_across;
+  }
+
+let has_anti_affinity a =
+  a.anti_affinity_within || a.anti_affinity_across <> []
+
+let has_priority a = a.priority > 0
+
+let containers a ~first_id ~first_arrival =
+  List.init a.n_containers (fun i ->
+      Container.make ~id:(first_id + i) ~app:a.id ~demand:a.demand
+        ~priority:a.priority ~arrival:(first_arrival + i))
+
+let pp ppf a =
+  Format.fprintf ppf "%s[%d x %a, prio=%d%s%s]" a.name a.n_containers
+    Resource.pp a.demand a.priority
+    (if a.anti_affinity_within then ", anti-within" else "")
+    (match a.anti_affinity_across with
+    | [] -> ""
+    | l -> Printf.sprintf ", anti-across:%d" (List.length l))

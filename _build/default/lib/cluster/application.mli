@@ -1,0 +1,36 @@
+(** A long-lived application (LLA): a set of isomorphic containers — same
+    demand, same priority (§IV.A) — plus its placement constraints. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  n_containers : int;
+  demand : Resource.t;       (** per-container requirement (isomorphism) *)
+  priority : int;            (** 0 = lowest *)
+  anti_affinity_within : bool;
+      (** containers of this app must land on distinct machines *)
+  anti_affinity_across : id list;
+      (** apps this one must never share a machine with *)
+}
+
+val make :
+  id:id ->
+  ?name:string ->
+  n_containers:int ->
+  demand:Resource.t ->
+  ?priority:int ->
+  ?anti_affinity_within:bool ->
+  ?anti_affinity_across:id list ->
+  unit ->
+  t
+
+val has_anti_affinity : t -> bool
+val has_priority : t -> bool
+(** Whether the app carries a non-default (non-zero) priority class. *)
+
+val containers : t -> first_id:int -> first_arrival:int -> Container.t list
+(** Materialise the app's containers with consecutive ids and arrivals. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  constraints : Constraint_set.t;
+  refcount : (Application.id, int) Hashtbl.t array; (* per machine *)
+}
+
+let create constraints ~n_machines =
+  if n_machines <= 0 then invalid_arg "Blacklist.create: no machines";
+  {
+    constraints;
+    refcount = Array.init n_machines (fun _ -> Hashtbl.create 4);
+  }
+
+let table t machine =
+  if machine < 0 || machine >= Array.length t.refcount then
+    invalid_arg "Blacklist: machine out of range";
+  t.refcount.(machine)
+
+let blocked t ~machine ~app = Hashtbl.mem (table t machine) app
+
+let on_place t ~machine ~app =
+  let tbl = table t machine in
+  List.iter
+    (fun banned ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt tbl banned) in
+      Hashtbl.replace tbl banned (n + 1))
+    (Constraint_set.conflicting_apps t.constraints app)
+
+let on_remove t ~machine ~app =
+  let tbl = table t machine in
+  List.iter
+    (fun banned ->
+      match Hashtbl.find_opt tbl banned with
+      | Some 1 -> Hashtbl.remove tbl banned
+      | Some n when n > 1 -> Hashtbl.replace tbl banned (n - 1)
+      | Some _ | None -> invalid_arg "Blacklist.on_remove: unbalanced")
+    (Constraint_set.conflicting_apps t.constraints app)
+
+let blocked_apps t ~machine =
+  Hashtbl.fold (fun app _ acc -> app :: acc) (table t machine) []
+  |> List.sort_uniq Int.compare
+
+let clear t = Array.iter Hashtbl.reset t.refcount

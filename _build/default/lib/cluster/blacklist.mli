@@ -1,0 +1,23 @@
+(** The nonlinear half of Aladdin's capacity function (Eq. 7–8).
+
+    For every machine, the set of application ids that may not be added,
+    derived incrementally from the deployed set [d] and the anti-affinity
+    constraints [p]: placing a container of app A forbids every app
+    conflicting with A (including A itself under anti-within). Entries are
+    reference-counted so removals restore admissibility exactly. *)
+
+type t
+
+val create : Constraint_set.t -> n_machines:int -> t
+
+val blocked : t -> machine:Machine.id -> app:Application.id -> bool
+(** Eq. 8: true when the app is on the machine's blacklist. *)
+
+val on_place : t -> machine:Machine.id -> app:Application.id -> unit
+(** Update after deploying a container of [app] on [machine] (Eq. 7). *)
+
+val on_remove : t -> machine:Machine.id -> app:Application.id -> unit
+(** Inverse of {!on_place}. @raise Invalid_argument if not balanced. *)
+
+val blocked_apps : t -> machine:Machine.id -> Application.id list
+val clear : t -> unit

@@ -1,0 +1,138 @@
+type denial = No_capacity | Blacklisted of Application.id
+
+type t = {
+  topology : Topology.t;
+  constraints : Constraint_set.t;
+  machines : Machine.t array;
+  blacklist : Blacklist.t;
+  placed : (Container.id, Container.t * Machine.id) Hashtbl.t;
+  offline : bool array;
+}
+
+let create topology ~constraints =
+  let n = Topology.n_machines topology in
+  {
+    topology;
+    constraints;
+    machines =
+      Array.init n (fun i ->
+          Machine.create ~id:i ~rack:(Topology.rack_of topology i)
+            ~group:(Topology.group_of topology i)
+            ~capacity:(Topology.capacity topology i));
+    blacklist = Blacklist.create constraints ~n_machines:n;
+    placed = Hashtbl.create 1024;
+    offline = Array.make n false;
+  }
+
+let topology t = t.topology
+let constraints t = t.constraints
+let n_machines t = Array.length t.machines
+
+let machine t i =
+  if i < 0 || i >= Array.length t.machines then
+    invalid_arg "Cluster.machine: out of range";
+  t.machines.(i)
+
+let machines t = t.machines
+
+let set_offline t mid v =
+  let _ = machine t mid in
+  t.offline.(mid) <- v
+
+let is_offline t mid =
+  let _ = machine t mid in
+  t.offline.(mid)
+
+let admissible t (c : Container.t) mid =
+  let m = machine t mid in
+  if t.offline.(mid) then Error No_capacity
+  else if not (Machine.fits m c.Container.demand) then Error No_capacity
+  else if Blacklist.blocked t.blacklist ~machine:mid ~app:c.Container.app then begin
+    (* Identify the offending deployed app for diagnostics. *)
+    let against = ref c.Container.app in
+    (try
+       Machine.iter_apps m (fun app _ ->
+           if Constraint_set.conflict t.constraints c.Container.app app then begin
+             against := app;
+             raise Exit
+           end)
+     with Exit -> ());
+    Error (Blacklisted !against)
+  end
+  else Ok ()
+
+let place ?(force = false) t (c : Container.t) mid =
+  if Hashtbl.mem t.placed c.Container.id then
+    invalid_arg "Cluster.place: container already placed";
+  let decision =
+    match admissible t c mid with
+    | Ok () -> Ok ()
+    | Error No_capacity -> Error No_capacity
+    | Error (Blacklisted a) -> if force then Ok () else Error (Blacklisted a)
+  in
+  match decision with
+  | Error _ as e -> e
+  | Ok () ->
+      Machine.place (machine t mid) c;
+      Blacklist.on_place t.blacklist ~machine:mid ~app:c.Container.app;
+      Hashtbl.replace t.placed c.Container.id (c, mid);
+      Ok ()
+
+let remove t cid =
+  match Hashtbl.find_opt t.placed cid with
+  | None -> invalid_arg "Cluster.remove: container not placed"
+  | Some (c, mid) ->
+      Machine.remove (machine t mid) c;
+      Blacklist.on_remove t.blacklist ~machine:mid ~app:c.Container.app;
+      Hashtbl.remove t.placed cid
+
+let machine_of t cid =
+  Option.map (fun (_, mid) -> mid) (Hashtbl.find_opt t.placed cid)
+
+let container t cid =
+  Option.map (fun (c, _) -> c) (Hashtbl.find_opt t.placed cid)
+
+let n_placed t = Hashtbl.length t.placed
+
+let placements t =
+  Hashtbl.fold (fun cid (_, mid) acc -> (cid, mid) :: acc) t.placed []
+
+let used_machines t =
+  Array.fold_left
+    (fun n m -> if Machine.is_used m then n + 1 else n)
+    0 t.machines
+
+let utilizations t =
+  Array.fold_left
+    (fun acc m -> if Machine.is_used m then Machine.utilization m :: acc else acc)
+    [] t.machines
+
+let current_violations t =
+  Hashtbl.fold
+    (fun cid ((c : Container.t), mid) acc ->
+      let m = machine t mid in
+      let acc = ref acc in
+      Machine.iter_apps m (fun app n ->
+          let conflicts =
+            if app = c.Container.app then
+              (* anti-within violated only when >1 container of the app *)
+              n > 1 && Constraint_set.anti_within t.constraints app
+            else Constraint_set.conflict t.constraints c.Container.app app
+          in
+          if conflicts then
+            acc :=
+              Violation.Anti_affinity { container = cid; machine = mid; against = app }
+              :: !acc);
+      !acc)
+    t.placed []
+
+let drain t mid =
+  let victims = Machine.containers (machine t mid) in
+  List.iter (fun (c : Container.t) -> remove t c.Container.id) victims;
+  victims
+
+let blacklist t = t.blacklist
+
+let reset t =
+  let ids = Hashtbl.fold (fun cid _ acc -> cid :: acc) t.placed [] in
+  List.iter (remove t) ids

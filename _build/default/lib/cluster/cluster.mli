@@ -1,0 +1,61 @@
+(** Mutable cluster placement state shared by every scheduler: machines,
+    the container→machine map, and the incrementally maintained blacklists.
+
+    Schedulers mutate a cluster through {!place} / {!remove}; the admission
+    check implements the full Aladdin capacity function (vector fit +
+    blacklist), with an escape hatch for baselines that tolerate
+    violations. *)
+
+type t
+
+type denial =
+  | No_capacity       (** demand exceeds the machine's free vector *)
+  | Blacklisted of Application.id
+      (** a conflicting app is deployed there (first one reported) *)
+
+val create : Topology.t -> constraints:Constraint_set.t -> t
+val topology : t -> Topology.t
+val constraints : t -> Constraint_set.t
+val n_machines : t -> int
+val machine : t -> Machine.id -> Machine.t
+val machines : t -> Machine.t array
+
+val admissible : t -> Container.t -> Machine.id -> (unit, denial) result
+(** Capacity + blacklist check, no mutation. Offline machines admit
+    nothing. *)
+
+val set_offline : t -> Machine.id -> bool -> unit
+(** Quarantine a machine (hardware failure, maintenance). Going offline
+    does not evict its containers — use {!drain} for that. *)
+
+val is_offline : t -> Machine.id -> bool
+
+val drain : t -> Machine.id -> Container.t list
+(** Remove every container from a machine (in preparation for, or after,
+    a failure); returns them for re-scheduling. *)
+
+val place :
+  ?force:bool -> t -> Container.t -> Machine.id -> (unit, denial) result
+(** Deploy the container. With [force], a blacklist denial is overridden
+    (recorded as a violation by {!current_violations}); capacity is never
+    overridable. *)
+
+val remove : t -> Container.id -> unit
+(** @raise Invalid_argument when the container is not placed. *)
+
+val machine_of : t -> Container.id -> Machine.id option
+val container : t -> Container.id -> Container.t option
+val n_placed : t -> int
+val placements : t -> (Container.id * Machine.id) list
+
+val used_machines : t -> int
+val utilizations : t -> float list
+(** Utilization of every *used* machine. *)
+
+val current_violations : t -> Violation.t list
+(** Anti-affinity violations present in the current placement (each
+    offending container counted once per conflicting app on its machine). *)
+
+val blacklist : t -> Blacklist.t
+val reset : t -> unit
+(** Remove every placement. *)

@@ -1,0 +1,19 @@
+type id = int
+
+type t = {
+  id : id;
+  app : int;
+  demand : Resource.t;
+  priority : int;
+  arrival : int;
+}
+
+let make ~id ~app ~demand ~priority ~arrival =
+  if priority < 0 then invalid_arg "Container.make: negative priority";
+  { id; app; demand; priority; arrival }
+
+let compare_by_arrival a b = Int.compare a.arrival b.arrival
+
+let pp ppf c =
+  Format.fprintf ppf "c%d(app=%d,%a,prio=%d)" c.id c.app Resource.pp c.demand
+    c.priority

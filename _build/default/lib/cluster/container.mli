@@ -1,0 +1,19 @@
+(** A long-lived container: one instance of an application, the unit of
+    scheduling. Flows are impartible (§IV.D) — a container is placed whole
+    or not at all. *)
+
+type id = int
+
+type t = {
+  id : id;
+  app : int;            (** owning application ({!Application.id}) *)
+  demand : Resource.t;  (** resource requirement c_n *)
+  priority : int;       (** priority class w_n, 0 = lowest *)
+  arrival : int;        (** submission sequence number *)
+}
+
+val make :
+  id:id -> app:int -> demand:Resource.t -> priority:int -> arrival:int -> t
+
+val compare_by_arrival : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type t = int array
+
+let cpu_dim = 0
+let mem_dim = 1
+let milli = 1000.
+let mib_per_gib = 1024.
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Resource.of_array: empty";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Resource.of_array: negative") a;
+  Array.copy a
+
+let make ~cpu ~mem_gb =
+  of_array
+    [|
+      int_of_float (Float.round (cpu *. milli));
+      int_of_float (Float.round (mem_gb *. mib_per_gib));
+    |]
+
+let cpu_only cpu = of_array [| int_of_float (Float.round (cpu *. milli)) |]
+let to_array t = Array.copy t
+let dims = Array.length
+let zero n = Array.make n 0
+let is_zero t = Array.for_all (fun x -> x = 0) t
+let cpu t = float_of_int t.(cpu_dim) /. milli
+
+let mem_gb t =
+  if dims t <= mem_dim then invalid_arg "Resource.mem_gb: no memory dimension";
+  float_of_int t.(mem_dim) /. mib_per_gib
+
+let check a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Resource.%s: dimension mismatch" name)
+
+let add a b =
+  check a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+
+let sub a b =
+  check a b "sub";
+  Array.init (Array.length a) (fun i ->
+      let d = a.(i) - b.(i) in
+      if d < 0 then invalid_arg "Resource.sub: negative result" else d)
+
+let sub_clamped a b =
+  check a b "sub_clamped";
+  Array.init (Array.length a) (fun i -> max 0 (a.(i) - b.(i)))
+
+let fits ~demand ~within =
+  check demand within "fits";
+  let ok = ref true in
+  Array.iteri (fun i d -> if d > within.(i) then ok := false) demand;
+  !ok
+
+let scale k t =
+  if k < 0 then invalid_arg "Resource.scale: negative factor";
+  Array.map (fun x -> k * x) t
+
+let sum = function
+  | [] -> invalid_arg "Resource.sum: empty"
+  | x :: rest -> List.fold_left add x rest
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+let compare = Stdlib.compare
+
+let dominant_share ~demand ~capacity =
+  check demand capacity "dominant_share";
+  let best = ref 0. in
+  Array.iteri
+    (fun i d ->
+      if capacity.(i) > 0 then
+        best := Float.max !best (float_of_int d /. float_of_int capacity.(i)))
+    demand;
+  !best
+
+let utilization ~used ~capacity =
+  check used capacity "utilization";
+  let total = ref 0. and n = ref 0 in
+  Array.iteri
+    (fun i u ->
+      if capacity.(i) > 0 then begin
+        total := !total +. (float_of_int u /. float_of_int capacity.(i));
+        incr n
+      end)
+    used;
+  if !n = 0 then 0. else !total /. float_of_int !n
+
+let pp ppf t =
+  if dims t >= 2 then Format.fprintf ppf "%.2fcpu/%.1fGB" (cpu t) (mem_gb t)
+  else Format.fprintf ppf "%.2fcpu" (cpu t)
+
+let to_string t = Format.asprintf "%a" pp t

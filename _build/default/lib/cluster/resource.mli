@@ -1,0 +1,57 @@
+(** Multidimensional resource vectors.
+
+    Stored as exact integers — CPU in millicores, memory in MiB — so that
+    capacity accounting never drifts. Extra dimensions (GPU, disk, …) are
+    allowed; all operations are pointwise and dimension-checked. *)
+
+type t
+
+val cpu_dim : int
+(** Index of the CPU dimension (0). *)
+
+val mem_dim : int
+(** Index of the memory dimension (1), when present. *)
+
+val make : cpu:float -> mem_gb:float -> t
+(** Two-dimensional vector from CPU cores and memory in GiB. *)
+
+val cpu_only : float -> t
+(** One-dimensional CPU vector (the paper's headline experiments, §V.A). *)
+
+val of_array : int array -> t
+(** Raw integer units per dimension. @raise Invalid_argument on negative
+    entries or an empty array. *)
+
+val to_array : t -> int array
+val dims : t -> int
+val zero : int -> t
+val is_zero : t -> bool
+
+val cpu : t -> float
+(** CPU cores (dimension 0, converted back from millicores). *)
+
+val mem_gb : t -> float
+(** Memory in GiB. @raise Invalid_argument on a 1-D vector. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument if any dimension would go negative. *)
+
+val sub_clamped : t -> t -> t
+val fits : demand:t -> within:t -> bool
+val scale : int -> t -> t
+val sum : t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val dominant_share : demand:t -> capacity:t -> float
+(** max over dimensions of demand/capacity — DRF-style dominant share;
+    also the magnitude used to order containers by "size". *)
+
+val utilization : used:t -> capacity:t -> float
+(** Average over dimensions of used/capacity, in [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,81 @@
+type shape =
+  | Homogeneous of Resource.t
+  | Heterogeneous of Resource.t array
+
+type t = {
+  n_machines : int;
+  machines_per_rack : int;
+  racks_per_group : int;
+  shape : shape;
+}
+
+let homogeneous ?(machines_per_rack = 32) ?(racks_per_group = 40) ~n_machines
+    ~capacity () =
+  if n_machines <= 0 then invalid_arg "Topology.homogeneous: no machines";
+  if machines_per_rack <= 0 || racks_per_group <= 0 then
+    invalid_arg "Topology.homogeneous: bad layout";
+  { n_machines; machines_per_rack; racks_per_group; shape = Homogeneous capacity }
+
+let heterogeneous ?(machines_per_rack = 32) ?(racks_per_group = 40) ~capacities
+    () =
+  let n_machines = Array.length capacities in
+  if n_machines = 0 then invalid_arg "Topology.heterogeneous: no machines";
+  if machines_per_rack <= 0 || racks_per_group <= 0 then
+    invalid_arg "Topology.heterogeneous: bad layout";
+  let dims = Resource.dims capacities.(0) in
+  Array.iter
+    (fun c ->
+      if Resource.dims c <> dims then
+        invalid_arg "Topology.heterogeneous: mismatched dimensions")
+    capacities;
+  {
+    n_machines;
+    machines_per_rack;
+    racks_per_group;
+    shape = Heterogeneous (Array.copy capacities);
+  }
+
+let is_homogeneous t =
+  match t.shape with Homogeneous _ -> true | Heterogeneous _ -> false
+
+let n_machines t = t.n_machines
+
+let n_racks t = (t.n_machines + t.machines_per_rack - 1) / t.machines_per_rack
+
+let n_groups t =
+  let r = n_racks t in
+  (r + t.racks_per_group - 1) / t.racks_per_group
+
+let check_machine t i =
+  if i < 0 || i >= t.n_machines then invalid_arg "Topology: machine out of range"
+
+let capacity t i =
+  check_machine t i;
+  match t.shape with Homogeneous c -> c | Heterogeneous cs -> cs.(i)
+
+let rack_of t i = check_machine t i; i / t.machines_per_rack
+
+let group_of_rack t r =
+  if r < 0 || r >= n_racks t then invalid_arg "Topology: rack out of range";
+  r / t.racks_per_group
+
+let group_of t i = group_of_rack t (rack_of t i)
+
+let machines_of_rack t r =
+  if r < 0 || r >= n_racks t then invalid_arg "Topology: rack out of range";
+  let first = r * t.machines_per_rack in
+  let last = min t.n_machines (first + t.machines_per_rack) - 1 in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let racks_of_group t g =
+  if g < 0 || g >= n_groups t then invalid_arg "Topology: group out of range";
+  let first = g * t.racks_per_group in
+  let last = min (n_racks t) (first + t.racks_per_group) - 1 in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let pp ppf t =
+  Format.fprintf ppf "%d machines / %d racks / %d groups @ %s" t.n_machines
+    (n_racks t) (n_groups t)
+    (match t.shape with
+    | Homogeneous c -> Resource.to_string c
+    | Heterogeneous _ -> "heterogeneous")

@@ -1,0 +1,42 @@
+(** Physical cluster layout: machines grouped into racks (R vertices) and
+    racks into cluster groups (G vertices), matching the Aladdin flow
+    network tiers. *)
+
+type t
+
+val homogeneous :
+  ?machines_per_rack:int ->
+  ?racks_per_group:int ->
+  n_machines:int ->
+  capacity:Resource.t ->
+  unit ->
+  t
+(** Default 32 machines per rack, 40 racks per group — a 10k-machine cluster
+    yields ~313 racks, 8 groups. *)
+
+val heterogeneous :
+  ?machines_per_rack:int ->
+  ?racks_per_group:int ->
+  capacities:Resource.t array ->
+  unit ->
+  t
+(** Per-machine capacities (the paper's future-work extension; also used by
+    the Kubernetes adaptor for mixed node pools).
+    @raise Invalid_argument on an empty array or mismatched dimensions. *)
+
+val is_homogeneous : t -> bool
+
+val n_machines : t -> int
+val n_racks : t -> int
+val n_groups : t -> int
+val capacity : t -> int -> Resource.t
+(** Capacity of machine [i] (homogeneous today, per-machine for ablation). *)
+
+val rack_of : t -> int -> int
+val group_of_rack : t -> int -> int
+val group_of : t -> int -> int
+(** Group of a machine. *)
+
+val machines_of_rack : t -> int -> int list
+val racks_of_group : t -> int -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t =
+  | Anti_affinity of {
+      container : Container.id;
+      machine : Machine.id;
+      against : Application.id;
+    }
+  | Priority_inversion of {
+      container : Container.id;
+      displaced_by : Container.id;
+    }
+
+let container = function
+  | Anti_affinity { container; _ } -> container
+  | Priority_inversion { container; _ } -> container
+
+let is_anti_affinity = function Anti_affinity _ -> true | Priority_inversion _ -> false
+let is_priority = function Priority_inversion _ -> true | Anti_affinity _ -> false
+
+let count_anti_affinity l =
+  List.fold_left (fun n v -> if is_anti_affinity v then n + 1 else n) 0 l
+
+let count_priority l =
+  List.fold_left (fun n v -> if is_priority v then n + 1 else n) 0 l
+
+let anti_affinity_ratio l =
+  match List.length l with
+  | 0 -> 0.
+  | n -> float_of_int (count_anti_affinity l) /. float_of_int n
+
+let pp ppf = function
+  | Anti_affinity { container; machine; against } ->
+      Format.fprintf ppf "anti-affinity: c%d on m%d against app %d" container
+        machine against
+  | Priority_inversion { container; displaced_by } ->
+      Format.fprintf ppf "priority: c%d displaced by c%d" container
+        displaced_by

@@ -1,0 +1,32 @@
+(** Constraint violations, as counted in the paper's evaluation (Fig. 9).
+
+    Undeployed containers are the placement-quality metric; anti-affinity
+    and priority violations happen when a scheduler *tolerates* a bad
+    placement (Medea with non-zero tolerance, Firmament rounds that time
+    out, …). *)
+
+type t =
+  | Anti_affinity of {
+      container : Container.id;
+      machine : Machine.id;
+      against : Application.id;
+    }
+      (** placed on a machine that hosts a conflicting app *)
+  | Priority_inversion of {
+      container : Container.id;  (** high-priority container left undeployed *)
+      displaced_by : Container.id;  (** lower-priority one that got its spot *)
+    }
+
+val container : t -> Container.id
+(** The container the violation is about. *)
+
+val is_anti_affinity : t -> bool
+val is_priority : t -> bool
+val count_anti_affinity : t list -> int
+val count_priority : t list -> int
+
+val anti_affinity_ratio : t list -> float
+(** Share of anti-affinity violations among all violations (Fig. 9(e));
+    0 when the list is empty. *)
+
+val pp : Format.formatter -> t -> unit

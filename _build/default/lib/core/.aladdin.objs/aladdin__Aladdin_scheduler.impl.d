@@ -1,0 +1,1 @@
+lib/core/aladdin_scheduler.ml: Array Cluster Container Flow_graph Hashtbl Int List Migration Option Printf Queue Scheduler Search Topology Weights

@@ -1,0 +1,1 @@
+lib/core/aladdin_scheduler.mli: Scheduler Search

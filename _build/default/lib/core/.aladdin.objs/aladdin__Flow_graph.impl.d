@@ -1,0 +1,1 @@
+lib/core/flow_graph.ml: Application Array Buffer Cluster Container Flownet Hashtbl Int List Machine Option Printf Resource Topology

@@ -1,0 +1,1 @@
+lib/core/flow_graph.mli: Application Cluster Container Flownet

@@ -1,0 +1,1 @@
+lib/core/lifecycle.ml: Aladdin_scheduler Application Array Cluster Constraint_set Container Int List Machine Scheduler

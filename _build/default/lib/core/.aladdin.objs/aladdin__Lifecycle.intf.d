@@ -1,0 +1,1 @@
+lib/core/lifecycle.mli: Application Cluster Container Machine Scheduler

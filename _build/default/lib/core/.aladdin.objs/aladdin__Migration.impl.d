@@ -1,0 +1,1 @@
+lib/core/migration.ml: Bool Cluster Constraint_set Container Int List Machine Resource Weights

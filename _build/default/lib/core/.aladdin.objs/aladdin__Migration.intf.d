@@ -1,0 +1,1 @@
+lib/core/migration.mli: Cluster Container Machine Weights

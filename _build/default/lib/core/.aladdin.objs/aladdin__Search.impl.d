@@ -1,0 +1,1 @@
+lib/core/search.ml: Application Array Bytes Char Cluster Container Flow_graph Hashtbl List Machine Resource Topology

@@ -1,0 +1,1 @@
+lib/core/search.mli: Container Flow_graph Machine

@@ -1,0 +1,1 @@
+lib/core/short_lived.ml: Cluster Container Des List Machine Option Queue Resource Scheduler

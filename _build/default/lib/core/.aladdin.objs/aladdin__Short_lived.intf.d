@@ -1,0 +1,1 @@
+lib/core/short_lived.mli: Application Cluster Container Resource Scheduler

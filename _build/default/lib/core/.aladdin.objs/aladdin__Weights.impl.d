@@ -1,0 +1,1 @@
+lib/core/weights.ml: Array Container Float Hashtbl Int List Resource

@@ -1,0 +1,165 @@
+type options = {
+  il : bool;
+  dl : bool;
+  weight_base : int option;
+  migration : bool;
+  preemption : bool;
+  max_moves : int;
+  max_requeues : int;
+  gang : bool;
+}
+
+let default_options =
+  {
+    il = true;
+    dl = true;
+    weight_base = None;
+    migration = true;
+    preemption = true;
+    max_moves = 8;
+    max_requeues = 4;
+    gang = false;
+  }
+
+let plain = { default_options with il = false; dl = false }
+let with_il = { default_options with il = true; dl = false }
+
+let name_of_options o =
+  let opt =
+    match (o.il, o.dl) with
+    | false, false -> ""
+    | true, false -> "+IL"
+    | false, true -> "+DL"
+    | true, true -> "+IL+DL"
+  in
+  let base =
+    match o.weight_base with Some b -> Printf.sprintf "(%d)" b | None -> ""
+  in
+  "Aladdin" ^ opt ^ base
+
+let last_stats : Search.stats option ref = ref None
+let last_search_stats () = !last_stats
+
+let schedule options cluster batch =
+  let fg = Flow_graph.build cluster batch in
+  let search = Search.create ~il:options.il ~dl:options.dl fg in
+  let capacity = Topology.capacity (Cluster.topology cluster) 0 in
+  let weights =
+    match options.weight_base with
+    | Some base -> Weights.fixed ~base batch ~capacity
+    | None -> Weights.compute batch ~capacity
+  in
+  (* Eq. 9: augment heavier weighted flows first; ties in arrival order. *)
+  let order = Array.copy batch in
+  Array.sort
+    (fun a b ->
+      match
+        Int.compare (Weights.weighted_magnitude weights b)
+          (Weights.weighted_magnitude weights a)
+      with
+      | 0 -> Container.compare_by_arrival a b
+      | c -> c)
+    order;
+  let queue = Queue.create () in
+  Array.iter (fun c -> Queue.push c queue) order;
+  let requeue_count : (Container.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let undeployed = ref [] in
+  let migrations = ref 0 in
+  let preemptions = ref 0 in
+  let rounds = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr rounds;
+    let c = Queue.pop queue in
+    let place_on mid =
+      (match Cluster.place cluster c mid with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      Search.note_placement search mid
+    in
+    match Search.find_machine search c with
+    | Some mid -> place_on mid
+    | None -> (
+        let migrated =
+          if options.migration then
+            match
+              Migration.find_and_apply_migration cluster c
+                ~max_moves:options.max_moves
+            with
+            | Some plan ->
+                migrations := !migrations + List.length plan.Migration.moves;
+                Search.invalidate search;
+                List.iter
+                  (fun mv -> Search.note_placement search mv.Migration.to_machine)
+                  plan.Migration.moves;
+                place_on plan.Migration.target;
+                true
+            | None -> false
+          else false
+        in
+        if not migrated then
+          let preempted =
+            if options.preemption then
+              match Migration.find_and_apply_preemption cluster weights c with
+              | Some plan ->
+                  preemptions :=
+                    !preemptions + List.length plan.Migration.evicted;
+                  Search.invalidate search;
+                  place_on plan.Migration.target_machine;
+                  (* Re-queue the evicted containers (bounded per victim). *)
+                  List.iter
+                    (fun (ev : Container.t) ->
+                      let n =
+                        1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt requeue_count ev.Container.id)
+                      in
+                      Hashtbl.replace requeue_count ev.Container.id n;
+                      if n <= options.max_requeues then Queue.push ev queue
+                      else undeployed := ev :: !undeployed)
+                    plan.Migration.evicted;
+                  true
+              | None -> false
+            else false
+          in
+          if not preempted then undeployed := c :: !undeployed)
+  done;
+  last_stats := Some (Search.stats search);
+  (* Gang semantics: an app with any undeployed batch container loses its
+     whole batch (partial LLAs are useless to gang workloads). *)
+  if options.gang && !undeployed <> [] then begin
+    let failed_apps = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Container.t) -> Hashtbl.replace failed_apps c.Container.app ())
+      !undeployed;
+    Array.iter
+      (fun (c : Container.t) ->
+        if
+          Hashtbl.mem failed_apps c.Container.app
+          && Cluster.machine_of cluster c.Container.id <> None
+        then begin
+          Cluster.remove cluster c.Container.id;
+          undeployed := c :: !undeployed
+        end)
+      batch
+  end;
+  let placed =
+    Array.to_list batch
+    |> List.filter_map (fun (c : Container.t) ->
+           match Cluster.machine_of cluster c.Container.id with
+           | Some mid -> Some (c.Container.id, mid)
+           | None -> None)
+  in
+  {
+    Scheduler.placed;
+    undeployed = List.rev !undeployed;
+    violations = [];
+    migrations = !migrations;
+    preemptions = !preemptions;
+    rounds = !rounds;
+  }
+
+let make ?(options = default_options) () =
+  {
+    Scheduler.name = name_of_options options;
+    schedule = (fun cluster batch -> schedule options cluster batch);
+  }

@@ -1,0 +1,42 @@
+(** The Aladdin scheduler (Algorithm 1): weighted-priority augmentation
+    order over the tiered flow network, the multidimensional nonlinear
+    capacity function, and the migration / preemption mechanisms.
+
+    Aladdin never tolerates a constraint violation: a container is either
+    placed on a machine that fully admits it, or reported undeployed. *)
+
+type options = {
+  il : bool;  (** isomorphism limiting (§IV.A) *)
+  dl : bool;  (** depth limiting (§IV.A) *)
+  weight_base : int option;
+      (** [Some b] = the evaluation's Aladdin(b) fixed weights; [None] =
+          weights derived from the batch via Eq. 5 *)
+  migration : bool;
+  preemption : bool;
+  max_moves : int;     (** migration fan-out bound per container *)
+  max_requeues : int;  (** re-queue budget for preempted containers *)
+  gang : bool;
+      (** all-or-nothing per application: if any of an app's batch
+          containers cannot deploy, the whole app's batch is rolled back
+          (Medea-style container groups) *)
+}
+
+val default_options : options
+(** Everything on, computed weights, [max_moves = 8], [max_requeues = 4]. *)
+
+val plain : options
+(** No IL, no DL — the "Aladdin" policy of Fig. 12. *)
+
+val with_il : options
+(** IL only — "Aladdin+IL". *)
+
+val name_of_options : options -> string
+
+val make : ?options:options -> unit -> Scheduler.t
+(** A {!Scheduler.t} usable with {!Replay}. Each [schedule] call builds the
+    tiered network for the batch, orders containers by weighted magnitude
+    (Eq. 9) and augments one impartible container-flow at a time. *)
+
+val last_search_stats : unit -> Search.stats option
+(** Stats of the most recent [schedule] call made through {!make} (for the
+    overhead experiments); [None] before any call. *)

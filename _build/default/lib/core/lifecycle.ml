@@ -1,0 +1,97 @@
+let default_scheduler () = Aladdin_scheduler.make ()
+
+let scale_out ?scheduler cluster ~app ~replicas ~first_id =
+  if replicas <= 0 then invalid_arg "Lifecycle.scale_out: replicas";
+  (* the app must be part of the cluster's constraint universe *)
+  let (_ : Application.t) =
+    Constraint_set.app (Cluster.constraints cluster) app.Application.id
+  in
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ()
+  in
+  let batch =
+    Array.init replicas (fun i ->
+        Container.make ~id:(first_id + i) ~app:app.Application.id
+          ~demand:app.Application.demand ~priority:app.Application.priority
+          ~arrival:i)
+  in
+  scheduler.Scheduler.schedule cluster batch
+
+let running cluster ~app =
+  Array.to_list (Cluster.machines cluster)
+  |> List.concat_map Machine.containers
+  |> List.filter (fun (c : Container.t) -> c.Container.app = app)
+
+let scale_in cluster ~app ~replicas =
+  if replicas <= 0 then invalid_arg "Lifecycle.scale_in: replicas";
+  let victims =
+    running cluster ~app
+    |> List.sort (fun (a : Container.t) (b : Container.t) ->
+           Int.compare b.Container.id a.Container.id)
+    |> List.filteri (fun i _ -> i < replicas)
+  in
+  List.iter (fun (c : Container.t) -> Cluster.remove cluster c.Container.id) victims;
+  List.map (fun (c : Container.t) -> c.Container.id) victims
+
+type failure_report = {
+  failed_machine : Machine.id;
+  displaced : Container.t list;
+  recovered : (Container.id * Machine.id) list;
+  lost : Container.t list;
+  migrations : int;
+}
+
+let fail_machine ?scheduler cluster mid =
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ()
+  in
+  Cluster.set_offline cluster mid true;
+  let displaced = Cluster.drain cluster mid in
+  let outcome =
+    scheduler.Scheduler.schedule cluster (Array.of_list displaced)
+  in
+  {
+    failed_machine = mid;
+    displaced;
+    recovered = outcome.Scheduler.placed;
+    lost = outcome.Scheduler.undeployed;
+    migrations = outcome.Scheduler.migrations;
+  }
+
+let recover_machine cluster mid = Cluster.set_offline cluster mid false
+
+type restart_report = {
+  restarted : (Container.id * Machine.id * Machine.id) list;
+  stuck : Container.id list;
+}
+
+let rolling_restart ?scheduler cluster ~app =
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ()
+  in
+  let members =
+    running cluster ~app
+    |> List.sort (fun (a : Container.t) (b : Container.t) ->
+           Int.compare a.Container.id b.Container.id)
+  in
+  let restarted = ref [] in
+  let stuck = ref [] in
+  List.iter
+    (fun (c : Container.t) ->
+      match Cluster.machine_of cluster c.Container.id with
+      | None -> ()
+      | Some old_machine -> (
+          Cluster.remove cluster c.Container.id;
+          let o = scheduler.Scheduler.schedule cluster [| c |] in
+          match o.Scheduler.placed with
+          | [ (cid, new_machine) ] when cid = c.Container.id ->
+              restarted := (cid, old_machine, new_machine) :: !restarted
+          | _ ->
+              (* could not come back: put it where it was (always fits —
+                 the spot was just freed and only this container moved) *)
+              (match Cluster.place cluster c old_machine with
+              | Ok () -> ()
+              | Error _ -> ());
+              stuck := c.Container.id :: !stuck))
+    members;
+  { restarted = List.rev !restarted; stuck = List.rev !stuck }

@@ -1,0 +1,52 @@
+(** LLA life-cycle operations on a live cluster: the scale-out bursts of
+    §I (11.11 / Black Friday), scale-in, machine failure and recovery (the
+    reliability scenario §II.A's anti-affinity exists for), and rolling
+    restarts. All operations go through the scheduler, so constraints hold
+    throughout. *)
+
+val scale_out :
+  ?scheduler:Scheduler.t ->
+  Cluster.t ->
+  app:Application.t ->
+  replicas:int ->
+  first_id:Container.id ->
+  Scheduler.outcome
+(** Add [replicas] containers to an application already known to the
+    cluster's constraint set. @raise Invalid_argument for an unknown app
+    or non-positive replica count. *)
+
+val scale_in : Cluster.t -> app:Application.id -> replicas:int -> Container.id list
+(** Remove up to [replicas] of the app's containers (highest ids first);
+    returns the removed ids. *)
+
+val running : Cluster.t -> app:Application.id -> Container.t list
+(** The app's deployed containers. *)
+
+type failure_report = {
+  failed_machine : Machine.id;
+  displaced : Container.t list;
+  recovered : (Container.id * Machine.id) list;
+  lost : Container.t list;  (** could not be re-placed *)
+  migrations : int;
+}
+
+val fail_machine :
+  ?scheduler:Scheduler.t -> Cluster.t -> Machine.id -> failure_report
+(** Take the machine offline, drain it and re-schedule the displaced
+    containers elsewhere. *)
+
+val recover_machine : Cluster.t -> Machine.id -> unit
+(** Bring a failed machine back online (empty). *)
+
+type restart_report = {
+  restarted : (Container.id * Machine.id * Machine.id) list;
+      (** container, old machine, new machine (possibly equal) *)
+  stuck : Container.id list;
+      (** containers that could not be restarted without a violation *)
+}
+
+val rolling_restart :
+  ?scheduler:Scheduler.t -> Cluster.t -> app:Application.id -> restart_report
+(** Restart an app one container at a time: each container is removed and
+    re-scheduled before the next one moves — capacity never drops by more
+    than one replica (the in-place analogue of a rolling update). *)

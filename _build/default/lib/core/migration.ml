@@ -1,0 +1,224 @@
+type move = {
+  container : Container.t;
+  from_machine : Machine.id;
+  to_machine : Machine.id;
+}
+
+type migration_plan = { target : Machine.id; moves : move list }
+
+(* Deployed containers on [mid] whose app conflicts with [app]. *)
+let blockers cluster app mid =
+  let cs = Cluster.constraints cluster in
+  List.filter
+    (fun (b : Container.t) -> Constraint_set.conflict cs app b.Container.app)
+    (Machine.containers (Cluster.machine cluster mid))
+
+(* Try to move [b] to any admissible machine other than [forbidden]. The
+   container is removed first so its own blacklist entries don't block the
+   re-placement scan. *)
+let relocate cluster (b : Container.t) ~forbidden =
+  Cluster.remove cluster b.Container.id;
+  let n = Cluster.n_machines cluster in
+  let rec scan mid =
+    if mid >= n then None
+    else if mid <> forbidden && Cluster.admissible cluster b mid = Ok () then begin
+      (match Cluster.place cluster b mid with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      Some mid
+    end
+    else scan (mid + 1)
+  in
+  match scan 0 with
+  | Some mid -> Some mid
+  | None ->
+      (* Roll back: put it where it was. *)
+      (match Cluster.place cluster b forbidden with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      None
+
+(* Victims whose departure makes [c] admissible on [mid]: every deployed
+   container whose app conflicts with [c]'s, plus — when capacity is still
+   short — the largest non-conflicting containers until the demand fits
+   (Fig. 7 shows exactly this rescheduling-for-capacity case). *)
+let victim_set cluster (c : Container.t) mid ~max_moves =
+  let m = Cluster.machine cluster mid in
+  let conflicting = blockers cluster c.Container.app mid in
+  let freed =
+    List.fold_left
+      (fun acc (b : Container.t) -> Resource.add acc b.Container.demand)
+      (Machine.free m) conflicting
+  in
+  if Resource.fits ~demand:c.Container.demand ~within:freed then
+    if List.length conflicting <= max_moves && conflicting <> [] then
+      Some conflicting
+    else None
+  else begin
+    (* Prefer victims that have somewhere to go: a candidate with no
+       admissible target elsewhere would doom the whole plan. *)
+    let has_target (b : Container.t) =
+      let n = Cluster.n_machines cluster in
+      let rec scan i =
+        if i >= n then false
+        else if i <> mid && Cluster.admissible cluster b i = Ok () then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let others =
+      List.filter
+        (fun (b : Container.t) ->
+          not
+            (List.exists
+               (fun (b' : Container.t) -> b'.Container.id = b.Container.id)
+               conflicting))
+        (Machine.containers m)
+      |> List.map (fun b -> (has_target b, b))
+      |> List.sort (fun (r1, (a : Container.t)) (r2, (b : Container.t)) ->
+             match Bool.compare r2 r1 with
+             | 0 -> Resource.compare b.Container.demand a.Container.demand
+             | c -> c)
+      |> List.map snd
+    in
+    let rec extend freed acc n = function
+      | [] -> None
+      | (b : Container.t) :: rest ->
+          if n >= max_moves then None
+          else begin
+            let freed = Resource.add freed b.Container.demand in
+            let acc = b :: acc in
+            if Resource.fits ~demand:c.Container.demand ~within:freed then
+              Some (conflicting @ List.rev acc)
+            else extend freed acc (n + 1) rest
+          end
+    in
+    extend freed [] (List.length conflicting) others
+  end
+
+let rollback cluster moves =
+  List.iter
+    (fun mv ->
+      Cluster.remove cluster mv.container.Container.id;
+      match Cluster.place cluster mv.container mv.from_machine with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    moves
+
+let try_machine cluster (c : Container.t) mid ~max_moves =
+  match Cluster.admissible cluster c mid with
+  | Ok () -> Some { target = mid; moves = [] } (* nothing to do *)
+  | Error (Cluster.No_capacity | Cluster.Blacklisted _) -> (
+      match victim_set cluster c mid ~max_moves with
+      | None -> None
+      | Some victims ->
+          let rec move_all done_moves = function
+            | [] -> Some done_moves
+            | b :: rest -> (
+                match relocate cluster b ~forbidden:mid with
+                | Some dst ->
+                    move_all
+                      ({ container = b; from_machine = mid; to_machine = dst }
+                       :: done_moves)
+                      rest
+                | None ->
+                    rollback cluster done_moves;
+                    None)
+          in
+          (match move_all [] victims with
+          | Some moves when Cluster.admissible cluster c mid = Ok () ->
+              Some { target = mid; moves = List.rev moves }
+          | Some moves ->
+              rollback cluster moves;
+              None
+          | None -> None))
+
+let find_and_apply_migration cluster c ~max_moves =
+  let n = Cluster.n_machines cluster in
+  let rec scan mid =
+    if mid >= n then None
+    else
+      match try_machine cluster c mid ~max_moves with
+      | Some plan when plan.moves <> [] -> Some plan
+      | Some plan ->
+          (* No moves needed means the machine was admissible all along;
+             treat as a trivial plan. *)
+          Some plan
+      | None -> scan (mid + 1)
+  in
+  scan 0
+
+type preemption_plan = {
+  target_machine : Machine.id;
+  evicted : Container.t list;
+}
+
+let find_and_apply_preemption cluster weights (c : Container.t) =
+  let cs = Cluster.constraints cluster in
+  let n = Cluster.n_machines cluster in
+  let candidate mid =
+    let m = Cluster.machine cluster mid in
+    let deployed = Machine.containers m in
+    let conflicting, others =
+      List.partition
+        (fun (b : Container.t) ->
+          Constraint_set.conflict cs c.Container.app b.Container.app)
+        deployed
+    in
+    (* Strictly lower priority *class* only: weights are batch-relative, so
+       the class comparison is what keeps deployed high-priority containers
+       safe from later low-priority batches (Fig. 3(a)). *)
+    let evictable (b : Container.t) =
+      b.Container.priority < c.Container.priority
+    in
+    if not (List.for_all evictable conflicting) then None
+    else begin
+      (* Evict all conflicting, then the smallest-weight others until the
+         demand fits. *)
+      let base_evict = conflicting in
+      let freed =
+        List.fold_left
+          (fun acc (b : Container.t) -> Resource.add acc b.Container.demand)
+          (Machine.free m) base_evict
+      in
+      if Resource.fits ~demand:c.Container.demand ~within:freed then
+        Some (mid, base_evict)
+      else begin
+        let sorted =
+          List.sort
+            (fun a b ->
+              Int.compare
+                (Weights.weighted_magnitude weights a)
+                (Weights.weighted_magnitude weights b))
+            (List.filter evictable others)
+        in
+        let rec extend freed acc = function
+          | [] -> None
+          | (b : Container.t) :: rest ->
+              let freed = Resource.add freed b.Container.demand in
+              let acc = b :: acc in
+              if Resource.fits ~demand:c.Container.demand ~within:freed then
+                Some (mid, base_evict @ List.rev acc)
+              else extend freed acc rest
+        in
+        extend freed [] sorted
+      end
+    end
+  in
+  let best = ref None in
+  for mid = 0 to n - 1 do
+    match candidate mid with
+    | Some (m, ev) -> (
+        match !best with
+        | Some (_, best_ev) when List.length best_ev <= List.length ev -> ()
+        | _ -> best := Some (m, ev))
+    | None -> ()
+  done;
+  match !best with
+  | None -> None
+  | Some (mid, evicted) ->
+      List.iter (fun (b : Container.t) -> Cluster.remove cluster b.Container.id) evicted;
+      (match Cluster.admissible cluster c mid with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      Some { target_machine = mid; evicted }

@@ -1,0 +1,44 @@
+(** The per-container path search of Algorithm 1, with the two search-space
+    optimizations of §IV.A.
+
+    Machines are ranked by a packing preference (machines already hosting
+    containers, in activation order, then empty machines) — the "shortest
+    path" of the SPFA formulation. A machine is admissible when the full
+    capacity function accepts the container: vector fit plus blacklist.
+
+    - {b Isomorphism limiting (IL)}: containers of one application are
+      isomorphic, so a (app, machine) admissibility failure is cached and
+      siblings skip that machine; an app that failed everywhere fails its
+      siblings outright. Caches are invalidated when migration or
+      preemption frees resources.
+    - {b Depth limiting (DL)}: the flow along T_i is bounded by its demand,
+      so searching past the first admissible machine cannot increase it —
+      the scan stops there. Without DL the whole tier is scanned and the
+      same best-ranked machine selected, so DL changes latency, not
+      placement. *)
+
+type t
+
+type stats = {
+  mutable paths_explored : int;
+      (** admissibility checks performed — the algorithm-overhead proxy *)
+  mutable il_skips : int;  (** scans avoided by isomorphism limiting *)
+  mutable dl_cuts : int;   (** scans cut short by depth limiting *)
+}
+
+val create : ?il:bool -> ?dl:bool -> Flow_graph.t -> t
+(** Both optimizations default to on. *)
+
+val find_machine : t -> Container.t -> Machine.id option
+(** Best admissible machine under the packing preference, or [None]. Does
+    not mutate the cluster. *)
+
+val note_placement : t -> Machine.id -> unit
+(** Tell the search a machine gained a container (activation order). *)
+
+val invalidate : t -> unit
+(** Drop IL caches after resources were freed (migration/preemption). *)
+
+val stats : t -> stats
+val il_enabled : t -> bool
+val dl_enabled : t -> bool

@@ -1,0 +1,138 @@
+type task = {
+  task_id : int;
+  demand : Resource.t;
+  duration : float;
+  arrival : float;
+}
+
+let make_task ~task_id ~demand ~duration ~arrival =
+  if duration <= 0. then invalid_arg "Short_lived.make_task: duration";
+  if arrival < 0. then invalid_arg "Short_lived.make_task: arrival";
+  { task_id; demand; duration; arrival }
+
+type stats = {
+  completed : int;
+  expired : int;
+  mean_wait : float;
+  mean_turnaround : float;
+  peak_queue : int;
+  lla_outcome : Scheduler.outcome;
+}
+
+type event =
+  | Task_arrival of task
+  | Task_done of task * Container.id
+  | Lla_batch of Container.t array
+
+(* Tasks are wrapped as containers of the dedicated batch app so the
+   cluster's capacity accounting covers them; their container ids live in a
+   high range to stay clear of LLA ids. *)
+let container_of_task ~task_app (t : task) =
+  Container.make
+    ~id:(1_000_000_000 + t.task_id)
+    ~app:task_app ~demand:t.demand ~priority:0 ~arrival:0
+
+(* first machine that admits the task, packing-first like the LLA side *)
+let try_place cluster c =
+  let n = Cluster.n_machines cluster in
+  let best = ref None in
+  (try
+     for mid = 0 to n - 1 do
+       if Cluster.admissible cluster c mid = Ok () then begin
+         let used = Machine.is_used (Cluster.machine cluster mid) in
+         match !best with
+         | None ->
+             best := Some (mid, used);
+             if used then raise Exit
+         | Some (_, false) when used ->
+             best := Some (mid, used);
+             raise Exit
+         | Some _ -> ()
+       end
+     done
+   with Exit -> ());
+  Option.map fst !best
+
+let run ?(backfill = true) ?max_queue ~cluster ~task_app ~lla_scheduler
+    ~lla_batches tasks =
+  let des = Des.create () in
+  List.iter (fun (t : task) -> Des.schedule des ~at:t.arrival (Task_arrival t)) tasks;
+  List.iter
+    (fun (at, batch) -> Des.schedule des ~at (Lla_batch batch))
+    lla_batches;
+  let queue : task Queue.t = Queue.create () in
+  let completed = ref 0 in
+  let expired = ref 0 in
+  let waits = ref [] in
+  let turnarounds = ref [] in
+  let peak_queue = ref 0 in
+  let lla_outcome = ref Scheduler.empty_outcome in
+  let start_task now (t : task) =
+    let c = container_of_task ~task_app t in
+    match try_place cluster c with
+    | None -> false
+    | Some mid ->
+        (match Cluster.place cluster c mid with
+        | Ok () -> ()
+        | Error _ -> assert false);
+        waits := (now -. t.arrival) :: !waits;
+        Des.after des ~delay:t.duration (Task_done (t, c.Container.id));
+        true
+    in
+  (* Drain the queue head-first; with backfill, later tasks may jump a
+     stuck head. *)
+  let drain now =
+    let still_waiting = Queue.create () in
+    let head_blocked = ref false in
+    while not (Queue.is_empty queue) do
+      let t = Queue.pop queue in
+      if !head_blocked && not backfill then Queue.push t still_waiting
+      else if start_task now t then ()
+      else begin
+        head_blocked := true;
+        Queue.push t still_waiting
+      end
+    done;
+    Queue.transfer still_waiting queue
+  in
+  let enqueue (t : task) =
+    match max_queue with
+    | Some limit when Queue.length queue >= limit -> incr expired
+    | _ ->
+        Queue.push t queue;
+        peak_queue := max !peak_queue (Queue.length queue)
+  in
+  let continue = ref true in
+  while !continue do
+    match Des.next des with
+    | None -> continue := false
+    | Some (now, ev) -> (
+        match ev with
+        | Task_arrival t ->
+            (* arriving behind a non-empty queue must not jump it unless
+               backfill is on *)
+            if (backfill || Queue.is_empty queue) && start_task now t then ()
+            else enqueue t
+        | Task_done (t, cid) ->
+            Cluster.remove cluster cid;
+            incr completed;
+            turnarounds := (now -. t.arrival) :: !turnarounds;
+            drain now
+        | Lla_batch batch ->
+            let o = lla_scheduler.Scheduler.schedule cluster batch in
+            lla_outcome := Scheduler.merge !lla_outcome o;
+            (* LLAs may have displaced capacity assumptions; retry queue *)
+            drain now)
+  done;
+  let mean = function
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  {
+    completed = !completed;
+    expired = !expired;
+    mean_wait = mean !waits;
+    mean_turnaround = mean !turnarounds;
+    peak_queue = !peak_queue;
+    lla_outcome = !lla_outcome;
+  }

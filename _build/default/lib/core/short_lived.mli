@@ -1,0 +1,43 @@
+(** Short-lived (batch) tasks next to long-lived applications (§IV.D):
+    "Aladdin also uses a traditional task-based scheduler for short-lived
+    containers."
+
+    Tasks are queued FIFO and placed best-effort with backfill — a task
+    deeper in the queue may start when the head does not fit yet — while
+    LLA batches arrive through the normal Aladdin scheduler on the same
+    cluster. Tasks occupy capacity only for their duration; completions
+    free it through the event loop. *)
+
+type task = {
+  task_id : int;
+  demand : Resource.t;
+  duration : float;   (** seconds of virtual time *)
+  arrival : float;    (** virtual submission time *)
+}
+
+val make_task :
+  task_id:int -> demand:Resource.t -> duration:float -> arrival:float -> task
+(** @raise Invalid_argument on non-positive duration or negative arrival. *)
+
+type stats = {
+  completed : int;
+  expired : int;          (** tasks dropped after exceeding the queue bound *)
+  mean_wait : float;      (** queueing delay, virtual seconds *)
+  mean_turnaround : float;
+  peak_queue : int;
+  lla_outcome : Scheduler.outcome;  (** merged over all LLA batches *)
+}
+
+val run :
+  ?backfill:bool ->
+  ?max_queue:int ->
+  cluster:Cluster.t ->
+  task_app:Application.id ->
+  lla_scheduler:Scheduler.t ->
+  lla_batches:(float * Container.t array) list ->
+  task list ->
+  stats
+(** Run the mixed workload to completion. [task_app] is the application id
+    tasks are accounted under (it must exist in the cluster's constraint
+    set, typically a constraint-free "batch" app). [backfill] defaults to
+    true; [max_queue] bounds the pending queue (default: unbounded). *)

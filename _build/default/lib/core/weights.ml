@@ -1,0 +1,92 @@
+type t = {
+  capacity : Resource.t;
+  table : (int * int) list;  (* (priority class, weight), ascending *)
+}
+
+let magnitude_of capacity (c : Container.t) =
+  let share =
+    Resource.dominant_share ~demand:c.Container.demand ~capacity
+  in
+  max 1 (int_of_float (Float.round (share *. 1000.)))
+
+(* Per-class (min, max) magnitudes of the containers present. *)
+let class_spread containers ~capacity =
+  let spread = Hashtbl.create 8 in
+  Array.iter
+    (fun (c : Container.t) ->
+      let m = magnitude_of capacity c in
+      let p = c.Container.priority in
+      match Hashtbl.find_opt spread p with
+      | None -> Hashtbl.replace spread p (m, m)
+      | Some (lo, hi) -> Hashtbl.replace spread p (min lo m, max hi m))
+    containers;
+  Hashtbl.fold (fun p mm acc -> (p, mm) :: acc) spread []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let next_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+let compute containers ~capacity =
+  let spread = class_spread containers ~capacity in
+  let table =
+    match spread with
+    | [] -> [ (0, 1) ]
+    | (p0, _) :: rest ->
+        let rec build acc w_prev (max_prev : int) = function
+          | [] -> List.rev acc
+          | (p, (lo, hi)) :: tl ->
+              (* Eq. 5: w_k * lo must exceed w_prev * max_prev. *)
+              let needed = ((w_prev * max_prev) / lo) + 1 in
+              let w = next_pow2 (max needed (2 * w_prev)) in
+              build ((p, w) :: acc) w hi tl
+        in
+        let max0 = snd (List.assoc p0 spread) in
+        build [ (p0, 1) ] 1 max0 rest
+  in
+  { capacity; table }
+
+let fixed ~base containers ~capacity =
+  if base < 2 then invalid_arg "Weights.fixed: base must be >= 2";
+  let classes =
+    Array.fold_left
+      (fun acc (c : Container.t) ->
+        if List.mem c.Container.priority acc then acc
+        else c.Container.priority :: acc)
+      [] containers
+    |> List.sort Int.compare
+  in
+  let classes = if classes = [] then [ 0 ] else classes in
+  let table =
+    List.mapi
+      (fun k p ->
+        let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+        (p, pow base k))
+      classes
+  in
+  { capacity; table }
+
+let weight t ~priority =
+  (* Nearest class at or below; below the lowest class, weight 1. *)
+  let rec go last = function
+    | [] -> last
+    | (p, w) :: tl -> if p <= priority then go w tl else last
+  in
+  go 1 t.table
+
+let magnitude t c = magnitude_of t.capacity c
+let weighted_magnitude t c = weight t ~priority:c.Container.priority * magnitude t c
+
+let satisfies_eq5 t containers =
+  let ok = ref true in
+  Array.iter
+    (fun (a : Container.t) ->
+      Array.iter
+        (fun (b : Container.t) ->
+          if
+            a.Container.priority > b.Container.priority
+            && weighted_magnitude t a <= weighted_magnitude t b
+          then ok := false)
+        containers)
+    containers;
+  !ok

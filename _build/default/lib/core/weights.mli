@@ -1,0 +1,34 @@
+(** Priority weights (Eq. 3–5).
+
+    Containers are partitioned into priority classes (Eq. 3); the lowest
+    class gets weight 1 (Eq. 4) and each higher class a weight large enough
+    that the weighted flow of any of its containers exceeds the weighted
+    flow of any lower-class container (Eq. 5) — this is what makes the
+    maximum of Σ w·f(i,j) preemption-safe for high priorities.
+
+    Flow magnitude of a container is its dominant resource share on the
+    machine shape, in integer per-mille units. *)
+
+type t
+
+val compute : Container.t array -> capacity:Resource.t -> t
+(** Derive the smallest power-of-two weights satisfying Eq. 5 from the
+    actual demand spread of each class present in the batch. *)
+
+val fixed : base:int -> Container.t array -> capacity:Resource.t -> t
+(** The evaluation's Aladdin(16/32/64/128) mode: class k gets [base^k].
+    @raise Invalid_argument if [base < 2]. *)
+
+val weight : t -> priority:int -> int
+(** Weight of a priority class (classes absent from the batch get the
+    weight of the nearest lower class). *)
+
+val magnitude : t -> Container.t -> int
+(** Flow magnitude of a container (per-mille dominant share), ≥ 1. *)
+
+val weighted_magnitude : t -> Container.t -> int
+(** [weight * magnitude] — the augmentation-ordering key of Eq. 9. *)
+
+val satisfies_eq5 : t -> Container.t array -> bool
+(** Check the guarantee: for any pair with [priority a > priority b],
+    weighted magnitude of [a] exceeds that of [b] (property tests). *)

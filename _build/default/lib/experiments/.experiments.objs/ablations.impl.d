@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Aladdin Alibaba Arrival Cluster Container Exp_config List Printf Replay Report Sched_zoo Scheduler

@@ -1,0 +1,1 @@
+lib/experiments/data_export.ml: Arrival Fig10 Fig12 Fig13 Fig8 Fig9 Filename Fun List Metrics Option Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/data_export.mli: Exp_config

@@ -1,0 +1,1 @@
+lib/experiments/failure.ml: Aladdin Array Cluster Constraint_set Container Exp_config Hashtbl List Machine Option Printf Replay Report Rng Sched_zoo Workload

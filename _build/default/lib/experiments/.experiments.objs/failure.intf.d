@@ -1,0 +1,1 @@
+lib/experiments/failure.mli: Exp_config

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Arrival Capacity_planner Cost_model Exp_config Hashtbl List Metrics Option Printf Replay Report Sched_zoo Scheduler String

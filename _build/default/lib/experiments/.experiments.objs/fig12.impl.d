@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Alibaba Cost_model Exp_config Int List Printf Replay Report Sched_zoo Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Aladdin Alibaba Arrival Exp_config Int List Printf Replay Report Sched_zoo Scheduler

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Exp_config Int List Printf Report Resource Workload_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Cost_model Exp_config Hashtbl Int List Metrics Printf Replay Report Sched_zoo Scheduler Violation Workload

@@ -1,0 +1,1 @@
+lib/experiments/heterogeneous.ml: Array Cluster Exp_config List Metrics Printf Replay Report Resource Sched_zoo Scheduler Topology Workload

@@ -1,0 +1,1 @@
+lib/experiments/heterogeneous.mli: Exp_config

@@ -1,0 +1,1 @@
+lib/experiments/online.ml: Cluster Exp_config List Printf Replay Report Sched_zoo Scheduler Workload

@@ -1,0 +1,1 @@
+lib/experiments/online.mli: Exp_config

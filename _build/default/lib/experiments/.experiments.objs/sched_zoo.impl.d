@@ -1,0 +1,1 @@
+lib/experiments/sched_zoo.ml: Aladdin Firmament Gokube Medea

@@ -1,0 +1,1 @@
+lib/experiments/sched_zoo.mli: Cost_model Scheduler

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Report Sched_zoo

@@ -1,0 +1,166 @@
+type search_row = {
+  policy : string;
+  latency_ms : float;
+  paths_explored : int;
+  undeployed : int;
+}
+
+type mechanism_row = {
+  config : string;
+  undeployed : int;
+  migrations : int;
+  preemptions : int;
+}
+
+type weights_row = {
+  mode : string;
+  undeployed : int;
+  priority_undeployed : int;
+}
+
+type dimensions_row = {
+  dims : string;
+  undeployed : int;
+  used_machines : int;
+  latency_ms : float;
+}
+
+let search_optimizations cfg =
+  let w = Exp_config.workload cfg in
+  List.map
+    (fun (il, dl) ->
+      let sched = Sched_zoo.aladdin ~il ~dl () in
+      let r = Replay.run_workload sched w ~n_machines:cfg.Exp_config.machines in
+      let paths =
+        match Aladdin.Aladdin_scheduler.last_search_stats () with
+        | Some s -> s.Aladdin.Search.paths_explored
+        | None -> 0
+      in
+      {
+        policy = r.Replay.scheduler;
+        latency_ms = Replay.per_container_ms r;
+        paths_explored = paths;
+        undeployed = List.length r.Replay.outcome.Scheduler.undeployed;
+      })
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let mechanisms cfg =
+  let w =
+    Arrival.apply Arrival.Small_anti_affinity_first (Exp_config.workload cfg)
+  in
+  (* a slightly tighter pool, so the dead-ends the mechanisms exist to
+     resolve actually occur *)
+  let n_machines = max 4 (cfg.Exp_config.machines * 95 / 100) in
+  List.map
+    (fun (migration, preemption) ->
+      let options =
+        {
+          Aladdin.Aladdin_scheduler.default_options with
+          Aladdin.Aladdin_scheduler.migration;
+          preemption;
+        }
+      in
+      let sched = Aladdin.Aladdin_scheduler.make ~options () in
+      let r = Replay.run_workload sched w ~n_machines in
+      {
+        config =
+          Printf.sprintf "migration=%b preemption=%b" migration preemption;
+        undeployed = List.length r.Replay.outcome.Scheduler.undeployed;
+        migrations = r.Replay.outcome.Scheduler.migrations;
+        preemptions = r.Replay.outcome.Scheduler.preemptions;
+      })
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let weights cfg =
+  let w = Arrival.apply Arrival.Low_priority_first (Exp_config.workload cfg) in
+  List.map
+    (fun (mode, base) ->
+      let sched = Sched_zoo.aladdin ?base () in
+      let r = Replay.run_workload sched w ~n_machines:cfg.Exp_config.machines in
+      let undeployed = r.Replay.outcome.Scheduler.undeployed in
+      {
+        mode;
+        undeployed = List.length undeployed;
+        priority_undeployed =
+          List.length
+            (List.filter
+               (fun (c : Container.t) -> c.Container.priority > 0)
+               undeployed);
+      })
+    [
+      ("computed (Eq. 5)", None);
+      ("fixed base 16", Some 16);
+      ("fixed base 128", Some 128);
+    ]
+
+let dimensions cfg =
+  List.map
+    (fun (dims, cpu_only) ->
+      let params =
+        {
+          (Alibaba.scaled cfg.Exp_config.factor) with
+          Alibaba.seed = cfg.Exp_config.seed;
+          cpu_only;
+        }
+      in
+      let w = Alibaba.generate params in
+      let sched = Sched_zoo.aladdin () in
+      let r = Replay.run_workload sched w ~n_machines:cfg.Exp_config.machines in
+      {
+        dims;
+        undeployed = List.length r.Replay.outcome.Scheduler.undeployed;
+        used_machines = Cluster.used_machines r.Replay.cluster;
+        latency_ms = Replay.per_container_ms r;
+      })
+    [ ("cpu", true); ("cpu+mem", false) ]
+
+let print cfg =
+  Report.section
+    (Printf.sprintf "Ablations (scale %.2f)" cfg.Exp_config.factor);
+  Report.subsection "search optimizations (quality must be unchanged)";
+  Report.table
+    ~header:[ "policy"; "ms/container"; "paths explored"; "undeployed" ]
+    (List.map
+       (fun r ->
+         [
+           r.policy;
+           Printf.sprintf "%.3f" r.latency_ms;
+           string_of_int r.paths_explored;
+           string_of_int r.undeployed;
+         ])
+       (search_optimizations cfg));
+  Report.subsection "flow-increasing mechanisms (CSA order)";
+  Report.table
+    ~header:[ "config"; "undeployed"; "migrations"; "preemptions" ]
+    (List.map
+       (fun r ->
+         [
+           r.config;
+           string_of_int r.undeployed;
+           string_of_int r.migrations;
+           string_of_int r.preemptions;
+         ])
+       (mechanisms cfg));
+  Report.subsection "priority weights (CLP order)";
+  Report.table
+    ~header:[ "weights"; "undeployed"; "of which priority > 0" ]
+    (List.map
+       (fun r ->
+         [
+           r.mode;
+           string_of_int r.undeployed;
+           string_of_int r.priority_undeployed;
+         ])
+       (weights cfg));
+  Report.subsection "resource dimensions (multidimensional capacity)";
+  Report.table
+    ~header:[ "dims"; "undeployed"; "used machines"; "ms/container" ]
+    (List.map
+       (fun r ->
+         [
+           r.dims;
+           string_of_int r.undeployed;
+           string_of_int r.used_machines;
+           Printf.sprintf "%.3f" r.latency_ms;
+         ])
+       (dimensions cfg))

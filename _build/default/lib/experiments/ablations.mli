@@ -1,0 +1,44 @@
+(** Ablations of the design choices DESIGN.md calls out, beyond the paper's
+    own figures:
+
+    - search optimizations: plain / +IL / +DL / +IL+DL — latency *and*
+      placement quality (quality must not change);
+    - flow-increasing mechanisms: migration and preemption on/off — their
+      contribution to zero-undeployed (§III.B);
+    - priority weights: Eq. 5-derived vs the evaluation's fixed powers;
+    - resource dimensions: CPU-only (the paper's headline setting) vs
+      CPU+memory, exercising the multidimensional capacity path (§IV.D
+      says the extra dimension costs a linear factor c). *)
+
+type search_row = {
+  policy : string;
+  latency_ms : float;
+  paths_explored : int;
+  undeployed : int;
+}
+
+type mechanism_row = {
+  config : string;
+  undeployed : int;
+  migrations : int;
+  preemptions : int;
+}
+
+type weights_row = {
+  mode : string;
+  undeployed : int;
+  priority_undeployed : int;  (** undeployed containers with priority > 0 *)
+}
+
+type dimensions_row = {
+  dims : string;
+  undeployed : int;
+  used_machines : int;
+  latency_ms : float;
+}
+
+val search_optimizations : Exp_config.t -> search_row list
+val mechanisms : Exp_config.t -> mechanism_row list
+val weights : Exp_config.t -> weights_row list
+val dimensions : Exp_config.t -> dimensions_row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,121 @@
+let write_tsv ~dir name header rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "\t" header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "\t" row);
+          output_char oc '\n')
+        rows);
+  path
+
+let fig8 ~dir cfg =
+  let r = Fig8.run cfg in
+  write_tsv ~dir "fig8_cdf.tsv" [ "app_size"; "cdf" ]
+    (List.map
+       (fun (s, f) -> [ string_of_int s; Printf.sprintf "%.4f" f ])
+       r.Fig8.cdf)
+
+let fig9 ~dir cfg =
+  let panels = Fig9.run cfg in
+  write_tsv ~dir "fig9_quality.tsv"
+    [ "panel"; "scheduler"; "violations_pct"; "paper_pct"; "anti_share_pct" ]
+    (List.concat_map
+       (fun { Fig9.label; rows } ->
+         List.map
+           (fun (r : Fig9.row) ->
+             [
+               label;
+               r.Fig9.scheduler;
+               Printf.sprintf "%.2f" r.Fig9.undeployed_pct;
+               (match r.Fig9.paper_pct with
+               | Some p -> Printf.sprintf "%.1f" p
+               | None -> "-");
+               Printf.sprintf "%.1f" r.Fig9.anti_affinity_pct;
+             ])
+           rows)
+       panels)
+
+let fig10_11 ~dir cfg =
+  let cells = Fig10.run cfg in
+  let p10 =
+    write_tsv ~dir "fig10_machines.tsv"
+      [ "scheduler"; "order"; "machines_used" ]
+      (List.filter_map
+         (fun (c : Fig10.cell) ->
+           Option.map
+             (fun u ->
+               [ c.Fig10.scheduler; Arrival.abbrev c.Fig10.order; string_of_int u ])
+             c.Fig10.used)
+         cells)
+  in
+  let p11 =
+    write_tsv ~dir "fig11_utilization.tsv"
+      [ "scheduler"; "order"; "min_pct"; "avg_pct"; "max_pct" ]
+      (List.filter_map
+         (fun (c : Fig10.cell) ->
+           Option.map
+             (fun (u : Metrics.util_summary) ->
+               [
+                 c.Fig10.scheduler;
+                 Arrival.abbrev c.Fig10.order;
+                 Printf.sprintf "%.1f" u.Metrics.min_pct;
+                 Printf.sprintf "%.1f" u.Metrics.mean_pct;
+                 Printf.sprintf "%.1f" u.Metrics.max_pct;
+               ])
+             c.Fig10.util)
+         cells)
+  in
+  [ p10; p11 ]
+
+let fig12 ~dir cfg =
+  let points = Fig12.run cfg in
+  match points with
+  | [] -> []
+  | first :: _ ->
+      let names = List.map fst first.Fig12.latency_ms in
+      [
+        write_tsv ~dir "fig12_latency.tsv"
+          ("machines" :: "containers" :: names)
+          (List.map
+             (fun (p : Fig12.point) ->
+               string_of_int p.Fig12.machines
+               :: string_of_int p.Fig12.containers
+               :: List.map
+                    (fun (_, ms) -> Printf.sprintf "%.4f" ms)
+                    p.Fig12.latency_ms)
+             points);
+      ]
+
+let fig13 ~dir cfg =
+  let points = Fig13.run cfg in
+  [
+    write_tsv ~dir "fig13_overhead.tsv"
+      [ "machines"; "order"; "elapsed_s"; "paths"; "migrations"; "preemptions" ]
+      (List.map
+         (fun (p : Fig13.point) ->
+           [
+             string_of_int p.Fig13.machines;
+             Arrival.abbrev p.Fig13.order;
+             Printf.sprintf "%.4f" p.Fig13.elapsed_s;
+             string_of_int p.Fig13.paths_explored;
+             string_of_int p.Fig13.migrations;
+             string_of_int p.Fig13.preemptions;
+           ])
+         points);
+  ]
+
+let export ~dir cfg =
+  List.concat
+    [
+      [ fig8 ~dir cfg ];
+      [ fig9 ~dir cfg ];
+      fig10_11 ~dir cfg;
+      fig12 ~dir cfg;
+      fig13 ~dir cfg;
+    ]

@@ -1,0 +1,6 @@
+(** Raw figure data as tab-separated files, one per figure, for external
+    plotting (gnuplot/matplotlib). Columns mirror the paper's axes. *)
+
+val export : dir:string -> Exp_config.t -> string list
+(** Runs fig8/9/10/11/12/13 and writes [figN.tsv] under [dir] (created if
+    missing); returns the paths written. *)

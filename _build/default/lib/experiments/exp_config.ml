@@ -1,0 +1,39 @@
+type t = { factor : float; seed : int; machines : int; containers : int }
+
+let paper_machines = 10_000
+let paper_containers = 100_000
+
+let make ?(seed = 42) ~factor () =
+  if factor <= 0. then invalid_arg "Exp_config.make: factor must be positive";
+  {
+    factor;
+    seed;
+    machines =
+      max 8 (int_of_float (Float.round (float_of_int paper_machines *. factor)));
+    containers =
+      max 16
+        (int_of_float (Float.round (float_of_int paper_containers *. factor)));
+  }
+
+let default = make ~factor:0.1 ()
+
+let of_env () =
+  let factor =
+    match Sys.getenv_opt "ALADDIN_SCALE" with
+    | None -> 0.1
+    | Some "full" | Some "FULL" -> 1.0
+    | Some s -> ( match float_of_string_opt s with Some f when f > 0. -> f | _ -> 0.1)
+  in
+  let seed =
+    match Sys.getenv_opt "ALADDIN_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 42)
+    | None -> 42
+  in
+  make ~seed ~factor ()
+
+let workload t =
+  let params = { (Alibaba.scaled t.factor) with Alibaba.seed = t.seed } in
+  Alibaba.generate params
+
+let scale_machines t n =
+  max 4 (int_of_float (Float.round (float_of_int n *. t.factor)))

@@ -1,0 +1,25 @@
+(** Experiment scaling. The paper runs 100,000 containers against a
+    10,000-machine cluster; the default here is 1/10 of that so the whole
+    suite finishes in minutes. Shapes are scale-invariant (checked by the
+    integration tests at 1/100). *)
+
+type t = {
+  factor : float;    (** 1.0 = paper scale *)
+  seed : int;
+  machines : int;    (** Fig. 9 cluster size at this scale *)
+  containers : int;  (** workload size at this scale *)
+}
+
+val make : ?seed:int -> factor:float -> unit -> t
+
+val default : t
+(** factor 0.1, seed 42 → 1,000 machines / ~10,000 containers. *)
+
+val of_env : unit -> t
+(** Honours [ALADDIN_SCALE] (a float, or ["full"]) and [ALADDIN_SEED]. *)
+
+val workload : t -> Workload.t
+(** The scale's calibrated workload (generated once per call). *)
+
+val scale_machines : t -> int -> int
+(** Scale a paper machine count (e.g. 4000 → 400 at factor 0.1). *)

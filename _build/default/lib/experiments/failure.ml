@@ -1,0 +1,74 @@
+type step = {
+  failures_so_far : int;
+  displaced : int;
+  recovered : int;
+  lost : int;
+  violations : int;
+  max_replicas_lost : int;
+}
+
+let run ?(n_failures = 5) cfg =
+  let w = Exp_config.workload cfg in
+  let sched = Sched_zoo.aladdin () in
+  (* a little headroom so recovery has somewhere to go *)
+  let n_machines = cfg.Exp_config.machines * 11 / 10 in
+  let r = Replay.run_workload sched w ~n_machines in
+  let cluster = r.Replay.cluster in
+  let cs = Workload.constraint_set w in
+  let rng = Rng.create (cfg.Exp_config.seed + 1) in
+  List.init n_failures (fun k ->
+      (* fail a used machine *)
+      let victim =
+        let used =
+          Array.to_list (Cluster.machines cluster)
+          |> List.filter (fun m ->
+                 Machine.is_used m
+                 && not (Cluster.is_offline cluster (Machine.id m)))
+          |> Array.of_list
+        in
+        Machine.id used.(Rng.int rng (Array.length used))
+      in
+      let report = Aladdin.Lifecycle.fail_machine ~scheduler:sched cluster victim in
+      let per_app = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Container.t) ->
+          Hashtbl.replace per_app c.Container.app
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_app c.Container.app)))
+        report.Aladdin.Lifecycle.displaced;
+      let max_within =
+        Hashtbl.fold
+          (fun app n acc ->
+            if Constraint_set.anti_within cs app then max acc n else acc)
+          per_app 0
+      in
+      {
+        failures_so_far = k + 1;
+        displaced = List.length report.Aladdin.Lifecycle.displaced;
+        recovered = List.length report.Aladdin.Lifecycle.recovered;
+        lost = List.length report.Aladdin.Lifecycle.lost;
+        violations = List.length (Cluster.current_violations cluster);
+        max_replicas_lost = max_within;
+      })
+
+let print cfg =
+  Report.section
+    (Printf.sprintf "Extension: machine-failure recovery (scale %.2f)"
+       cfg.Exp_config.factor);
+  Report.note
+    "anti-affinity bounds the blast radius: an anti-within app loses at \
+     most one replica per machine failure@.";
+  Report.table
+    ~header:
+      [ "failure #"; "displaced"; "recovered"; "lost"; "violations";
+        "max anti-within replicas lost" ]
+    (List.map
+       (fun s ->
+         [
+           string_of_int s.failures_so_far;
+           string_of_int s.displaced;
+           string_of_int s.recovered;
+           string_of_int s.lost;
+           string_of_int s.violations;
+           string_of_int s.max_replicas_lost;
+         ])
+       (run cfg))

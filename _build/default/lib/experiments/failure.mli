@@ -1,0 +1,19 @@
+(** Failure injection: the reliability scenario anti-affinity exists for
+    (§II.A). After the full workload is placed, machines fail one after
+    another; each failure drains its containers and the scheduler re-places
+    them on the degraded pool. Anti-affinity guarantees each app loses at
+    most one replica per machine failure. *)
+
+type step = {
+  failures_so_far : int;
+  displaced : int;
+  recovered : int;
+  lost : int;
+  violations : int;   (** violations in the cluster after recovery *)
+  max_replicas_lost : int;
+      (** worst per-app replica loss from this single failure — must be 1
+          for anti-within apps *)
+}
+
+val run : ?n_failures:int -> Exp_config.t -> step list
+val print : Exp_config.t -> unit

@@ -1,0 +1,127 @@
+type cell = {
+  scheduler : string;
+  order : Arrival.order;
+  used : int option;
+  pool : int option;
+  util : Metrics.util_summary option;
+  paper_used : int option;
+}
+
+(* Paper Fig. 10 values at full scale (per arrival order they are nearly
+   flat for everything but Go-Kube; we quote the worst case). *)
+let schedulers () =
+  [
+    (Sched_zoo.gokube (), Some 14_211);
+    (Sched_zoo.firmament Cost_model.Quincy ~reschd:8, Some 10_477);
+    (Sched_zoo.medea ~a:1. ~b:1. ~c:0., Some 10_262);
+    (Sched_zoo.aladdin ~base:16 (), Some 9_242);
+  ]
+
+let orders =
+  Arrival.
+    [
+      High_priority_first;
+      Low_priority_first;
+      Large_anti_affinity_first;
+      Small_anti_affinity_first;
+    ]
+
+let run cfg =
+  let w = Exp_config.workload cfg in
+  List.concat_map
+    (fun order ->
+      List.map
+        (fun (sched, paper_used) ->
+          match Capacity_planner.plan ~order sched w with
+          | Some { Capacity_planner.pool; used; run; floor_undeployed = _ } ->
+              {
+                scheduler = sched.Scheduler.name;
+                order;
+                used = Some used;
+                pool = Some pool;
+                util = Some (Metrics.utilization_summary run.Replay.cluster);
+                paper_used;
+              }
+          | None ->
+              {
+                scheduler = sched.Scheduler.name;
+                order;
+                used = None;
+                pool = None;
+                util = None;
+                paper_used;
+              })
+        (schedulers ()))
+    orders
+
+let efficiency_rows cells =
+  (* Eq. 10 against the best scheduler within each arrival order, then
+     averaged over orders. *)
+  let by_order = Hashtbl.create 4 in
+  List.iter
+    (fun c ->
+      match c.used with
+      | Some u ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_order c.order) in
+          Hashtbl.replace by_order c.order ((c.scheduler, u) :: cur)
+      | None -> ())
+    cells;
+  let acc = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ rows ->
+      let best = List.fold_left (fun m (_, u) -> min m u) max_int rows in
+      List.iter
+        (fun (s, u) ->
+          let cur = Option.value ~default:(0., 0) (Hashtbl.find_opt acc s) in
+          Hashtbl.replace acc s
+            (fst cur +. Metrics.efficiency ~used:u ~best, snd cur + 1))
+        rows)
+    by_order;
+  Hashtbl.fold
+    (fun s (total, n) out -> (s, total /. float_of_int (max 1 n)) :: out)
+    acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print cfg =
+  let cells = run cfg in
+  Report.section
+    (Printf.sprintf "Fig. 10: machines used per arrival characteristic (scale %.2f)"
+       cfg.Exp_config.factor);
+  let order_label o = Arrival.abbrev o in
+  Report.table
+    ~header:[ "scheduler"; "order"; "machines used"; "paper (full scale)" ]
+    (List.map
+       (fun c ->
+         [
+           c.scheduler;
+           order_label c.order;
+           (match c.used with Some u -> string_of_int u | None -> "FAILED");
+           (match c.paper_used with
+           | Some p ->
+               Printf.sprintf "%d -> ~%d here" p (Exp_config.scale_machines cfg p)
+           | None -> "-");
+         ])
+       cells);
+  Report.subsection "Eq. 10 efficiency (mean over orders; 0 = best)";
+  Report.table ~header:[ "scheduler"; "efficiency" ]
+    (List.map
+       (fun (s, e) -> [ s; Printf.sprintf "%.3f" e ])
+       (efficiency_rows cells));
+  Report.section
+    "Fig. 11: per-machine resource utilization on the minimal pool";
+  Report.table
+    ~header:[ "scheduler"; "order"; "min"; "avg"; "max"; "used machines" ]
+    (List.map
+       (fun c ->
+         match c.util with
+         | Some u ->
+             [
+               c.scheduler;
+               order_label c.order;
+               Report.pct u.Metrics.min_pct;
+               Report.pct u.Metrics.mean_pct;
+               Report.pct u.Metrics.max_pct;
+               string_of_int u.Metrics.n_used;
+             ]
+         | None -> [ c.scheduler; order_label c.order; "-"; "-"; "-"; "-" ])
+       cells)

@@ -1,0 +1,23 @@
+(** Fig. 10 and Fig. 11: resource efficiency.
+
+    For each arrival characteristic (CHP/CLP/CLA/CSA) and each of the four
+    tuned schedulers, find the smallest machine pool on which the whole
+    workload deploys cleanly and report the machines actually used
+    (Fig. 10) and the distribution of per-machine utilization on that run
+    (Fig. 11). *)
+
+type cell = {
+  scheduler : string;
+  order : Arrival.order;
+  used : int option;        (** None when even the largest probed pool fails *)
+  pool : int option;
+  util : Metrics.util_summary option;
+  paper_used : int option;  (** paper's machine count at full scale *)
+}
+
+val run : Exp_config.t -> cell list
+val efficiency_rows : cell list -> (string * float) list
+(** Eq. 10 efficiencies per scheduler (averaged over orders). *)
+
+val print : Exp_config.t -> unit
+(** Prints both Fig. 10 and Fig. 11 views. *)

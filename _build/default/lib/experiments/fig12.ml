@@ -1,0 +1,60 @@
+type point = {
+  machines : int;
+  containers : int;
+  latency_ms : (string * float) list;
+}
+
+let sizes cfg =
+  List.sort_uniq Int.compare
+    (List.map
+       (fun n -> Exp_config.scale_machines cfg n)
+       [ 1_000; 2_000; 4_000; 6_000; 8_000; 10_000 ])
+
+let schedulers () =
+  [
+    Sched_zoo.gokube ();
+    Sched_zoo.firmament Cost_model.Quincy ~reschd:8;
+    Sched_zoo.medea ~a:1. ~b:1. ~c:0.;
+    Sched_zoo.aladdin ~il:false ~dl:false ();
+    Sched_zoo.aladdin ~il:true ~dl:false ();
+    Sched_zoo.aladdin ~il:true ~dl:true ();
+  ]
+
+let workload_for cfg ~machines =
+  (* Keep the paper's container:machine ratio of 10:1. *)
+  let factor = float_of_int machines /. 10_000. in
+  let params = { (Alibaba.scaled factor) with Alibaba.seed = cfg.Exp_config.seed } in
+  Alibaba.generate params
+
+let run cfg =
+  List.map
+    (fun machines ->
+      let w = workload_for cfg ~machines in
+      let latency_ms =
+        List.map
+          (fun sched ->
+            let r = Replay.run_workload sched w ~n_machines:machines in
+            (r.Replay.scheduler, Replay.per_container_ms r))
+          (schedulers ())
+      in
+      { machines; containers = Workload.n_containers w; latency_ms })
+    (sizes cfg)
+
+let print cfg =
+  let points = run cfg in
+  Report.section
+    (Printf.sprintf
+       "Fig. 12: average placement latency per container (scale %.2f)"
+       cfg.Exp_config.factor);
+  Report.note
+    "paper shape: Firmament lowest and flat; Aladdin policies next \
+     (IL+DL about half of plain Aladdin at size); Go-Kube and Medea grow \
+     fastest with cluster size@.";
+  let names = List.map fst (List.hd points).latency_ms in
+  Report.table
+    ~header:("machines" :: "containers" :: names)
+    (List.map
+       (fun p ->
+         string_of_int p.machines :: string_of_int p.containers
+         :: List.map (fun (_, ms) -> Printf.sprintf "%.3f ms" ms) p.latency_ms)
+       points)

@@ -1,0 +1,16 @@
+(** Fig. 12: average placement latency (Eq. 11) as the cluster grows,
+    keeping the paper's 10-containers-per-machine load. Six schedulers:
+    Go-Kube, Firmament-QUINCY(8), MEDEA(1,1,0), and the three Aladdin
+    policies (plain / +IL / +IL+DL). *)
+
+type point = {
+  machines : int;
+  containers : int;
+  latency_ms : (string * float) list;  (** scheduler → ms per container *)
+}
+
+val sizes : Exp_config.t -> int list
+(** Cluster sizes probed: the paper's 1k..10k scaled. *)
+
+val run : Exp_config.t -> point list
+val print : Exp_config.t -> unit

@@ -1,0 +1,82 @@
+type point = {
+  machines : int;
+  order : Arrival.order;
+  elapsed_s : float;
+  migrations : int;
+  preemptions : int;
+  paths_explored : int;
+}
+
+let sizes cfg =
+  List.sort_uniq Int.compare
+    (List.map
+       (fun n -> Exp_config.scale_machines cfg n)
+       [ 1_000; 2_000; 4_000; 8_000; 10_000 ])
+
+let orders =
+  Arrival.
+    [
+      High_priority_first;
+      Low_priority_first;
+      Large_anti_affinity_first;
+      Small_anti_affinity_first;
+    ]
+
+let run cfg =
+  List.concat_map
+    (fun machines ->
+      let factor = float_of_int machines /. 10_000. in
+      let params =
+        { (Alibaba.scaled factor) with Alibaba.seed = cfg.Exp_config.seed }
+      in
+      let w = Alibaba.generate params in
+      List.map
+        (fun order ->
+          let sched = Sched_zoo.aladdin () in
+          let r = Replay.run_workload ~order sched w ~n_machines:machines in
+          let paths =
+            match Aladdin.Aladdin_scheduler.last_search_stats () with
+            | Some s -> s.Aladdin.Search.paths_explored
+            | None -> 0
+          in
+          {
+            machines;
+            order;
+            elapsed_s = r.Replay.elapsed_s;
+            migrations = r.Replay.outcome.Scheduler.migrations;
+            preemptions = r.Replay.outcome.Scheduler.preemptions;
+            paths_explored = paths;
+          })
+        orders)
+    (sizes cfg)
+
+let print cfg =
+  let points = run cfg in
+  Report.section
+    (Printf.sprintf
+       "Fig. 13: Aladdin+IL+DL algorithm overhead and migration cost (scale %.2f)"
+       cfg.Exp_config.factor);
+  Report.subsection "(a) total scheduling time (paper: linear, <= ~15 min full scale)";
+  Report.table
+    ~header:[ "machines"; "order"; "elapsed"; "paths explored" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.machines;
+           Arrival.abbrev p.order;
+           Printf.sprintf "%.3f s" p.elapsed_s;
+           string_of_int p.paths_explored;
+         ])
+       points);
+  Report.subsection "(b) migration cost (paper: <= ~1700 at full scale, CSA worst)";
+  Report.table
+    ~header:[ "machines"; "order"; "migrations"; "preemptions" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.machines;
+           Arrival.abbrev p.order;
+           string_of_int p.migrations;
+           string_of_int p.preemptions;
+         ])
+       points)

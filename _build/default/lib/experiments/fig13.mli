@@ -1,0 +1,16 @@
+(** Fig. 13: algorithm overhead of Aladdin+IL+DL under the four arrival
+    characteristics — (a) total scheduling time as the cluster grows, and
+    (b) the migration cost (number of migrations). *)
+
+type point = {
+  machines : int;
+  order : Arrival.order;
+  elapsed_s : float;
+  migrations : int;
+  preemptions : int;
+  paths_explored : int;
+}
+
+val sizes : Exp_config.t -> int list
+val run : Exp_config.t -> point list
+val print : Exp_config.t -> unit

@@ -1,0 +1,60 @@
+type result = { stats : Workload_stats.t; cdf : (int * float) list }
+
+let cdf_sizes cfg =
+  let f = cfg.Exp_config.factor in
+  let s x = max 1 (int_of_float (float_of_int x *. f)) in
+  List.sort_uniq Int.compare
+    [ 1; 2; 5; 10; 20; 50; s 100; s 200; s 500; s 1000; s 2000; s 2500 ]
+
+let run cfg =
+  let w = Exp_config.workload cfg in
+  { stats = Workload_stats.compute w; cdf = Workload_stats.cdf w ~at:(cdf_sizes cfg) }
+
+let print cfg =
+  let { stats; cdf } = run cfg in
+  Report.section
+    (Printf.sprintf "Fig. 8: workload features (scale %.2f, seed %d)"
+       cfg.Exp_config.factor cfg.Exp_config.seed);
+  Report.subsection "Fig. 8(a): CDF of container numbers per application";
+  Report.table ~header:[ "app size <="; "fraction of apps" ]
+    (List.map (fun (s, f) -> [ string_of_int s; Report.pct (100. *. f) ]) cdf);
+  Report.subsection "Fig. 8(b): number of constraints";
+  let napps = float_of_int (max 1 stats.Workload_stats.n_apps) in
+  Report.table ~header:[ "type"; "count"; "share"; "paper share" ]
+    [
+      [ "total applications"; string_of_int stats.Workload_stats.n_apps; "100%";
+        "100% (13056)" ];
+      [
+        "with anti-affinity";
+        string_of_int stats.Workload_stats.n_anti_affinity;
+        Report.pct (100. *. float_of_int stats.Workload_stats.n_anti_affinity /. napps);
+        "72% (9400)";
+      ];
+      [
+        "with priority";
+        string_of_int stats.Workload_stats.n_priority;
+        Report.pct (100. *. float_of_int stats.Workload_stats.n_priority /. napps);
+        "16% (2088)";
+      ];
+    ];
+  Report.subsection "headline statistics";
+  Report.table ~header:[ "metric"; "measured"; "paper" ]
+    [
+      [ "containers"; string_of_int stats.Workload_stats.n_containers;
+        Printf.sprintf "~%d" (int_of_float (100000. *. cfg.Exp_config.factor)) ];
+      [
+        "single-instance apps";
+        Report.pct
+          (100. *. float_of_int stats.Workload_stats.n_single_instance /. napps);
+        "~64%";
+      ];
+      [
+        "apps < 50 containers";
+        Report.pct (100. *. float_of_int stats.Workload_stats.n_lt_50 /. napps);
+        "~85%";
+      ];
+      [ "largest app"; string_of_int stats.Workload_stats.max_app_size;
+        Printf.sprintf ">%d" (int_of_float (2000. *. cfg.Exp_config.factor)) ];
+      [ "max demand"; Resource.to_string stats.Workload_stats.max_demand;
+        "16 CPU / 32GB" ];
+    ]

@@ -1,0 +1,10 @@
+(** Fig. 8: workload features — CDF of containers per application and the
+    constraint counts. *)
+
+type result = {
+  stats : Workload_stats.t;
+  cdf : (int * float) list;  (** (app size, fraction of apps ≤ size) *)
+}
+
+val run : Exp_config.t -> result
+val print : Exp_config.t -> unit

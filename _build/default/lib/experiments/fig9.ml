@@ -1,0 +1,136 @@
+type row = {
+  scheduler : string;
+  undeployed_pct : float;
+  paper_pct : float option;
+  n_violations : int;
+  anti_affinity_pct : float;
+}
+
+type panel = { label : string; rows : row list }
+
+(* The scheduler line-up of each panel, with the paper's reported
+   undeployed percentages where the text/figures quote them. *)
+let panels_spec =
+  [
+    ( "(a) Firmament(1), Medea(1,1,1), Aladdin(16)",
+      [
+        (`Gokube, Some 21.2);
+        (`Firmament (Cost_model.Trivial, 1), Some 34.7);
+        (`Firmament (Cost_model.Quincy, 1), Some 25.1);
+        (`Firmament (Cost_model.Octopus, 1), Some 10.7);
+        (`Medea (1., 1., 1.), Some 12.9);
+        (`Aladdin 16, Some 0.);
+      ] );
+    ( "(b) Firmament(2), Medea(1,1,0.5), Aladdin(32)",
+      [
+        (`Gokube, Some 21.2);
+        (`Firmament (Cost_model.Trivial, 2), Some 28.2);
+        (`Firmament (Cost_model.Quincy, 2), Some 16.7);
+        (`Firmament (Cost_model.Octopus, 2), Some 7.2);
+        (`Medea (1., 1., 0.5), Some 5.2);
+        (`Aladdin 32, Some 0.);
+      ] );
+    ( "(c) Firmament(4), Medea(1,1,0), Aladdin(64)",
+      [
+        (`Gokube, Some 21.2);
+        (`Firmament (Cost_model.Trivial, 4), Some 15.6);
+        (`Firmament (Cost_model.Quincy, 4), Some 3.5);
+        (`Firmament (Cost_model.Octopus, 4), Some 6.5);
+        (`Medea (1., 1., 0.), Some 5.2);
+        (`Aladdin 64, Some 0.);
+      ] );
+    ( "(d) Firmament(8), Medea(1,0.5,0.5), Aladdin(128)",
+      [
+        (`Gokube, Some 21.2);
+        (`Firmament (Cost_model.Trivial, 8), Some 4.3);
+        (`Firmament (Cost_model.Quincy, 8), Some 3.5);
+        (`Firmament (Cost_model.Octopus, 8), Some 10.7);
+        (`Medea (1., 0.5, 0.5), Some 5.8);
+        (`Aladdin 128, Some 0.);
+      ] );
+  ]
+
+let instantiate = function
+  | `Gokube -> Sched_zoo.gokube ()
+  | `Firmament (cm, i) -> Sched_zoo.firmament cm ~reschd:i
+  | `Medea (a, b, c) -> Sched_zoo.medea ~a ~b ~c
+  | `Aladdin base -> Sched_zoo.aladdin ~base ()
+
+let run cfg =
+  let w = Exp_config.workload cfg in
+  let total = Workload.n_containers w in
+  List.map
+    (fun (label, specs) ->
+      let rows =
+        List.map
+          (fun (spec, paper_pct) ->
+            let sched = instantiate spec in
+            let r =
+              Replay.run_workload sched w ~n_machines:cfg.Exp_config.machines
+            in
+            let o = r.Replay.outcome in
+            (* Fig. 9 counts "constraint violations": undeployed containers
+               plus placements the scheduler tolerated in violation of a
+               constraint (relevant for Medea with c > 0). *)
+            let placed_ids = Hashtbl.create 256 in
+            List.iter
+              (fun (cid, _) -> Hashtbl.replace placed_ids cid ())
+              o.Scheduler.placed;
+            let tolerated =
+              o.Scheduler.violations
+              |> List.filter_map (fun v ->
+                     let cid = Violation.container v in
+                     if Hashtbl.mem placed_ids cid then Some cid else None)
+              |> List.sort_uniq Int.compare
+              |> List.length
+            in
+            {
+              scheduler = r.Replay.scheduler;
+              undeployed_pct =
+                Metrics.undeployed_pct o ~total
+                +. (100. *. float_of_int tolerated /. float_of_int total);
+              paper_pct;
+              n_violations = List.length o.Scheduler.violations;
+              anti_affinity_pct = Metrics.anti_affinity_ratio_pct o;
+            })
+          specs
+      in
+      { label; rows })
+    panels_spec
+
+let print cfg =
+  let panels = run cfg in
+  Report.section
+    (Printf.sprintf
+       "Fig. 9: placement quality — %d machines, scale %.2f"
+       cfg.Exp_config.machines cfg.Exp_config.factor);
+  List.iter
+    (fun { label; rows } ->
+      Report.subsection label;
+      Report.table
+        ~header:[ "scheduler"; "undeployed"; "paper"; "violations" ]
+        (List.map
+           (fun r ->
+             [
+               r.scheduler;
+               Report.pct r.undeployed_pct;
+               (match r.paper_pct with
+               | Some p -> Report.pct p
+               | None -> "-");
+               string_of_int r.n_violations;
+             ])
+           rows))
+    panels;
+  Report.subsection
+    "(e) anti-affinity share of constraint violations (paper: >= 65%)";
+  let rows =
+    List.concat_map
+      (fun { rows; _ } ->
+        List.filter_map
+          (fun r ->
+            if r.n_violations = 0 then None
+            else Some [ r.scheduler; Report.pct r.anti_affinity_pct ])
+          rows)
+      panels
+  in
+  Report.table ~header:[ "scheduler"; "anti-affinity share" ] rows

@@ -1,0 +1,19 @@
+(** Fig. 9: placement quality — undeployed containers after scheduling the
+    whole workload onto the fixed-size cluster, for every scheduler
+    configuration of panels (a)–(d), and the anti-affinity share of the
+    violations (panel (e)). *)
+
+type row = {
+  scheduler : string;
+  undeployed_pct : float;
+  paper_pct : float option;  (** the value the paper reports, when quoted *)
+  n_violations : int;
+  anti_affinity_pct : float; (** share of violations that are anti-affinity *)
+}
+
+type panel = { label : string; rows : row list }
+
+val run : Exp_config.t -> panel list
+(** Panels (a)–(d); panel (e) is derived from their [anti_affinity_pct]. *)
+
+val print : Exp_config.t -> unit

@@ -1,0 +1,84 @@
+type row = {
+  pool : string;
+  scheduler : string;
+  undeployed : int;
+  used_machines : int;
+  mean_util_pct : float;
+}
+
+(* A mixed pool with the same total CPU as [n] machines of 32: per block of
+   8 machines, two of 16, four of 32, two of 64 (16*2 + 32*4 + 64*2 = 288 =
+   9 * 32, so the block is padded to 9 equivalent machines' capacity on 8
+   physical ones — we instead emit capacities until the homogeneous total
+   is matched). *)
+let mixed_capacities ~total_cpu_millis =
+  let tiers = [| 16_000; 32_000; 64_000 |] in
+  let out = ref [] in
+  let acc = ref 0 in
+  let i = ref 0 in
+  while !acc < total_cpu_millis do
+    let c = tiers.(!i mod 3) in
+    out := Resource.of_array [| c |] :: !out;
+    acc := !acc + c;
+    incr i
+  done;
+  Array.of_list (List.rev !out)
+
+let run cfg =
+  let w = Exp_config.workload cfg in
+  let n = cfg.Exp_config.machines in
+  let total_cpu = 32_000 * n in
+  let schedulers () = [ Sched_zoo.aladdin (); Sched_zoo.gokube () ] in
+  let homo =
+    List.map
+      (fun sched ->
+        let r = Replay.run_workload sched w ~n_machines:n in
+        ( "homogeneous 32cpu",
+          r.Replay.scheduler,
+          r.Replay.outcome,
+          r.Replay.cluster ))
+      (schedulers ())
+  in
+  let hetero =
+    let capacities = mixed_capacities ~total_cpu_millis:total_cpu in
+    List.map
+      (fun sched ->
+        let topo = Topology.heterogeneous ~capacities () in
+        let cluster =
+          Cluster.create topo ~constraints:(Workload.constraint_set w)
+        in
+        let r = Replay.run sched ~cluster ~containers:w.Workload.containers in
+        ( "mixed 16/32/64cpu",
+          r.Replay.scheduler,
+          r.Replay.outcome,
+          r.Replay.cluster ))
+      (schedulers ())
+  in
+  List.map
+    (fun (pool, scheduler, (o : Scheduler.outcome), cluster) ->
+      {
+        pool;
+        scheduler;
+        undeployed = List.length o.Scheduler.undeployed;
+        used_machines = Cluster.used_machines cluster;
+        mean_util_pct = (Metrics.utilization_summary cluster).Metrics.mean_pct;
+      })
+    (homo @ hetero)
+
+let print cfg =
+  Report.section
+    (Printf.sprintf
+       "Extension: heterogeneous machine pools (scale %.2f, paper future work)"
+       cfg.Exp_config.factor);
+  Report.table
+    ~header:[ "pool"; "scheduler"; "undeployed"; "used"; "avg util" ]
+    (List.map
+       (fun r ->
+         [
+           r.pool;
+           r.scheduler;
+           string_of_int r.undeployed;
+           string_of_int r.used_machines;
+           Report.pct r.mean_util_pct;
+         ])
+       (run cfg))

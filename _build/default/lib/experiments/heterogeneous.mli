@@ -1,0 +1,15 @@
+(** The paper's stated future work (§VII): extending the flow-based model
+    to heterogeneous machine pools. The workload is placed on a mixed pool
+    (16/32/64-CPU machines with the same total capacity as the homogeneous
+    baseline) and compared against the homogeneous result. *)
+
+type row = {
+  pool : string;
+  scheduler : string;
+  undeployed : int;
+  used_machines : int;
+  mean_util_pct : float;
+}
+
+val run : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,50 @@
+type row = {
+  mode : string;
+  undeployed : int;
+  used_machines : int;
+  latency_ms : float;
+  migrations : int;
+}
+
+let run cfg =
+  let w = Exp_config.workload cfg in
+  let n = Workload.n_containers w in
+  let modes =
+    [
+      ("one batch", None);
+      ("10 waves", Some (max 1 (n / 10)));
+      ("100 waves", Some (max 1 (n / 100)));
+      ("per container", Some 1);
+    ]
+  in
+  List.map
+    (fun (mode, batch) ->
+      let sched = Sched_zoo.aladdin () in
+      let r =
+        Replay.run_workload ?batch sched w ~n_machines:cfg.Exp_config.machines
+      in
+      {
+        mode;
+        undeployed = List.length r.Replay.outcome.Scheduler.undeployed;
+        used_machines = Cluster.used_machines r.Replay.cluster;
+        latency_ms = Replay.per_container_ms r;
+        migrations = r.Replay.outcome.Scheduler.migrations;
+      })
+    modes
+
+let print cfg =
+  Report.section
+    (Printf.sprintf "Extension: arrival granularity (scale %.2f)"
+       cfg.Exp_config.factor);
+  Report.table
+    ~header:[ "mode"; "undeployed"; "used"; "ms/container"; "migrations" ]
+    (List.map
+       (fun r ->
+         [
+           r.mode;
+           string_of_int r.undeployed;
+           string_of_int r.used_machines;
+           Printf.sprintf "%.3f" r.latency_ms;
+           string_of_int r.migrations;
+         ])
+       (run cfg))

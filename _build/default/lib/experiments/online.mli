@@ -1,0 +1,15 @@
+(** Arrival granularity: the paper schedules the whole submission at once
+    ("massive LLAs arrive simultaneously"); production systems see waves.
+    This experiment replays the same workload all-at-once, in waves, and
+    one container at a time, and compares quality and latency. *)
+
+type row = {
+  mode : string;
+  undeployed : int;
+  used_machines : int;
+  latency_ms : float;
+  migrations : int;
+}
+
+val run : Exp_config.t -> row list
+val print : Exp_config.t -> unit

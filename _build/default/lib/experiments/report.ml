@@ -1,0 +1,32 @@
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Format.printf "@.%s@.= %s =@.%s@." line title line
+
+let subsection title = Format.printf "@.-- %s --@." title
+
+let note fmt = Format.printf fmt
+
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> width.(i) <- max width.(i) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell -> Format.printf "%-*s  " width.(i) cell)
+      row;
+    Format.printf "@."
+  in
+  print_row header;
+  print_row
+    (List.mapi (fun i _ -> String.make width.(i) '-') header);
+  List.iter print_row rows
+
+let pct x = Printf.sprintf "%.1f%%" x
+let f1 x = Printf.sprintf "%.1f" x
+let vs_paper ~measured ~paper = Printf.sprintf "%s (paper: %s)" measured paper

@@ -1,0 +1,16 @@
+(** Plain-text report rendering shared by the experiment drivers: aligned
+    ASCII tables and paper-vs-measured annotations. *)
+
+val section : string -> unit
+val subsection : string -> unit
+val note : ('a, Format.formatter, unit) format -> 'a
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned; the header is underlined. Rows may be ragged. *)
+
+val pct : float -> string
+val f1 : float -> string
+(** One-decimal float. *)
+
+val vs_paper : measured:string -> paper:string -> string
+(** ["measured (paper: paper)"]. *)

@@ -1,0 +1,23 @@
+let gokube () = Gokube.make ()
+
+let firmament cost_model ~reschd =
+  Firmament.make ~config:{ Firmament.default with cost_model; reschd } ()
+
+let medea ~a ~b ~c =
+  Medea.make ~config:{ Medea.default with weights = { Medea.a; b; c } } ()
+
+let aladdin ?base ?(il = true) ?(dl = true) () =
+  Aladdin.Aladdin_scheduler.make
+    ~options:
+      { Aladdin.Aladdin_scheduler.default_options with il; dl; weight_base = base }
+    ()
+
+let descriptions =
+  [
+    ("Firmament-TRIVIAL", "Containers always scheduled if resources are idle.");
+    ("Firmament-QUINCY", "Original Quincy cost model, lower cost priority.");
+    ("Firmament-OCTOPUS", "Simple load balancing based on container counts.");
+    ("Medea", "Balance resource efficiency and constraint violations.");
+    ("Go-Kube", "Scoring machines and choose the best one.");
+    ("Aladdin", "Optimized maximum flow with nonlinear capacities (this work).");
+  ]

@@ -1,0 +1,10 @@
+(** The scheduler configurations used across the evaluation (Table I plus
+    the parameter sweeps of Fig. 9). *)
+
+val gokube : unit -> Scheduler.t
+val firmament : Cost_model.t -> reschd:int -> Scheduler.t
+val medea : a:float -> b:float -> c:float -> Scheduler.t
+val aladdin : ?base:int -> ?il:bool -> ?dl:bool -> unit -> Scheduler.t
+
+val descriptions : (string * string) list
+(** Table I: name → one-line description. *)

@@ -1,0 +1,4 @@
+let print () =
+  Report.section "Table I: schedulers used in the experiments";
+  Report.table ~header:[ "Name"; "Description" ]
+    (List.map (fun (n, d) -> [ n; d ]) Sched_zoo.descriptions)

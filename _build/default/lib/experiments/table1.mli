@@ -1,0 +1,3 @@
+(** Table I: the state-of-the-art schedulers used in the experiments. *)
+
+val print : unit -> unit

@@ -1,0 +1,1 @@
+lib/flownet/bellman_ford.mli: Graph

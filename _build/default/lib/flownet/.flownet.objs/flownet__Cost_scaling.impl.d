@@ -1,0 +1,1 @@
+lib/flownet/cost_scaling.ml: Array Dinic Graph Mincost Queue

@@ -1,0 +1,1 @@
+lib/flownet/cost_scaling.mli: Graph Mincost

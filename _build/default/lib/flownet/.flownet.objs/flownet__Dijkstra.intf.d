@@ -1,0 +1,1 @@
+lib/flownet/dijkstra.mli: Graph

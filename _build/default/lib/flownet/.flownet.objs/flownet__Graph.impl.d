@@ -1,0 +1,1 @@
+lib/flownet/graph.ml: Array Format

@@ -1,0 +1,1 @@
+lib/flownet/graph.mli: Format

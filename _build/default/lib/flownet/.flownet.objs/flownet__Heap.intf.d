@@ -1,0 +1,1 @@
+lib/flownet/heap.mli:

@@ -1,0 +1,1 @@
+lib/flownet/maxflow.mli: Graph Path

@@ -1,0 +1,1 @@
+lib/flownet/mdim.ml: Array Format Printf String

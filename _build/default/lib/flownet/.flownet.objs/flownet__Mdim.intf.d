@@ -1,0 +1,1 @@
+lib/flownet/mdim.mli: Format

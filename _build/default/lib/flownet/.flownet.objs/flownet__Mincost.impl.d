@@ -1,0 +1,1 @@
+lib/flownet/mincost.ml: Array Dijkstra Graph Path Spfa

@@ -1,0 +1,1 @@
+lib/flownet/mincost.mli: Graph

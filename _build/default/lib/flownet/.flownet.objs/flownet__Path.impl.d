@@ -1,0 +1,1 @@
+lib/flownet/path.ml: Array Graph List

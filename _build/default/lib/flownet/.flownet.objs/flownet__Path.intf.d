@@ -1,0 +1,1 @@
+lib/flownet/path.mli: Graph

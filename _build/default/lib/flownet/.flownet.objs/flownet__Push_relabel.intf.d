@@ -1,0 +1,1 @@
+lib/flownet/push_relabel.mli: Graph

@@ -1,0 +1,1 @@
+lib/flownet/spfa.ml: Array Graph Path Queue

@@ -1,0 +1,1 @@
+lib/flownet/spfa.mli: Graph Path

@@ -1,0 +1,38 @@
+type result = { dist : int array; parent : int array; negative_cycle : bool }
+
+let run g ~src =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_arcs g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  dist.(src) <- 0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    for a = 0 to m - 1 do
+      if Graph.residual g a > 0 then begin
+        let u = Graph.src g a in
+        if dist.(u) <> max_int then begin
+          let v = Graph.dst g a in
+          let nd = dist.(u) + Graph.cost g a in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- a;
+            changed := true
+          end
+        end
+      end
+    done
+  done;
+  (* One more pass: any further relaxation proves a negative cycle. *)
+  let negative_cycle = ref false in
+  for a = 0 to m - 1 do
+    if Graph.residual g a > 0 then begin
+      let u = Graph.src g a in
+      if dist.(u) <> max_int && dist.(u) + Graph.cost g a < dist.(Graph.dst g a)
+      then negative_cycle := true
+    end
+  done;
+  { dist; parent; negative_cycle = !negative_cycle }

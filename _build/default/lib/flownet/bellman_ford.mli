@@ -1,0 +1,11 @@
+(** Textbook Bellman–Ford over the residual graph. Slower than {!Spfa} but
+    detects negative cycles without an iteration-count heuristic; used by
+    tests as the reference shortest-path oracle. *)
+
+type result = {
+  dist : int array;
+  parent : int array;
+  negative_cycle : bool;
+}
+
+val run : Graph.t -> src:int -> result

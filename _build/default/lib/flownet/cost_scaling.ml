@@ -1,0 +1,86 @@
+(* Cost scaling: costs are multiplied by (n+1) so that a 1-optimal
+   circulation is exactly optimal; ε starts at the largest scaled cost and
+   halves each refine phase. Within refine, every residual arc with
+   negative reduced cost is saturated, and the resulting excesses are
+   drained FIFO push/relabel-style; conservation is restored at phase end,
+   so the s→t flow value fixed by the initial max flow never changes. *)
+
+let run g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_arcs g in
+  let flow_value = Dinic.run g ~src ~dst in
+  (* scaled arc cost, valid for residual twins through Graph.cost *)
+  let scale = n + 1 in
+  let cost a = scale * Graph.cost g a in
+  let price = Array.make n 0 in
+  let reduced a = cost a + price.(Graph.src g a) - price.(Graph.dst g a) in
+  let max_c =
+    let mc = ref 0 in
+    for a = 0 to m - 1 do
+      mc := max !mc (abs (cost a))
+    done;
+    !mc
+  in
+  let excess = Array.make n 0 in
+  let phases = ref 0 in
+  let eps = ref max_c in
+  while !eps >= 1 do
+    incr phases;
+    (* saturate every admissible (negative reduced cost) residual arc *)
+    for a = 0 to m - 1 do
+      let r = Graph.residual g a in
+      if r > 0 && reduced a < 0 then begin
+        Graph.push g a r;
+        excess.(Graph.src g a) <- excess.(Graph.src g a) - r;
+        excess.(Graph.dst g a) <- excess.(Graph.dst g a) + r
+      end
+    done;
+    let q = Queue.create () in
+    let in_q = Array.make n false in
+    for v = 0 to n - 1 do
+      if excess.(v) > 0 then begin
+        Queue.push v q;
+        in_q.(v) <- true
+      end
+    done;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      in_q.(v) <- false;
+      let progress = ref true in
+      while excess.(v) > 0 && !progress do
+        (* push along admissible arcs *)
+        Graph.iter_out g v (fun a ->
+            if excess.(v) > 0 && Graph.residual g a > 0 && reduced a < 0 then begin
+              let d = min excess.(v) (Graph.residual g a) in
+              Graph.push g a d;
+              excess.(v) <- excess.(v) - d;
+              let w = Graph.dst g a in
+              excess.(w) <- excess.(w) + d;
+              if excess.(w) > 0 && (not in_q.(w)) && w <> v then begin
+                Queue.push w q;
+                in_q.(w) <- true
+              end
+            end);
+        if excess.(v) > 0 then begin
+          (* relabel: lower the price just enough to open an arc *)
+          let best = ref min_int in
+          Graph.iter_out g v (fun a ->
+              if Graph.residual g a > 0 then
+                best := max !best (price.(Graph.dst g a) - cost a - !eps));
+          if !best = min_int then progress := false
+            (* isolated excess cannot happen in a connected residual; stop
+               defensively rather than loop *)
+          else price.(v) <- !best
+        end
+      done
+    done;
+    eps := !eps / 2
+  done;
+  let total_cost =
+    let c = ref 0 in
+    for a = 0 to m - 1 do
+      if Graph.is_forward a then c := !c + (Graph.cost g a * Graph.flow g a)
+    done;
+    !c
+  in
+  { Mincost.flow = flow_value; cost = total_cost; iterations = !phases }

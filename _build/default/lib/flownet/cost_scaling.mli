@@ -1,0 +1,12 @@
+(** Goldberg–Tarjan cost-scaling minimum-cost maximum flow — the algorithm
+    family the real Firmament solver (cs2/flowlessly) uses. Computes a max
+    flow first (Dinic), then refines it to optimality through ε-scaling
+    push/relabel phases on the residual network.
+
+    Property-tested against {!Mincost} (successive shortest paths): both
+    are exact, so total costs agree. Asymptotically O(V²·E·log(V·C)),
+    which beats SSP when many augmenting paths would be needed. *)
+
+val run : Graph.t -> src:int -> dst:int -> Mincost.stats
+(** Returns flow value, optimal total cost, and the number of refine
+    phases in [iterations]. Flows are recorded in the graph. *)

@@ -1,0 +1,37 @@
+type result = { dist : int array; parent : int array }
+
+let run g ~src ~potential =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~capacity:(n + 1) () in
+  dist.(src) <- 0;
+  Heap.push heap ~key:0 ~value:src;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not settled.(u) && d = dist.(u) then begin
+          settled.(u) <- true;
+          Graph.iter_out g u (fun a ->
+              if Graph.residual g a > 0 then begin
+                let v = Graph.dst g a in
+                if not settled.(v) then begin
+                  let rc =
+                    Graph.cost g a + potential.(u) - potential.(v)
+                  in
+                  if rc < 0 then
+                    invalid_arg "Dijkstra.run: negative reduced cost";
+                  let nd = d + rc in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    parent.(v) <- a;
+                    Heap.push heap ~key:nd ~value:v
+                  end
+                end
+              end)
+        end
+  done;
+  { dist; parent }

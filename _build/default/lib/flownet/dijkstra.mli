@@ -1,0 +1,12 @@
+(** Dijkstra over the residual graph with Johnson potentials, for the
+    min-cost solver's repeated shortest-path phases (all reduced costs are
+    non-negative once potentials are valid). *)
+
+type result = {
+  dist : int array;    (** reduced-cost distances; max_int if unreachable *)
+  parent : int array;
+}
+
+val run : Graph.t -> src:int -> potential:int array -> result
+(** @raise Invalid_argument when a reduced cost is negative (stale
+    potentials). *)

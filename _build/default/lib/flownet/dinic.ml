@@ -1,0 +1,60 @@
+let build_levels g ~src ~dst level =
+  Array.fill level 0 (Array.length level) (-1);
+  let q = Queue.create () in
+  level.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_out g u (fun a ->
+        if Graph.residual g a > 0 then begin
+          let v = Graph.dst g a in
+          if level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.push v q
+          end
+        end)
+  done;
+  level.(dst) >= 0
+
+(* Blocking flow by DFS with per-vertex arc cursors. The cursor array holds,
+   for each vertex, the remaining out-arc list still worth scanning. *)
+let blocking_flow g ~src ~dst level cursor =
+  let rec dfs u pushed =
+    if u = dst then pushed
+    else begin
+      let sent = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match cursor.(u) with
+        | [] -> continue := false
+        | a :: rest ->
+            let v = Graph.dst g a in
+            let r = Graph.residual g a in
+            if r > 0 && level.(v) = level.(u) + 1 then begin
+              let d = dfs v (min (pushed - !sent) r) in
+              if d > 0 then begin
+                Graph.push g a d;
+                sent := !sent + d;
+                if !sent = pushed then continue := false
+              end
+              else cursor.(u) <- rest
+            end
+            else cursor.(u) <- rest
+      done;
+      !sent
+    end
+  in
+  dfs src max_int
+
+let run g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let level = Array.make n (-1) in
+  let total = ref 0 in
+  while build_levels g ~src ~dst level do
+    let cursor =
+      Array.init n (fun v -> List.rev (Graph.fold_out g v (fun l a -> a :: l) []))
+    in
+    let pushed = blocking_flow g ~src ~dst level cursor in
+    total := !total + pushed
+  done;
+  !total

@@ -1,0 +1,5 @@
+(** Dinic's maximum-flow algorithm (level graph + blocking flow), O(V²·E);
+    the solver used at trace scale. *)
+
+val run : Graph.t -> src:int -> dst:int -> int
+(** Returns the max flow; flows are recorded in the graph. *)

@@ -1,0 +1,122 @@
+(* Flat arc arena with per-vertex singly-linked adjacency (head/next arrays),
+   the classic competitive-programming layout: arc i and arc (i lxor 1) are
+   residual twins. Dynamic arrays grow by doubling. *)
+
+type t = {
+  n : int;
+  mutable m : int;            (* arcs stored, twins included *)
+  mutable dst_ : int array;
+  mutable cap_ : int array;
+  mutable cost_ : int array;
+  mutable flow_ : int array;
+  mutable next_ : int array;  (* next arc out of same vertex, -1 ends *)
+  head : int array;           (* first arc out of vertex, -1 if none *)
+  mutable src_ : int array;
+}
+
+let create ?(arc_hint = 16) n =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let cap = max 2 (2 * arc_hint) in
+  {
+    n;
+    m = 0;
+    dst_ = Array.make cap 0;
+    cap_ = Array.make cap 0;
+    cost_ = Array.make cap 0;
+    flow_ = Array.make cap 0;
+    next_ = Array.make cap (-1);
+    head = Array.make (max n 1) (-1);
+    src_ = Array.make cap 0;
+  }
+
+let n_vertices g = g.n
+let n_arcs g = g.m
+
+let grow g =
+  let old = Array.length g.dst_ in
+  let nw = 2 * old in
+  let extend a fill =
+    let b = Array.make nw fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  g.dst_ <- extend g.dst_ 0;
+  g.cap_ <- extend g.cap_ 0;
+  g.cost_ <- extend g.cost_ 0;
+  g.flow_ <- extend g.flow_ 0;
+  g.next_ <- extend g.next_ (-1);
+  g.src_ <- extend g.src_ 0
+
+let push_raw g ~src ~dst ~cap ~cost =
+  if g.m >= Array.length g.dst_ then grow g;
+  let id = g.m in
+  g.dst_.(id) <- dst;
+  g.cap_.(id) <- cap;
+  g.cost_.(id) <- cost;
+  g.flow_.(id) <- 0;
+  g.next_.(id) <- g.head.(src);
+  g.src_.(id) <- src;
+  g.head.(src) <- id;
+  g.m <- id + 1;
+  id
+
+let add_arc g ~src ~dst ~cap ~cost =
+  if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+    invalid_arg "Graph.add_arc: vertex out of range";
+  let id = push_raw g ~src ~dst ~cap ~cost in
+  let _twin = push_raw g ~src:dst ~dst:src ~cap:0 ~cost:(-cost) in
+  id
+
+let check_arc g a =
+  if a < 0 || a >= g.m then invalid_arg "Graph: arc id out of range"
+
+let src g a = check_arc g a; g.src_.(a)
+let dst g a = check_arc g a; g.dst_.(a)
+let capacity g a = check_arc g a; g.cap_.(a)
+let cost g a = check_arc g a; g.cost_.(a)
+let flow g a = check_arc g a; g.flow_.(a)
+let residual g a = check_arc g a; g.cap_.(a) - g.flow_.(a)
+let rev a = a lxor 1
+let is_forward a = a land 1 = 0
+
+let push g a d =
+  check_arc g a;
+  if d > g.cap_.(a) - g.flow_.(a) then
+    invalid_arg "Graph.push: exceeds residual capacity";
+  g.flow_.(a) <- g.flow_.(a) + d;
+  g.flow_.(rev a) <- g.flow_.(rev a) - d
+
+let set_capacity g a c =
+  check_arc g a;
+  if c < g.flow_.(a) then invalid_arg "Graph.set_capacity: below current flow";
+  g.cap_.(a) <- c
+
+let reset_flows g = Array.fill g.flow_ 0 g.m 0
+
+let iter_out g v f =
+  let a = ref g.head.(v) in
+  while !a >= 0 do
+    let cur = !a in
+    a := g.next_.(cur);
+    f cur
+  done
+
+let fold_out g v f init =
+  let acc = ref init in
+  iter_out g v (fun a -> acc := f !acc a);
+  !acc
+
+let out_degree g v = fold_out g v (fun n _ -> n + 1) 0
+
+let outflow g v =
+  fold_out g v (fun acc a -> if is_forward a then acc + g.flow_.(a) else acc - g.flow_.(rev a)) 0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph %d vertices, %d arcs" g.n (g.m / 2);
+  for a = 0 to g.m - 1 do
+    if is_forward a then
+      Format.fprintf ppf "@,%d -> %d  cap=%d cost=%d flow=%d" g.src_.(a)
+        g.dst_.(a) g.cap_.(a) g.cost_.(a) g.flow_.(a)
+  done;
+  Format.fprintf ppf "@]"

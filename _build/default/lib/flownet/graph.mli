@@ -1,0 +1,60 @@
+(** Mutable directed flow network stored in a flat arc arena.
+
+    Every call to {!add_arc} creates a forward arc and its residual twin
+    (capacity 0, negated cost) at consecutive ids, so [arc_id lxor 1] is
+    always the reverse arc. All max-flow / min-cost solvers in this library
+    operate on this representation. *)
+
+type t
+
+val create : ?arc_hint:int -> int -> t
+(** [create n] makes a network with vertices [0 .. n-1] and no arcs.
+    [arc_hint] preallocates the arc arena. *)
+
+val n_vertices : t -> int
+
+val n_arcs : t -> int
+(** Number of stored arcs, residual twins included. *)
+
+val add_arc : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+(** Adds a forward arc and its residual twin; returns the forward arc id.
+    @raise Invalid_argument on negative capacity or out-of-range vertex. *)
+
+val src : t -> int -> int
+val dst : t -> int -> int
+val capacity : t -> int -> int
+val cost : t -> int -> int
+val flow : t -> int -> int
+(** Flow on a forward arc; on a residual twin this is the negated flow. *)
+
+val residual : t -> int -> int
+(** Remaining capacity [capacity - flow] of an arc (twin included). *)
+
+val push : t -> int -> int -> unit
+(** [push g arc d] adds [d] units along [arc] and removes them from its twin.
+    @raise Invalid_argument if [d] exceeds the residual capacity. *)
+
+val set_capacity : t -> int -> int -> unit
+(** Replace the capacity of an arc (used by incremental schedulers).
+    @raise Invalid_argument if below the current flow. *)
+
+val reset_flows : t -> unit
+(** Zero all flows, keeping the topology. *)
+
+val rev : int -> int
+(** Residual twin id of an arc. *)
+
+val is_forward : int -> bool
+(** Whether an arc id denotes a forward (user-created) arc. *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** Iterate the ids of arcs leaving a vertex (twins included). *)
+
+val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val out_degree : t -> int -> int
+
+val outflow : t -> int -> int
+(** Net flow leaving a vertex on forward arcs minus flow entering it. *)
+
+val pp : Format.formatter -> t -> unit

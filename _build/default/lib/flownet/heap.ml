@@ -1,0 +1,67 @@
+type t = {
+  mutable keys : int array;
+  mutable values : int array;
+  mutable n : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0; values = Array.make capacity 0; n = 0 }
+
+let is_empty h = h.n = 0
+let size h = h.n
+let clear h = h.n <- 0
+
+let grow h =
+  let old = Array.length h.keys in
+  let keys = Array.make (2 * old) 0 and values = Array.make (2 * old) 0 in
+  Array.blit h.keys 0 keys 0 old;
+  Array.blit h.values 0 values 0 old;
+  h.keys <- keys;
+  h.values <- values
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.values.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.values.(i) <- h.values.(j);
+  h.keys.(j) <- k;
+  h.values.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.n && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.n && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~key ~value =
+  if h.n = Array.length h.keys then grow h;
+  h.keys.(h.n) <- key;
+  h.values.(h.n) <- value;
+  h.n <- h.n + 1;
+  sift_up h (h.n - 1)
+
+let pop_min h =
+  if h.n = 0 then None
+  else begin
+    let k = h.keys.(0) and v = h.values.(0) in
+    h.n <- h.n - 1;
+    if h.n > 0 then begin
+      h.keys.(0) <- h.keys.(h.n);
+      h.values.(0) <- h.values.(h.n);
+      sift_down h 0
+    end;
+    Some (k, v)
+  end

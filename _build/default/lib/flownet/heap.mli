@@ -1,0 +1,13 @@
+(** Binary min-heap over [(key : int, value : int)] pairs, used by the
+    Dijkstra-with-potentials solver. Keys are priorities; smaller pops first. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val size : t -> int
+val push : t -> key:int -> value:int -> unit
+val pop_min : t -> (int * int) option
+(** Pops the pair with the smallest key, as [(key, value)]. *)
+
+val clear : t -> unit

@@ -1,0 +1,57 @@
+let bfs_parents ?(admit = fun _ -> true) g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.push src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_out g u (fun a ->
+        if (not !found) && Graph.residual g a > 0 && admit a then begin
+          let v = Graph.dst g a in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- a;
+            if v = dst then found := true else Queue.push v q
+          end
+        end)
+  done;
+  if !found then Some parent else None
+
+let bfs_path ?admit g ~src ~dst =
+  match bfs_parents ?admit g ~src ~dst with
+  | None -> None
+  | Some parent -> Path.of_parents g ~parent ~src ~dst
+
+let run ?admit g ~src ~dst =
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_path ?admit g ~src ~dst with
+    | None -> continue := false
+    | Some p ->
+        Path.augment g p p.Path.bottleneck;
+        total := !total + p.Path.bottleneck
+  done;
+  !total
+
+let min_cut g ~src =
+  let n = Graph.n_vertices g in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_out g u (fun a ->
+        if Graph.residual g a > 0 then begin
+          let v = Graph.dst g a in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.push v q
+          end
+        end)
+  done;
+  seen

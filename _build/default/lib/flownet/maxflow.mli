@@ -1,0 +1,15 @@
+(** Edmonds–Karp maximum flow (BFS augmenting paths). O(V·E²); the reference
+    solver that the faster {!Dinic} implementation is property-tested
+    against. *)
+
+val bfs_path :
+  ?admit:(int -> bool) -> Graph.t -> src:int -> dst:int -> Path.t option
+(** One BFS over positive-residual arcs; [admit] filters arcs. *)
+
+val run : ?admit:(int -> bool) -> Graph.t -> src:int -> dst:int -> int
+(** Augments until no path remains; returns the total flow pushed. Flows are
+    recorded in the graph. *)
+
+val min_cut : Graph.t -> src:int -> bool array
+(** After a max-flow run: vertices reachable from [src] in the residual
+    graph, i.e. the source side of a minimum cut. *)

@@ -1,0 +1,40 @@
+type vec = int array
+type t = { supply : vec; admit : int -> bool }
+
+let linear supply = { supply; admit = (fun _ -> true) }
+let nonlinear supply ~admit = { supply; admit }
+let dims = Array.length
+let zero n = Array.make n 0
+
+let check_dims a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Mdim.%s: dimension mismatch" name)
+
+let add a b =
+  check_dims a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+
+let sub a b =
+  check_dims a b "sub";
+  Array.init (Array.length a) (fun i ->
+      let d = a.(i) - b.(i) in
+      if d < 0 then invalid_arg "Mdim.sub: negative result" else d)
+
+let sub_clamped a b =
+  check_dims a b "sub_clamped";
+  Array.init (Array.length a) (fun i -> max 0 (a.(i) - b.(i)))
+
+let leq a b =
+  check_dims a b "leq";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let fits t ~subject ~demand = t.admit subject && leq demand t.supply
+let consume t demand = { t with supply = sub t.supply demand }
+let scale k v = Array.map (fun x -> k * x) v
+let equal a b = Array.length a = Array.length b && leq a b && leq b a
+
+let pp_vec ppf v =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map string_of_int v)))

@@ -1,0 +1,48 @@
+(** Multidimensional, optionally nonlinear capacities (paper §III.C).
+
+    A classic flow capacity is a scalar; Quincy/Firmament generalise to a
+    linear N-tuple. Aladdin further attaches an admission predicate to the
+    tuple — the "nonlinear set-based function" — so that a capacity can
+    reject a flow for reasons other than magnitude (anti-affinity
+    blacklists). *)
+
+type vec = int array
+(** Non-negative integer demand / supply vector; dimensions must agree. *)
+
+type t = {
+  supply : vec;
+  admit : int -> bool;
+      (** [admit subject] decides whether the flow identified by [subject]
+          may use this capacity at all (Eq. 8). *)
+}
+
+val linear : vec -> t
+(** A classic N-tuple capacity that admits everything. *)
+
+val nonlinear : vec -> admit:(int -> bool) -> t
+
+val dims : vec -> int
+
+val zero : int -> vec
+
+val add : vec -> vec -> vec
+val sub : vec -> vec -> vec
+(** @raise Invalid_argument on dimension mismatch or negative result. *)
+
+val sub_clamped : vec -> vec -> vec
+(** Like {!sub} but clamps each dimension at 0. *)
+
+val leq : vec -> vec -> bool
+(** Pointwise ≤ — the paper's extended order on N-tuples (Eq. 6). *)
+
+val fits : t -> subject:int -> demand:vec -> bool
+(** Eq. 6 + Eq. 8 combined: demand ≤ supply pointwise and the subject is
+    admitted. *)
+
+val consume : t -> vec -> t
+(** Capacity left after routing a demand through it. @raise
+    Invalid_argument if the demand does not fit pointwise. *)
+
+val scale : int -> vec -> vec
+val equal : vec -> vec -> bool
+val pp_vec : Format.formatter -> vec -> unit

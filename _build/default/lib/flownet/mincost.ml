@@ -1,0 +1,45 @@
+type stats = { flow : int; cost : int; iterations : int }
+
+let run ?(max_flow = max_int) g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let potential = Array.make n 0 in
+  (* Initial potentials via SPFA, valid with negative arc costs. *)
+  let first = Spfa.run g ~src in
+  Array.blit first.Spfa.dist 0 potential 0 n;
+  (* Unreachable vertices keep potential 0; they are never on a path. *)
+  for v = 0 to n - 1 do
+    if potential.(v) = max_int then potential.(v) <- 0
+  done;
+  let total_flow = ref 0 in
+  let total_cost = ref 0 in
+  let iterations = ref 0 in
+  let continue = ref (first.Spfa.dist.(dst) <> max_int && max_flow > 0) in
+  (* The first augmentation reuses the SPFA tree directly. *)
+  let parent0 = first.Spfa.parent in
+  (if !continue then
+     match Path.of_parents g ~parent:parent0 ~src ~dst with
+     | None -> continue := false
+     | Some p ->
+         let d = min p.Path.bottleneck (max_flow - !total_flow) in
+         Path.augment g p d;
+         total_flow := !total_flow + d;
+         total_cost := !total_cost + (d * Path.cost g p);
+         incr iterations);
+  while !continue && !total_flow < max_flow do
+    let { Dijkstra.dist; parent } = Dijkstra.run g ~src ~potential in
+    if dist.(dst) = max_int then continue := false
+    else begin
+      for v = 0 to n - 1 do
+        if dist.(v) <> max_int then potential.(v) <- potential.(v) + dist.(v)
+      done;
+      match Path.of_parents g ~parent ~src ~dst with
+      | None -> continue := false
+      | Some p ->
+          let d = min p.Path.bottleneck (max_flow - !total_flow) in
+          Path.augment g p d;
+          total_flow := !total_flow + d;
+          total_cost := !total_cost + (d * Path.cost g p);
+          incr iterations
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost; iterations = !iterations }

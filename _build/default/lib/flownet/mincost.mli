@@ -1,0 +1,15 @@
+(** Minimum-cost maximum flow by successive shortest paths.
+
+    The first shortest-path pass uses {!Spfa} (arc costs may be negative);
+    later passes use {!Dijkstra} with Johnson potentials. This is the solver
+    behind the Firmament baseline. *)
+
+type stats = {
+  flow : int;        (** total units pushed *)
+  cost : int;        (** total cost of the flow *)
+  iterations : int;  (** augmenting paths used *)
+}
+
+val run : ?max_flow:int -> Graph.t -> src:int -> dst:int -> stats
+(** Push up to [max_flow] units (default: unbounded) at minimum total cost.
+    Flows are recorded in the graph. *)

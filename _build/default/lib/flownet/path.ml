@@ -1,0 +1,27 @@
+type t = { arcs : int list; bottleneck : int }
+
+let of_parents g ~parent ~src ~dst =
+  if dst = src then Some { arcs = []; bottleneck = max_int }
+  else if parent.(dst) < 0 then None
+  else begin
+    let rec walk v acc bott =
+      if v = src then Some { arcs = acc; bottleneck = bott }
+      else
+        let a = parent.(v) in
+        if a < 0 then None
+        else walk (Graph.src g a) (a :: acc) (min bott (Graph.residual g a))
+    in
+    walk dst [] max_int
+  end
+
+let augment g p d =
+  if d > p.bottleneck then invalid_arg "Path.augment: exceeds bottleneck";
+  List.iter (fun a -> Graph.push g a d) p.arcs
+
+let cost g p = List.fold_left (fun acc a -> acc + Graph.cost g a) 0 p.arcs
+
+let vertices g p =
+  match p.arcs with
+  | [] -> []
+  | first :: _ ->
+      Graph.src g first :: List.map (fun a -> Graph.dst g a) p.arcs

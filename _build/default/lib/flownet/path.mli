@@ -1,0 +1,20 @@
+(** Augmenting-path bookkeeping shared by the search algorithms. *)
+
+type t = {
+  arcs : int list;  (** arc ids from source to destination, in order *)
+  bottleneck : int; (** min residual capacity along the path *)
+}
+
+val of_parents : Graph.t -> parent:int array -> src:int -> dst:int -> t option
+(** Rebuild the path recorded in a parent-arc array (parent.(v) is the arc
+    that reached [v], or -1). Returns [None] when [dst] was not reached. *)
+
+val augment : Graph.t -> t -> int -> unit
+(** Push [d] units along the path. @raise Invalid_argument if [d] exceeds
+    the bottleneck. *)
+
+val cost : Graph.t -> t -> int
+(** Total arc cost of the path. *)
+
+val vertices : Graph.t -> t -> int list
+(** Vertices visited, source first. Empty path yields []. *)

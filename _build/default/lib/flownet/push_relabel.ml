@@ -1,0 +1,115 @@
+(* Highest-label push-relabel with gap relabeling. Excess at intermediate
+   vertices is pushed forward or, after relabeling past n, drained back to
+   the source, so the final flows satisfy conservation. *)
+
+let run g ~src ~dst =
+  let n = Graph.n_vertices g in
+  if src = dst then 0
+  else begin
+    let height = Array.make n 0 in
+    let excess = Array.make n 0 in
+    (* buckets of active vertices per height, for the highest-label rule *)
+    let buckets = Array.make ((2 * n) + 1) [] in
+    let highest = ref 0 in
+    let count = Array.make ((2 * n) + 1) 0 in
+    (* height histogram for gap relabeling *)
+    let in_bucket = Array.make n false in
+    let activate v =
+      if v <> src && v <> dst && excess.(v) > 0 && not in_bucket.(v) then begin
+        in_bucket.(v) <- true;
+        buckets.(height.(v)) <- v :: buckets.(height.(v));
+        if height.(v) > !highest then highest := height.(v)
+      end
+    in
+    let push a =
+      let u = Graph.src g a and v = Graph.dst g a in
+      let d = min excess.(u) (Graph.residual g a) in
+      if d > 0 then begin
+        Graph.push g a d;
+        excess.(u) <- excess.(u) - d;
+        excess.(v) <- excess.(v) + d;
+        activate v
+      end
+    in
+    height.(src) <- n;
+    count.(0) <- n - 1;
+    count.(n) <- 1;
+    (* saturate all source arcs *)
+    Graph.iter_out g src (fun a ->
+        let d = Graph.residual g a in
+        if d > 0 then begin
+          excess.(src) <- excess.(src) + d;
+          push a
+        end);
+    let relabel u =
+      let old = height.(u) in
+      let best = ref ((2 * n) + 1) in
+      Graph.iter_out g u (fun a ->
+          if Graph.residual g a > 0 then
+            best := min !best (height.(Graph.dst g a) + 1));
+      if !best <= 2 * n then begin
+        count.(old) <- count.(old) - 1;
+        (* gap heuristic: no vertex left at [old] → lift everything above
+           the gap out of reach *)
+        if count.(old) = 0 && old < n then
+          for v = 0 to n - 1 do
+            if v <> src && height.(v) > old && height.(v) <= n then begin
+              count.(height.(v)) <- count.(height.(v)) - 1;
+              height.(v) <- n + 1;
+              count.(n + 1) <- count.(n + 1) + 1
+            end
+          done;
+        if height.(u) <= old then begin
+          (* not lifted by the gap pass *)
+          height.(u) <- !best;
+          count.(!best) <- count.(!best) + 1
+        end
+      end
+      else height.(u) <- (2 * n) + 1 (* disconnected in residual *)
+    in
+    let discharge u =
+      let continue = ref true in
+      while !continue && excess.(u) > 0 do
+        let pushed = ref false in
+        Graph.iter_out g u (fun a ->
+            if
+              excess.(u) > 0
+              && Graph.residual g a > 0
+              && height.(u) = height.(Graph.dst g a) + 1
+            then begin
+              push a;
+              pushed := true
+            end);
+        if excess.(u) > 0 then begin
+          if not !pushed then begin
+            let before = height.(u) in
+            relabel u;
+            if height.(u) = before || height.(u) > 2 * n then continue := false
+          end
+        end
+      done
+    in
+    let rec loop () =
+      (* find the highest non-empty bucket *)
+      while !highest >= 0 && buckets.(!highest) = [] do
+        decr highest
+      done;
+      if !highest >= 0 then begin
+        match buckets.(!highest) with
+        | [] -> loop ()
+        | u :: rest ->
+            buckets.(!highest) <- rest;
+            in_bucket.(u) <- false;
+            if u <> src && u <> dst && excess.(u) > 0 then begin
+              discharge u;
+              activate u;
+              (* relabeling may have raised u above the cursor *)
+              if excess.(u) > 0 && height.(u) > !highest then
+                highest := min (2 * n) height.(u)
+            end;
+            loop ()
+      end
+    in
+    loop ();
+    excess.(dst)
+  end

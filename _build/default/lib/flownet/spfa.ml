@@ -1,0 +1,37 @@
+type result = { dist : int array; parent : int array }
+
+let run ?(admit = fun _ -> true) g ~src =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let in_queue = Array.make n false in
+  let relaxations = Array.make n 0 in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  in_queue.(src) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    in_queue.(u) <- false;
+    let du = dist.(u) in
+    Graph.iter_out g u (fun a ->
+        if Graph.residual g a > 0 && admit a then begin
+          let v = Graph.dst g a in
+          let nd = du + Graph.cost g a in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- a;
+            if not in_queue.(v) then begin
+              relaxations.(v) <- relaxations.(v) + 1;
+              if relaxations.(v) > n then failwith "Spfa.run: negative cycle";
+              Queue.push v q;
+              in_queue.(v) <- true
+            end
+          end
+        end)
+  done;
+  { dist; parent }
+
+let shortest_path ?admit g ~src ~dst =
+  let { parent; dist } = run ?admit g ~src in
+  if dist.(dst) = max_int then None else Path.of_parents g ~parent ~src ~dst

@@ -1,0 +1,26 @@
+(** Shortest-Path Faster Algorithm (queue-based Bellman–Ford) over the
+    residual graph. Handles negative arc costs; the paper's Algorithm 1 is a
+    constrained SPFA, and the min-cost solver uses it for the first
+    potentials pass. *)
+
+type result = {
+  dist : int array;    (** max_int where unreachable *)
+  parent : int array;  (** arc that reached each vertex, -1 if none *)
+}
+
+val run :
+  ?admit:(int -> bool) ->
+  Graph.t ->
+  src:int ->
+  result
+(** Shortest distances from [src] over arcs with positive residual capacity.
+    [admit] filters arcs (default: all); an arc is relaxed only when it has
+    residual capacity and [admit arc] holds.
+    @raise Failure on a negative cycle reachable from [src]. *)
+
+val shortest_path :
+  ?admit:(int -> bool) ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  Path.t option

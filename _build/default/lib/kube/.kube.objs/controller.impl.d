@@ -1,0 +1,1 @@
+lib/kube/controller.ml: Aladdin Array Cluster Container Ehc Hashtbl Kube_api Kube_objects List Model_adaptor Resolver Scheduler

@@ -1,0 +1,1 @@
+lib/kube/controller.mli: Cluster Kube_api Resolver Scheduler

@@ -1,0 +1,1 @@
+lib/kube/ehc.ml: Kube_api Kube_objects List

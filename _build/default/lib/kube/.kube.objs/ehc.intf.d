@@ -1,0 +1,1 @@
+lib/kube/ehc.mli: Kube_api Kube_objects

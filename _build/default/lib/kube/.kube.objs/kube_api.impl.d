@@ -1,0 +1,1 @@
+lib/kube/kube_api.ml: Hashtbl Kube_objects List

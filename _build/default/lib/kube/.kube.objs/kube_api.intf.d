@@ -1,0 +1,1 @@
+lib/kube/kube_api.mli: Kube_objects

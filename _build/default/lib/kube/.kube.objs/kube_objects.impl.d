@@ -1,0 +1,1 @@
+lib/kube/kube_objects.ml: Application Format Resource

@@ -1,0 +1,1 @@
+lib/kube/kube_objects.mli: Application Format Resource

@@ -1,0 +1,1 @@
+lib/kube/model_adaptor.ml: Array Cluster Constraint_set Container Ehc Hashtbl Kube_objects List Machine Topology

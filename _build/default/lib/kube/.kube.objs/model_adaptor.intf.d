@@ -1,0 +1,1 @@
+lib/kube/model_adaptor.mli: Cluster Container Ehc Kube_objects Machine

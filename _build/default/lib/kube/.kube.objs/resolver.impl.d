@@ -1,0 +1,1 @@
+lib/kube/resolver.ml: Cluster Container Hashtbl Kube_api Kube_objects List Model_adaptor Scheduler

@@ -1,0 +1,1 @@
+lib/kube/resolver.mli: Kube_api Kube_objects Model_adaptor Scheduler

@@ -1,0 +1,86 @@
+type t = {
+  api : Kube_api.t;
+  ehc : Ehc.t;
+  ma : Model_adaptor.t;
+  scheduler : Scheduler.t;
+}
+
+let create ?scheduler api =
+  let scheduler =
+    match scheduler with
+    | Some s -> s
+    | None -> Aladdin.Aladdin_scheduler.make ()
+  in
+  { api; ehc = Ehc.attach api; ma = Model_adaptor.create (); scheduler }
+
+let empty_report =
+  { Resolver.bound = []; unschedulable = []; migrations = 0; preemptions = 0 }
+
+let sync t =
+  let changes = Ehc.drain t.ehc in
+  Model_adaptor.apply t.ma changes;
+  match (Model_adaptor.cluster t.ma, changes.Ehc.pending_pods) with
+  | None, [] -> empty_report
+  | None, pending ->
+      (* no inventory yet: everything stays pending *)
+      List.iter
+        (fun (p : Kube_objects.pod) ->
+          Kube_api.mark_unschedulable t.api ~pod:p.Kube_objects.pod_name
+            ~reason:"cluster inventory not synced")
+        pending;
+      {
+        empty_report with
+        Resolver.unschedulable =
+          List.map (fun (p : Kube_objects.pod) -> p.Kube_objects.pod_name) pending;
+      }
+  | Some _, [] -> empty_report
+  | Some cluster, pending ->
+      let batch =
+        Array.of_list
+          (List.map (fun pod -> Model_adaptor.container_of_pod t.ma pod) pending)
+      in
+      let outcome = t.scheduler.Scheduler.schedule cluster batch in
+      Resolver.resolve t.api t.ma ~pods:pending outcome
+
+let cluster t = Model_adaptor.cluster t.ma
+let pending t = Ehc.pending_count t.ehc
+
+let machine_of_node t node =
+  match (Model_adaptor.cluster t.ma, Model_adaptor.machine_of_node_name t.ma node) with
+  | Some cluster, Some mid -> (cluster, mid)
+  | Some _, None -> invalid_arg "Controller: unknown node"
+  | None, _ -> invalid_arg "Controller: inventory not synced"
+
+let cordon t ~node =
+  let cluster, mid = machine_of_node t node in
+  Cluster.set_offline cluster mid true
+
+let uncordon t ~node =
+  let cluster, mid = machine_of_node t node in
+  Cluster.set_offline cluster mid false
+
+let drain_node t ~node =
+  let cluster, mid = machine_of_node t node in
+  Cluster.set_offline cluster mid true;
+  let displaced = Cluster.drain cluster mid in
+  (* the displaced containers correspond to bound pods: re-schedule them
+     and rebind through the resolver *)
+  let pods_by_uid = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Kube_objects.pod) -> Hashtbl.replace pods_by_uid p.Kube_objects.uid p)
+    (Kube_api.pods t.api);
+  let pods =
+    List.filter_map
+      (fun (c : Container.t) -> Hashtbl.find_opt pods_by_uid c.Container.id)
+      displaced
+  in
+  (* mark them pending again so the binding below is legal *)
+  List.iter
+    (fun (p : Kube_objects.pod) ->
+      Kube_api.mark_unschedulable t.api ~pod:p.Kube_objects.pod_name
+        ~reason:"draining")
+    pods;
+  let outcome =
+    t.scheduler.Scheduler.schedule cluster (Array.of_list displaced)
+  in
+  Resolver.resolve t.api t.ma ~pods outcome

@@ -1,0 +1,30 @@
+(** The Aladdin-in-Kubernetes control loop (Fig. 6): EHC → model adaptor →
+    Aladdin → resolvers, one reconcile round per {!sync}. *)
+
+type t
+
+val create : ?scheduler:Scheduler.t -> Kube_api.t -> t
+(** Attaches to the API server (list + watch). Defaults to the full
+    Aladdin+IL+DL scheduler. *)
+
+val sync : t -> Resolver.report
+(** One reconcile round: drain events, refresh the model, schedule every
+    pending pod, bind/mark the results. Safe to call with nothing
+    pending. *)
+
+val cluster : t -> Cluster.t option
+(** The scheduler-side mirror (for inspection and tests). *)
+
+val pending : t -> int
+(** Pods waiting for the next round. *)
+
+val cordon : t -> node:string -> unit
+(** Stop scheduling onto a node (its pods keep running).
+    @raise Invalid_argument for unknown nodes or before inventory sync. *)
+
+val uncordon : t -> node:string -> unit
+
+val drain_node : t -> node:string -> Resolver.report
+(** Cordon the node, evict its pods and re-schedule them elsewhere
+    (maintenance). Pods that cannot be re-placed are marked
+    Unschedulable. *)

@@ -1,0 +1,60 @@
+type changes = {
+  new_nodes : Kube_objects.node list;
+  new_profiles : Kube_objects.app_profile list;
+  pending_pods : Kube_objects.pod list;
+  deleted_pods : Kube_objects.pod list;
+}
+
+type t = {
+  mutable nodes_rev : Kube_objects.node list;
+  mutable profiles_rev : Kube_objects.app_profile list;
+  mutable pending_rev : Kube_objects.pod list;
+  mutable deleted_rev : Kube_objects.pod list;
+}
+
+let attach api =
+  let t =
+    { nodes_rev = []; profiles_rev = []; pending_rev = []; deleted_rev = [] }
+  in
+  Kube_api.watch api (fun ev ->
+      match ev with
+      | Kube_api.Node_added n -> t.nodes_rev <- n :: t.nodes_rev
+      | Kube_api.Profile_added p -> t.profiles_rev <- p :: t.profiles_rev
+      | Kube_api.Pod_added pod -> t.pending_rev <- pod :: t.pending_rev
+      | Kube_api.Pod_deleted pod ->
+          (* a pending pod that vanishes is simply dropped from the queue;
+             a bound one must be reflected in the scheduler's model *)
+          let was_pending =
+            List.exists
+              (fun (p : Kube_objects.pod) ->
+                p.Kube_objects.uid = pod.Kube_objects.uid)
+              t.pending_rev
+          in
+          if was_pending then
+            t.pending_rev <-
+              List.filter
+                (fun (p : Kube_objects.pod) ->
+                  p.Kube_objects.uid <> pod.Kube_objects.uid)
+                t.pending_rev
+          else t.deleted_rev <- pod :: t.deleted_rev
+      | Kube_api.Pod_bound _ | Kube_api.Pod_unschedulable _ ->
+          (* status changes we caused ourselves; nothing to do *)
+          ());
+  t
+
+let drain t =
+  let c =
+    {
+      new_nodes = List.rev t.nodes_rev;
+      new_profiles = List.rev t.profiles_rev;
+      pending_pods = List.rev t.pending_rev;
+      deleted_pods = List.rev t.deleted_rev;
+    }
+  in
+  t.nodes_rev <- [];
+  t.profiles_rev <- [];
+  t.pending_rev <- [];
+  t.deleted_rev <- [];
+  c
+
+let pending_count t = List.length t.pending_rev

@@ -1,0 +1,22 @@
+(** Events Handling Center (Fig. 6): watches the API server, pre-processes
+    life-cycle and resource events, and accumulates the coherent change set
+    the model adaptor consumes at the next scheduling round. *)
+
+type changes = {
+  new_nodes : Kube_objects.node list;
+  new_profiles : Kube_objects.app_profile list;
+  pending_pods : Kube_objects.pod list;   (** to be scheduled this round *)
+  deleted_pods : Kube_objects.pod list;   (** bound pods that went away *)
+}
+
+type t
+
+val attach : Kube_api.t -> t
+(** Subscribes (list + watch); existing objects appear in the first
+    {!drain}. *)
+
+val drain : t -> changes
+(** Atomically take everything accumulated since the previous drain, in
+    event order. *)
+
+val pending_count : t -> int

@@ -1,0 +1,116 @@
+type event =
+  | Node_added of Kube_objects.node
+  | Profile_added of Kube_objects.app_profile
+  | Pod_added of Kube_objects.pod
+  | Pod_bound of Kube_objects.pod * string
+  | Pod_unschedulable of Kube_objects.pod * string
+  | Pod_deleted of Kube_objects.pod
+
+type t = {
+  nodes : (string, Kube_objects.node) Hashtbl.t;
+  profiles : (string, Kube_objects.app_profile) Hashtbl.t;
+  pods : (string, Kube_objects.pod) Hashtbl.t;
+  mutable watchers : (event -> unit) list;
+  mutable version : int;
+  mutable next_uid : int;
+  mutable insertion : string list; (* pod names, newest first *)
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 64;
+    profiles = Hashtbl.create 64;
+    pods = Hashtbl.create 256;
+    watchers = [];
+    version = 0;
+    next_uid = 0;
+    insertion = [];
+  }
+
+let emit t ev =
+  t.version <- t.version + 1;
+  List.iter (fun w -> w ev) (List.rev t.watchers)
+
+let add_node t (n : Kube_objects.node) =
+  if Hashtbl.mem t.nodes n.Kube_objects.node_name then
+    invalid_arg "Kube_api.add_node: duplicate";
+  Hashtbl.replace t.nodes n.Kube_objects.node_name n;
+  emit t (Node_added n)
+
+let add_profile t (p : Kube_objects.app_profile) =
+  if Hashtbl.mem t.profiles p.Kube_objects.profile_name then
+    invalid_arg "Kube_api.add_profile: duplicate name";
+  Hashtbl.iter
+    (fun _ (q : Kube_objects.app_profile) ->
+      if q.Kube_objects.app_id = p.Kube_objects.app_id then
+        invalid_arg "Kube_api.add_profile: duplicate app id")
+    t.profiles;
+  Hashtbl.replace t.profiles p.Kube_objects.profile_name p;
+  emit t (Profile_added p)
+
+let create_pod t ~name ~profile =
+  if Hashtbl.mem t.pods name then invalid_arg "Kube_api.create_pod: duplicate";
+  if not (Hashtbl.mem t.profiles profile) then
+    invalid_arg "Kube_api.create_pod: unknown profile";
+  let pod =
+    {
+      Kube_objects.pod_name = name;
+      profile;
+      phase = Kube_objects.Pending;
+      uid = t.next_uid;
+    }
+  in
+  t.next_uid <- t.next_uid + 1;
+  Hashtbl.replace t.pods name pod;
+  t.insertion <- name :: t.insertion;
+  emit t (Pod_added pod);
+  pod
+
+let delete_pod t name =
+  match Hashtbl.find_opt t.pods name with
+  | None -> raise Not_found
+  | Some pod ->
+      Hashtbl.remove t.pods name;
+      t.insertion <- List.filter (fun n -> n <> name) t.insertion;
+      emit t (Pod_deleted pod)
+
+let bind t ~pod ~node =
+  match Hashtbl.find_opt t.pods pod with
+  | None -> invalid_arg "Kube_api.bind: unknown pod"
+  | Some p ->
+      if not (Hashtbl.mem t.nodes node) then
+        invalid_arg "Kube_api.bind: unknown node";
+      (match p.Kube_objects.phase with
+      | Kube_objects.Pending | Kube_objects.Unschedulable _ -> ()
+      | Kube_objects.Bound current ->
+          (* re-binding expresses a migration (the pod restarts on the new
+             node); binding to the same node again is a no-op error *)
+          if current = node then invalid_arg "Kube_api.bind: already bound");
+      p.Kube_objects.phase <- Kube_objects.Bound node;
+      emit t (Pod_bound (p, node))
+
+let mark_unschedulable t ~pod ~reason =
+  match Hashtbl.find_opt t.pods pod with
+  | None -> invalid_arg "Kube_api.mark_unschedulable: unknown pod"
+  | Some p ->
+      p.Kube_objects.phase <- Kube_objects.Unschedulable reason;
+      emit t (Pod_unschedulable (p, reason))
+
+let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
+let profiles t = Hashtbl.fold (fun _ p acc -> p :: acc) t.profiles []
+
+let pods t =
+  List.rev t.insertion
+  |> List.filter_map (fun name -> Hashtbl.find_opt t.pods name)
+
+let find_pod t name = Hashtbl.find_opt t.pods name
+let find_profile t name = Hashtbl.find_opt t.profiles name
+
+let watch t callback =
+  (* list + watch: replay current state as synthetic Added events *)
+  List.iter (fun n -> callback (Node_added n)) (nodes t);
+  List.iter (fun p -> callback (Profile_added p)) (profiles t);
+  List.iter (fun p -> callback (Pod_added p)) (pods t);
+  t.watchers <- callback :: t.watchers
+
+let resource_version t = t.version

@@ -1,0 +1,49 @@
+(** A miniature API server: typed object stores with watch streams and the
+    binding subresource — the two Kubernetes APIs the model adaptor
+    delegates (§IV.C). *)
+
+type event =
+  | Node_added of Kube_objects.node
+  | Profile_added of Kube_objects.app_profile
+  | Pod_added of Kube_objects.pod
+  | Pod_bound of Kube_objects.pod * string
+  | Pod_unschedulable of Kube_objects.pod * string
+  | Pod_deleted of Kube_objects.pod
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> Kube_objects.node -> unit
+(** @raise Invalid_argument on duplicate node name. *)
+
+val add_profile : t -> Kube_objects.app_profile -> unit
+(** @raise Invalid_argument on duplicate profile name or app id. *)
+
+val create_pod : t -> name:string -> profile:string -> Kube_objects.pod
+(** A fresh Pending pod. @raise Invalid_argument on duplicate name or
+    unknown profile (admission control). *)
+
+val delete_pod : t -> string -> unit
+(** @raise Not_found for unknown pods. *)
+
+val bind : t -> pod:string -> node:string -> unit
+(** The binding subresource. Re-binding a Bound pod to a *different* node
+    expresses a migration. @raise Invalid_argument when the node is
+    unknown or the pod is already bound to that node. *)
+
+val mark_unschedulable : t -> pod:string -> reason:string -> unit
+
+val nodes : t -> Kube_objects.node list
+val profiles : t -> Kube_objects.app_profile list
+val pods : t -> Kube_objects.pod list
+val find_pod : t -> string -> Kube_objects.pod option
+val find_profile : t -> string -> Kube_objects.app_profile option
+
+val watch : t -> (event -> unit) -> unit
+(** Register a watcher; it first receives synthetic Added events for every
+    existing object (informer-style list+watch), then live events in
+    order. *)
+
+val resource_version : t -> int
+(** Monotone change counter. *)

@@ -1,0 +1,31 @@
+type node = { node_name : string; capacity : Resource.t }
+
+type app_profile = {
+  profile_name : string;
+  app_id : Application.id;
+  demand : Resource.t;
+  priority : int;
+  anti_affinity_within : bool;
+  anti_affinity_across : Application.id list;
+  replicas : int;
+}
+
+type pod_phase = Pending | Bound of string | Unschedulable of string
+
+type pod = {
+  pod_name : string;
+  profile : string;
+  mutable phase : pod_phase;
+  uid : int;
+}
+
+let application_of_profile p =
+  Application.make ~id:p.app_id ~name:p.profile_name
+    ~n_containers:(max 1 p.replicas) ~demand:p.demand ~priority:p.priority
+    ~anti_affinity_within:p.anti_affinity_within
+    ~anti_affinity_across:p.anti_affinity_across ()
+
+let pp_phase ppf = function
+  | Pending -> Format.pp_print_string ppf "Pending"
+  | Bound node -> Format.fprintf ppf "Bound(%s)" node
+  | Unschedulable reason -> Format.fprintf ppf "Unschedulable(%s)" reason

@@ -1,0 +1,33 @@
+(** The Kubernetes-side object model of the co-design architecture
+    (Fig. 6, left): nodes, pods, and application profiles (the CRD carrying
+    the LLA-level constraints Aladdin needs). *)
+
+type node = {
+  node_name : string;
+  capacity : Resource.t;
+}
+
+type app_profile = {
+  profile_name : string;
+  app_id : Application.id;
+  demand : Resource.t;        (** per-pod requirement (isomorphism) *)
+  priority : int;
+  anti_affinity_within : bool;
+  anti_affinity_across : Application.id list;
+  replicas : int;
+}
+
+type pod_phase =
+  | Pending
+  | Bound of string           (** node name *)
+  | Unschedulable of string   (** reason *)
+
+type pod = {
+  pod_name : string;
+  profile : string;           (** owning app profile *)
+  mutable phase : pod_phase;
+  uid : int;                  (** unique within the API server *)
+}
+
+val application_of_profile : app_profile -> Application.t
+val pp_phase : Format.formatter -> pod_phase -> unit

@@ -1,0 +1,76 @@
+type t = {
+  mutable nodes : Kube_objects.node array;
+  mutable profiles : Kube_objects.app_profile list;
+  mutable cluster : Cluster.t option;
+  node_index : (string, Machine.id) Hashtbl.t;
+  profile_by_name : (string, Kube_objects.app_profile) Hashtbl.t;
+  mutable sealed : bool; (* true once a pod is bound in the mirror *)
+}
+
+let create () =
+  {
+    nodes = [||];
+    profiles = [];
+    cluster = None;
+    node_index = Hashtbl.create 64;
+    profile_by_name = Hashtbl.create 64;
+    sealed = false;
+  }
+
+let rebuild t =
+  if Array.length t.nodes > 0 && t.profiles <> [] then begin
+    let capacities =
+      Array.map (fun (n : Kube_objects.node) -> n.Kube_objects.capacity) t.nodes
+    in
+    let topo = Topology.heterogeneous ~capacities () in
+    let apps =
+      Array.of_list (List.map Kube_objects.application_of_profile t.profiles)
+    in
+    t.cluster <- Some (Cluster.create topo ~constraints:(Constraint_set.of_apps apps));
+    Hashtbl.reset t.node_index;
+    Array.iteri
+      (fun i (n : Kube_objects.node) ->
+        Hashtbl.replace t.node_index n.Kube_objects.node_name i)
+      t.nodes
+  end
+
+let apply t (c : Ehc.changes) =
+  if (c.Ehc.new_nodes <> [] || c.Ehc.new_profiles <> []) && t.sealed then
+    failwith "Model_adaptor.apply: inventory changed after pods were bound";
+  if c.Ehc.new_nodes <> [] || c.Ehc.new_profiles <> [] then begin
+    t.nodes <- Array.append t.nodes (Array.of_list c.Ehc.new_nodes);
+    t.profiles <- t.profiles @ c.Ehc.new_profiles;
+    List.iter
+      (fun (p : Kube_objects.app_profile) ->
+        Hashtbl.replace t.profile_by_name p.Kube_objects.profile_name p)
+      c.Ehc.new_profiles;
+    rebuild t
+  end;
+  match t.cluster with
+  | None -> ()
+  | Some cluster ->
+      List.iter
+        (fun (pod : Kube_objects.pod) ->
+          (* deleted bound pod: free its capacity in the mirror *)
+          if Cluster.container cluster pod.Kube_objects.uid <> None then
+            Cluster.remove cluster pod.Kube_objects.uid)
+        c.Ehc.deleted_pods
+
+let cluster t = t.cluster
+
+let container_of_pod t (pod : Kube_objects.pod) =
+  match Hashtbl.find_opt t.profile_by_name pod.Kube_objects.profile with
+  | None -> raise Not_found
+  | Some p ->
+      Container.make ~id:pod.Kube_objects.uid ~app:p.Kube_objects.app_id
+        ~demand:p.Kube_objects.demand ~priority:p.Kube_objects.priority
+        ~arrival:pod.Kube_objects.uid
+
+let node_name_of_machine t mid =
+  if mid < 0 || mid >= Array.length t.nodes then
+    invalid_arg "Model_adaptor.node_name_of_machine";
+  t.nodes.(mid).Kube_objects.node_name
+
+let machine_of_node_name t name = Hashtbl.find_opt t.node_index name
+
+let seal t = t.sealed <- true

@@ -1,0 +1,31 @@
+(** Model Adaptor (Fig. 6): decouples Kubernetes objects from the
+    scheduling implementation. Maintains the {!Cluster.t} mirror of the
+    node inventory, the application registry derived from profiles, and the
+    pod-uid ↔ container mapping.
+
+    Nodes and profiles are expected to be registered before the pods that
+    reference them (informer cache sync); the cluster mirror is (re)built
+    when the inventory changes while no pod is bound. *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> Ehc.changes -> unit
+(** Fold a change set into the model: extend inventories, remove bound
+    containers of deleted pods.
+    @raise Failure when nodes or profiles arrive after pods were bound
+    (dynamic inventory growth is not supported by the mirror). *)
+
+val cluster : t -> Cluster.t option
+(** [None] until at least one node and one profile are known. *)
+
+val container_of_pod : t -> Kube_objects.pod -> Container.t
+(** @raise Not_found for pods of unknown profiles. *)
+
+val node_name_of_machine : t -> Machine.id -> string
+val machine_of_node_name : t -> string -> Machine.id option
+
+val seal : t -> unit
+(** Mark the mirror as live (bindings exist); later inventory growth is
+    rejected by {!apply}. *)

@@ -1,0 +1,57 @@
+type report = {
+  bound : (string * string) list;
+  unschedulable : string list;
+  migrations : int;
+  preemptions : int;
+}
+
+let resolve api ma ~pods (o : Scheduler.outcome) =
+  let by_uid = Hashtbl.create (List.length pods) in
+  List.iter
+    (fun (p : Kube_objects.pod) -> Hashtbl.replace by_uid p.Kube_objects.uid p)
+    pods;
+  let bound = ref [] in
+  let unschedulable = ref [] in
+  List.iter
+    (fun (cid, mid) ->
+      match Hashtbl.find_opt by_uid cid with
+      | None -> () (* a pre-existing container the scheduler touched *)
+      | Some pod ->
+          let node = Model_adaptor.node_name_of_machine ma mid in
+          Kube_api.bind api ~pod:pod.Kube_objects.pod_name ~node;
+          bound := (pod.Kube_objects.pod_name, node) :: !bound)
+    o.Scheduler.placed;
+  List.iter
+    (fun (c : Container.t) ->
+      match Hashtbl.find_opt by_uid c.Container.id with
+      | None -> ()
+      | Some pod ->
+          Kube_api.mark_unschedulable api ~pod:pod.Kube_objects.pod_name
+            ~reason:"no admissible node";
+          unschedulable := pod.Kube_objects.pod_name :: !unschedulable)
+    o.Scheduler.undeployed;
+  (* Migrations move containers that were bound in earlier rounds: rebind
+     any pod whose API binding no longer matches the scheduler mirror. *)
+  (match Model_adaptor.cluster ma with
+  | None -> ()
+  | Some cluster ->
+      List.iter
+        (fun (pod : Kube_objects.pod) ->
+          match
+            (pod.Kube_objects.phase, Cluster.machine_of cluster pod.Kube_objects.uid)
+          with
+          | Kube_objects.Bound node, Some mid ->
+              let actual = Model_adaptor.node_name_of_machine ma mid in
+              if actual <> node then begin
+                Kube_api.bind api ~pod:pod.Kube_objects.pod_name ~node:actual;
+                bound := (pod.Kube_objects.pod_name, actual) :: !bound
+              end
+          | _ -> ())
+        (Kube_api.pods api));
+  if !bound <> [] then Model_adaptor.seal ma;
+  {
+    bound = List.rev !bound;
+    unschedulable = List.rev !unschedulable;
+    migrations = o.Scheduler.migrations;
+    preemptions = o.Scheduler.preemptions;
+  }

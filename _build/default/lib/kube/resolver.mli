@@ -1,0 +1,19 @@
+(** Resolvers (Fig. 6): map the scheduler's container→machine decisions
+    back onto Kubernetes objects through the binding API, and surface
+    undeployed containers as Unschedulable pod conditions. *)
+
+type report = {
+  bound : (string * string) list;  (** pod name, node name *)
+  unschedulable : string list;
+  migrations : int;
+  preemptions : int;
+}
+
+val resolve :
+  Kube_api.t ->
+  Model_adaptor.t ->
+  pods:Kube_objects.pod list ->
+  Scheduler.outcome ->
+  report
+(** Binds every placed pod of the batch (and re-binds pods whose containers
+    the scheduler migrated), marks the undeployed ones. *)

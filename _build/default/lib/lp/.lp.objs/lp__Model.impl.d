@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Float Hashtbl List Printf

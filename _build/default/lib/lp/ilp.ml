@@ -1,0 +1,95 @@
+type status = Optimal | Feasible
+
+type outcome =
+  | Solved of { x : float array; objective : float; status : status }
+  | Infeasible
+
+(* Branch-and-bound nodes carry extra bound rows [x_v ≤ u] / [x_v ≥ l] that
+   are appended to a copy of the model. *)
+type bound = { var : Model.var; sense : Model.sense; value : float }
+
+let apply_bounds m bounds =
+  let m' = Model.create () in
+  for v = 0 to Model.n_vars m - 1 do
+    let _ =
+      Model.add_var ?upper:(Model.upper_bound m v)
+        ~integer:(Model.is_integer m v) ~name:(Model.var_name m v) m'
+    in
+    ()
+  done;
+  List.iter (fun (c, s, r) -> Model.add_constraint m' c s r) (Model.rows m);
+  List.iter
+    (fun { var; sense; value } ->
+      Model.add_constraint m' [ (var, 1.0) ] sense value)
+    bounds;
+  Model.set_objective m'
+    (Array.to_list (Array.mapi (fun v c -> (v, c)) (Model.objective m))
+    |> List.filter (fun (_, c) -> c <> 0.));
+  m'
+
+let fractional_var ~eps m x =
+  let pick = ref None in
+  let worst = ref 0. in
+  for v = 0 to Model.n_vars m - 1 do
+    if Model.is_integer m v then begin
+      let f = x.(v) -. Float.round x.(v) in
+      let d = Float.abs f in
+      if d > eps && d > !worst then begin
+        worst := d;
+        pick := Some v
+      end
+    end
+  done;
+  !pick
+
+let round_integral ~eps m x =
+  Array.mapi
+    (fun v xi ->
+      if Model.is_integer m v && Float.abs (xi -. Float.round xi) <= eps then
+        Float.round xi
+      else xi)
+    x
+
+let solve ?(eps = 1e-6) ?(node_budget = 100_000) m =
+  let best : (float array * float) option ref = ref None in
+  let nodes = ref 0 in
+  let budget_hit = ref false in
+  let better obj =
+    match !best with None -> true | Some (_, b) -> obj > b +. eps
+  in
+  let rec branch bounds =
+    if !nodes >= node_budget then budget_hit := true
+    else begin
+      incr nodes;
+      let m' = apply_bounds m bounds in
+      match Simplex.solve m' with
+      | Simplex.Infeasible | Simplex.Unbounded -> ()
+      | Simplex.Optimal { x; objective } ->
+          if better objective then begin
+            match fractional_var ~eps m x with
+            | None ->
+                let x = round_integral ~eps m x in
+                if Model.feasible m x && better (Model.eval_objective m x)
+                then best := Some (x, Model.eval_objective m x)
+            | Some v ->
+                let fl = Float.of_int (int_of_float (floor x.(v))) in
+                (* Explore the branch nearer the LP optimum first. *)
+                let down = { var = v; sense = Model.Le; value = fl } in
+                let up = { var = v; sense = Model.Ge; value = fl +. 1. } in
+                if x.(v) -. fl > 0.5 then begin
+                  branch (up :: bounds);
+                  branch (down :: bounds)
+                end
+                else begin
+                  branch (down :: bounds);
+                  branch (up :: bounds)
+                end
+          end
+    end
+  in
+  branch [];
+  match !best with
+  | None -> Infeasible
+  | Some (x, objective) ->
+      let status = if !budget_hit then Feasible else Optimal in
+      Solved { x; objective; status }

@@ -1,0 +1,15 @@
+(** Branch-and-bound 0/1 (and general-integer) solver over {!Simplex}.
+
+    Depth-first with best-bound pruning and a node budget; returns the best
+    incumbent found, so with a small budget it behaves like the anytime MIP
+    solves Medea performs in production. *)
+
+type status = Optimal | Feasible  (** budget hit before proving optimality *)
+
+type outcome =
+  | Solved of { x : float array; objective : float; status : status }
+  | Infeasible
+
+val solve : ?eps:float -> ?node_budget:int -> Model.t -> outcome
+(** Variables flagged [integer] in the model are branched to integrality;
+    continuous variables stay fractional. Default budget: 100_000 nodes. *)

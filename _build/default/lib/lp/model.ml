@@ -1,0 +1,89 @@
+type sense = Le | Ge | Eq
+type var = int
+
+type row = { coeffs : (var * float) list; sense : sense; rhs : float }
+
+type t = {
+  mutable vars : int;
+  mutable uppers : (var * float) list;
+  mutable integers : (var, unit) Hashtbl.t;
+  mutable names : (var * string) list;
+  mutable rows_rev : row list;
+  mutable obj : (var * float) list;
+}
+
+let create () =
+  {
+    vars = 0;
+    uppers = [];
+    integers = Hashtbl.create 16;
+    names = [];
+    rows_rev = [];
+    obj = [];
+  }
+
+let add_var ?upper ?(integer = false) ?name m =
+  let v = m.vars in
+  m.vars <- v + 1;
+  (match upper with
+  | Some u -> m.uppers <- (v, u) :: m.uppers
+  | None -> ());
+  if integer then Hashtbl.replace m.integers v ();
+  (match name with Some n -> m.names <- (v, n) :: m.names | None -> ());
+  v
+
+let add_constraint m coeffs sense rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= m.vars then invalid_arg "Model.add_constraint: bad var")
+    coeffs;
+  m.rows_rev <- { coeffs; sense; rhs } :: m.rows_rev
+
+let set_objective m coeffs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= m.vars then invalid_arg "Model.set_objective: bad var")
+    coeffs;
+  m.obj <- coeffs
+
+let n_vars m = m.vars
+let n_constraints m = List.length m.rows_rev
+let is_integer m v = Hashtbl.mem m.integers v
+let upper_bound m v = List.assoc_opt v m.uppers
+
+let var_name m v =
+  match List.assoc_opt v m.names with
+  | Some n -> n
+  | None -> Printf.sprintf "x%d" v
+
+let rows m =
+  List.rev_map (fun { coeffs; sense; rhs } -> (coeffs, sense, rhs)) m.rows_rev
+
+let objective m =
+  let c = Array.make m.vars 0. in
+  List.iter (fun (v, w) -> c.(v) <- c.(v) +. w) m.obj;
+  c
+
+let eval_objective m x =
+  let c = objective m in
+  let s = ref 0. in
+  Array.iteri (fun i ci -> s := !s +. (ci *. x.(i))) c;
+  !s
+
+let feasible ?(eps = 1e-7) m x =
+  let ok = ref true in
+  for v = 0 to m.vars - 1 do
+    if x.(v) < -.eps then ok := false;
+    match upper_bound m v with
+    | Some u when x.(v) > u +. eps -> ok := false
+    | _ -> ()
+  done;
+  List.iter
+    (fun { coeffs; sense; rhs } ->
+      let lhs = List.fold_left (fun a (v, w) -> a +. (w *. x.(v))) 0. coeffs in
+      match sense with
+      | Le -> if lhs > rhs +. eps then ok := false
+      | Ge -> if lhs < rhs -. eps then ok := false
+      | Eq -> if Float.abs (lhs -. rhs) > eps then ok := false)
+    m.rows_rev;
+  !ok

@@ -1,0 +1,40 @@
+(** Linear-program model builder.
+
+    Variables are continuous and bounded below by 0; optional upper bounds
+    and integrality flags are attached per variable. The builder converts
+    everything into the standard form consumed by {!Simplex} ([maximize c·x]
+    subject to [Ax ≤ b] after translating [≥] and [=] rows). *)
+
+type sense = Le | Ge | Eq
+
+type t
+
+type var = int
+(** Dense variable index. *)
+
+val create : unit -> t
+
+val add_var : ?upper:float -> ?integer:bool -> ?name:string -> t -> var
+(** A variable with domain [0, upper] (default: unbounded above).
+    [integer] marks it for branch-and-bound (see {!Ilp}). *)
+
+val add_constraint : t -> (var * float) list -> sense -> float -> unit
+(** [add_constraint m coeffs sense rhs] adds [Σ cᵢ·xᵢ  sense  rhs]. *)
+
+val set_objective : t -> (var * float) list -> unit
+(** Coefficients of the (maximized) objective; unset variables get 0. *)
+
+val n_vars : t -> int
+val n_constraints : t -> int
+val is_integer : t -> var -> bool
+val upper_bound : t -> var -> float option
+val var_name : t -> var -> string
+
+val rows : t -> (((var * float) list) * sense * float) list
+(** Constraints in insertion order (used by solvers and tests). *)
+
+val objective : t -> float array
+
+val eval_objective : t -> float array -> float
+val feasible : ?eps:float -> t -> float array -> bool
+(** Check a point against all constraints and bounds. *)

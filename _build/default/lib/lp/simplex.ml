@@ -1,0 +1,208 @@
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+(* Tableau in basis form: [rows] are the constraint rows over all columns
+   (structural, slack/surplus, artificial), [rhs] is non-negative, and
+   [basis.(r)] names the basic column of row [r] (unit column in-tableau). *)
+type tableau = {
+  rows : float array array;
+  rhs : float array;
+  basis : int array;
+  ncols : int;
+}
+
+let pivot t ~row ~col =
+  let prow = t.rows.(row) in
+  let p = prow.(col) in
+  for j = 0 to t.ncols - 1 do
+    prow.(j) <- prow.(j) /. p
+  done;
+  t.rhs.(row) <- t.rhs.(row) /. p;
+  for r = 0 to Array.length t.rows - 1 do
+    if r <> row then begin
+      let f = t.rows.(r).(col) in
+      if Float.abs f > 0. then begin
+        let rr = t.rows.(r) in
+        for j = 0 to t.ncols - 1 do
+          rr.(j) <- rr.(j) -. (f *. prow.(j))
+        done;
+        t.rhs.(r) <- t.rhs.(r) -. (f *. t.rhs.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced-cost row for cost vector [c] under the current basis: since the
+   tableau is kept in basis form, z_j = Σ_r c_basis(r)·a_rj. *)
+let reduced_costs t c =
+  let nrows = Array.length t.rows in
+  let red = Array.copy c in
+  let zval = ref 0. in
+  for r = 0 to nrows - 1 do
+    let cb = c.(t.basis.(r)) in
+    if cb <> 0. then begin
+      zval := !zval +. (cb *. t.rhs.(r));
+      let row = t.rows.(r) in
+      for j = 0 to t.ncols - 1 do
+        red.(j) <- red.(j) -. (cb *. row.(j))
+      done
+    end
+  done;
+  (red, !zval)
+
+(* One simplex phase: maximize c·x from the current basis. Bland's rule on
+   both the entering and leaving choices prevents cycling. *)
+let optimize ?(eps = 1e-9) t c =
+  let nrows = Array.length t.rows in
+  let rec loop () =
+    let red, _ = reduced_costs t c in
+    let enter = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if red.(j) > eps then begin
+           enter := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Optimal
+    else begin
+      let col = !enter in
+      let leave = ref (-1) in
+      let best = ref infinity in
+      for r = 0 to nrows - 1 do
+        let a = t.rows.(r).(col) in
+        if a > eps then begin
+          let ratio = t.rhs.(r) /. a in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps
+               && (!leave < 0 || t.basis.(r) < t.basis.(!leave)))
+          then begin
+            best := ratio;
+            leave := r
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ?(eps = 1e-9) m =
+  let nstruct = Model.n_vars m in
+  (* Rows: model rows plus one upper-bound row per bounded variable. *)
+  let base_rows = Model.rows m in
+  let bound_rows =
+    List.concat_map
+      (fun v ->
+        match Model.upper_bound m v with
+        | Some u -> [ ([ (v, 1.0) ], Model.Le, u) ]
+        | None -> [])
+      (List.init nstruct (fun v -> v))
+  in
+  let all_rows = base_rows @ bound_rows in
+  let nrows = List.length all_rows in
+  (* Columns: structural | slack/surplus (one per row needing it) |
+     artificial (assigned below). First pass: count extras. *)
+  let slack_of_row = Array.make nrows (-1) in
+  let nslack = ref 0 in
+  List.iteri
+    (fun i (_, sense, _) ->
+      match sense with
+      | Model.Le | Model.Ge ->
+          slack_of_row.(i) <- nstruct + !nslack;
+          incr nslack
+      | Model.Eq -> ())
+    all_rows;
+  (* Build equality rows with rhs ≥ 0, note which rows need an artificial. *)
+  let needs_artificial = Array.make nrows false in
+  let raw = Array.make nrows [||] in
+  let rhs0 = Array.make nrows 0. in
+  List.iteri
+    (fun i (coeffs, sense, rhs) ->
+      let row = Array.make (nstruct + !nslack) 0. in
+      List.iter (fun (v, w) -> row.(v) <- row.(v) +. w) coeffs;
+      (match sense with
+      | Model.Le -> row.(slack_of_row.(i)) <- 1.0
+      | Model.Ge -> row.(slack_of_row.(i)) <- -1.0
+      | Model.Eq -> ());
+      let row, rhs =
+        if rhs < 0. then (Array.map (fun x -> -.x) row, -.rhs) else (row, rhs)
+      in
+      raw.(i) <- row;
+      rhs0.(i) <- rhs;
+      (* A ready-made basic column exists only when the slack enters with
+         coefficient +1. *)
+      needs_artificial.(i) <-
+        (match sense with
+        | Model.Le | Model.Ge -> row.(slack_of_row.(i)) < 0.5
+        | Model.Eq -> true))
+    all_rows;
+  let nart = Array.fold_left (fun n b -> if b then n + 1 else n) 0 needs_artificial in
+  let ncols = nstruct + !nslack + nart in
+  let rows = Array.map (fun r ->
+      let full = Array.make ncols 0. in
+      Array.blit r 0 full 0 (Array.length r);
+      full) raw
+  in
+  let basis = Array.make nrows (-1) in
+  let next_art = ref (nstruct + !nslack) in
+  Array.iteri
+    (fun i need ->
+      if need then begin
+        rows.(i).(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        incr next_art
+      end
+      else basis.(i) <- slack_of_row.(i))
+    (Array.copy needs_artificial);
+  let t = { rows; rhs = rhs0; basis; ncols } in
+  (* Phase 1: drive artificials to zero. *)
+  if nart > 0 then begin
+    let c1 = Array.make ncols 0. in
+    for j = nstruct + !nslack to ncols - 1 do
+      c1.(j) <- -1.0
+    done;
+    match optimize ~eps t c1 with
+    | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+    | `Optimal ->
+        let _, z = reduced_costs t c1 in
+        if z < -.1e-6 then raise Exit
+  end;
+  (* Drive any artificial still basic (at value 0) out of the basis. *)
+  for r = 0 to nrows - 1 do
+    if t.basis.(r) >= nstruct + !nslack then begin
+      let found = ref (-1) in
+      for j = 0 to nstruct + !nslack - 1 do
+        if !found < 0 && Float.abs t.rows.(r).(j) > 1e-7 then found := j
+      done;
+      if !found >= 0 then pivot t ~row:r ~col:!found
+      (* else: redundant row; harmless to leave (rhs is 0). *)
+    end
+  done;
+  (* Phase 2: real objective; artificial columns forbidden via -inf-like
+     cost (they are non-basic at 0, a large negative cost keeps them out). *)
+  let c2 = Array.make ncols 0. in
+  let cobj = Model.objective m in
+  Array.blit cobj 0 c2 0 nstruct;
+  for j = nstruct + !nslack to ncols - 1 do
+    c2.(j) <- -1e18
+  done;
+  match optimize ~eps t c2 with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Array.make nstruct 0. in
+      Array.iteri
+        (fun r b -> if b < nstruct then x.(b) <- t.rhs.(r))
+        t.basis;
+      let obj = Model.eval_objective m x in
+      Optimal { x; objective = obj }
+
+let solve ?eps m = try solve ?eps m with Exit -> Infeasible

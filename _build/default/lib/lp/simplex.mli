@@ -1,0 +1,15 @@
+(** Dense two-phase primal simplex with Bland's rule.
+
+    Solves the LP relaxation of a {!Model.t}: maximize the objective subject
+    to the model's rows and variable bounds (integrality flags are ignored
+    here; {!Ilp} adds branch-and-bound on top). Intended for the
+    Medea-baseline instance sizes (hundreds of variables), not for
+    large-scale LP. *)
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : ?eps:float -> Model.t -> outcome
+(** [x] has one entry per model variable. *)

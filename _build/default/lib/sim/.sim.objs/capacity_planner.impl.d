@@ -1,0 +1,1 @@
+lib/sim/capacity_planner.ml: Application Array Cluster List Replay Resource Scheduler Workload

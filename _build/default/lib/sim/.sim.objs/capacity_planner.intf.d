@@ -1,0 +1,1 @@
+lib/sim/capacity_planner.mli: Arrival Replay Scheduler Workload

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Cluster Float Format List Scheduler Violation

@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Array Arrival Cluster Scheduler Unix Workload

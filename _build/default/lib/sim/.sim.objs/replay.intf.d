@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Arrival Cluster Container Scheduler Workload

@@ -1,0 +1,61 @@
+type result = {
+  pool : int;
+  used : int;
+  floor_undeployed : int;
+  run : Replay.run;
+}
+
+let demand_lower_bound w =
+  let total = Resource.to_array (Workload.total_demand w) in
+  let cap = Resource.to_array w.Workload.machine_capacity in
+  let need = ref 1 in
+  Array.iteri
+    (fun i d ->
+      if cap.(i) > 0 then need := max !need ((d + cap.(i) - 1) / cap.(i)))
+    total;
+  (* Anti-affinity forces at least as many machines as the largest
+     anti-within app has containers. *)
+  Array.iter
+    (fun (a : Application.t) ->
+      if a.Application.anti_affinity_within then
+        need := max !need a.Application.n_containers)
+    w.Workload.apps;
+  !need
+
+let quality run =
+  ( List.length run.Replay.outcome.Scheduler.undeployed,
+    List.length run.Replay.outcome.Scheduler.violations )
+
+let plan ?lo ?hi ?order sched w =
+  let lo = match lo with Some l -> max 1 l | None -> demand_lower_bound w in
+  let hi = match hi with Some h -> h | None -> 8 * lo in
+  let attempt n = Replay.run_workload ?order sched w ~n_machines:n in
+  let top = attempt hi in
+  let floor_u, floor_v = quality top in
+  if floor_u >= top.Replay.n_submitted && top.Replay.n_submitted > 0 then None
+  else begin
+    let succeeds r =
+      let u, v = quality r in
+      u <= floor_u && v <= floor_v
+    in
+    let best_run = ref top in
+    let best_n = ref hi in
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let r = attempt mid in
+      if succeeds r then begin
+        best_run := r;
+        best_n := mid;
+        hi := mid
+      end
+      else lo := mid + 1
+    done;
+    Some
+      {
+        pool = !best_n;
+        used = Cluster.used_machines !best_run.Replay.cluster;
+        floor_undeployed = floor_u;
+        run = !best_run;
+      }
+  end

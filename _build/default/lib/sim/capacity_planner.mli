@@ -1,0 +1,30 @@
+(** "How many machines does scheduler X need?" — the Fig. 10 question.
+
+    Schedulers like Firmament have an intrinsic quality floor (conflicts
+    they never resolve regardless of pool size), so "needs" is defined as:
+    the smallest homogeneous pool on which the scheduler does as well as it
+    ever does — no more undeployed containers and no more violations than
+    on an effectively unconstrained pool. For Aladdin and Medea(c=0) the
+    floor is zero and this coincides with "deploys everything cleanly".
+    Deployability is treated as monotone in pool size (true for every
+    scheduler here on a fixed arrival order). *)
+
+type result = {
+  pool : int;          (** smallest pool reaching the quality floor *)
+  used : int;          (** machines hosting ≥1 container on that pool *)
+  floor_undeployed : int;  (** the scheduler's intrinsic floor *)
+  run : Replay.run;    (** the successful run, for Fig. 11 utilization *)
+}
+
+val plan :
+  ?lo:int ->
+  ?hi:int ->
+  ?order:Arrival.order ->
+  Scheduler.t ->
+  Workload.t ->
+  result option
+(** [lo] defaults to the demand lower bound (total demand / machine
+    capacity); [hi] to 8× that. [None] when the scheduler deploys nothing
+    even on [hi] machines. *)
+
+val demand_lower_bound : Workload.t -> int

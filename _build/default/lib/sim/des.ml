@@ -1,0 +1,77 @@
+(* Pairing-free binary heap keyed by (time, sequence) so equal-time events
+   preserve insertion order. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable n : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; n = 0; clock = 0.; next_seq = 0 }
+let now t = t.clock
+let is_empty t = t.n = 0
+let pending t = t.n
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t fill =
+  let cap = max 8 (2 * Array.length t.heap) in
+  let heap = Array.make cap fill in
+  Array.blit t.heap 0 heap 0 t.n;
+  t.heap <- heap
+
+let schedule t ~at payload =
+  if at < t.clock then invalid_arg "Des.schedule: in the past";
+  let e = { time = at; seq = t.next_seq; payload } in
+  if t.n >= Array.length t.heap then grow t e;
+  t.next_seq <- t.next_seq + 1;
+  (* sift up *)
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  t.heap.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let after t ~delay payload =
+  if delay < 0. then invalid_arg "Des.after: negative delay";
+  schedule t ~at:(t.clock +. delay) payload
+
+let next t =
+  if t.n = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.heap.(0) <- t.heap.(t.n);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    t.clock <- top.time;
+    Some (top.time, top.payload)
+  end

@@ -1,0 +1,24 @@
+(** Minimal discrete-event simulation core: a time-ordered event queue with
+    a monotonically advancing virtual clock. Used by the mixed
+    long-lived/short-lived workload runner (§IV.D). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val now : 'a t -> float
+(** Current virtual time (the timestamp of the last popped event). *)
+
+val schedule : 'a t -> at:float -> 'a -> unit
+(** @raise Invalid_argument when scheduling in the past. *)
+
+val after : 'a t -> delay:float -> 'a -> unit
+(** Schedule relative to {!now}. @raise Invalid_argument on negative
+    delay. *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event and advance the clock. Ties pop in insertion
+    order. *)
+
+val is_empty : 'a t -> bool
+val pending : 'a t -> int

@@ -1,0 +1,42 @@
+let undeployed_pct (o : Scheduler.outcome) ~total =
+  if total = 0 then 0.
+  else 100. *. float_of_int (List.length o.Scheduler.undeployed)
+       /. float_of_int total
+
+let anti_affinity_ratio_pct (o : Scheduler.outcome) =
+  match o.Scheduler.violations with
+  | [] -> 0.
+  | v -> 100. *. Violation.anti_affinity_ratio v
+
+let efficiency ~used ~best =
+  if best <= 0 then invalid_arg "Metrics.efficiency: bad baseline";
+  (float_of_int used /. float_of_int best) -. 1.
+
+type util_summary = {
+  min_pct : float;
+  max_pct : float;
+  mean_pct : float;
+  n_used : int;
+}
+
+let utilization_summary cluster =
+  match Cluster.utilizations cluster with
+  | [] -> { min_pct = 0.; max_pct = 0.; mean_pct = 0.; n_used = 0 }
+  | us ->
+      let n = List.length us in
+      let mn = List.fold_left Float.min infinity us in
+      let mx = List.fold_left Float.max neg_infinity us in
+      let mean = List.fold_left ( +. ) 0. us /. float_of_int n in
+      {
+        min_pct = 100. *. mn;
+        max_pct = 100. *. mx;
+        mean_pct = 100. *. mean;
+        n_used = n;
+      }
+
+let latency_ms ~elapsed_s ~containers =
+  if containers = 0 then 0. else 1000. *. elapsed_s /. float_of_int containers
+
+let pp_util ppf u =
+  Format.fprintf ppf "%.0f%%..%.0f%% (avg %.0f%%, %d machines)" u.min_pct
+    u.max_pct u.mean_pct u.n_used

@@ -1,0 +1,27 @@
+(** Evaluation metrics, matching §V's definitions. *)
+
+val undeployed_pct : Scheduler.outcome -> total:int -> float
+(** Fig. 9 y-axis: percent of submitted containers left undeployed. *)
+
+val anti_affinity_ratio_pct : Scheduler.outcome -> float
+(** Fig. 9(e): anti-affinity share of all violations, in percent.
+    Undeployed containers are counted as violations of their strictest
+    constraint class for this ratio when the scheduler reported none. *)
+
+val efficiency : used:int -> best:int -> float
+(** Eq. 10: [used/best − 1]; 0 for the scheduler that used fewest machines. *)
+
+type util_summary = {
+  min_pct : float;
+  max_pct : float;
+  mean_pct : float;
+  n_used : int;
+}
+
+val utilization_summary : Cluster.t -> util_summary
+(** Fig. 11: range and average of per-used-machine utilization. *)
+
+val latency_ms : elapsed_s:float -> containers:int -> float
+(** Eq. 11: average placement latency per container (ms). *)
+
+val pp_util : Format.formatter -> util_summary -> unit

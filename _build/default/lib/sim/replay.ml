@@ -1,0 +1,43 @@
+type run = {
+  scheduler : string;
+  outcome : Scheduler.outcome;
+  elapsed_s : float;
+  n_submitted : int;
+  cluster : Cluster.t;
+}
+
+let run ?batch (sched : Scheduler.t) ~cluster ~containers =
+  let n = Array.length containers in
+  let batch = match batch with Some b when b > 0 -> b | _ -> max n 1 in
+  let outcome = ref Scheduler.empty_outcome in
+  let elapsed = ref 0. in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min batch (n - !pos) in
+    let wave = Array.sub containers !pos len in
+    let t0 = Unix.gettimeofday () in
+    let o = sched.Scheduler.schedule cluster wave in
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    outcome := Scheduler.merge !outcome o;
+    pos := !pos + len
+  done;
+  {
+    scheduler = sched.Scheduler.name;
+    outcome = !outcome;
+    elapsed_s = !elapsed;
+    n_submitted = n;
+    cluster;
+  }
+
+let run_workload ?batch ?(order = Arrival.As_submitted) sched w ~n_machines =
+  let w = Arrival.apply order w in
+  let cluster =
+    Cluster.create
+      (Workload.topology w ~n_machines)
+      ~constraints:(Workload.constraint_set w)
+  in
+  run ?batch sched ~cluster ~containers:w.Workload.containers
+
+let per_container_ms r =
+  if r.n_submitted = 0 then 0.
+  else 1000. *. r.elapsed_s /. float_of_int r.n_submitted

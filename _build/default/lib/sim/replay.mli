@@ -1,0 +1,34 @@
+(** Trace replay: feed a workload's containers to a scheduler (optionally in
+    arrival batches) against a fresh or existing cluster, timing the
+    placement decisions the way the paper does — RPCs and task execution
+    are outside the measured region. *)
+
+type run = {
+  scheduler : string;
+  outcome : Scheduler.outcome;
+  elapsed_s : float;            (** wall-clock of scheduling code only *)
+  n_submitted : int;
+  cluster : Cluster.t;          (** final state, for utilization metrics *)
+}
+
+val run :
+  ?batch:int ->
+  Scheduler.t ->
+  cluster:Cluster.t ->
+  containers:Container.t array ->
+  run
+(** [batch] splits the submission into waves of that size (default: one
+    wave with everything, the paper's simultaneous-arrival setting). *)
+
+val run_workload :
+  ?batch:int ->
+  ?order:Arrival.order ->
+  Scheduler.t ->
+  Workload.t ->
+  n_machines:int ->
+  run
+(** Convenience: build a homogeneous cluster from the workload's machine
+    shape and replay all containers in the given order. *)
+
+val per_container_ms : run -> float
+(** Eq. 11: average placement latency per container, in milliseconds. *)

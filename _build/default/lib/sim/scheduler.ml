@@ -1,0 +1,44 @@
+type outcome = {
+  placed : (Container.id * Machine.id) list;
+  undeployed : Container.t list;
+  violations : Violation.t list;
+  migrations : int;
+  preemptions : int;
+  rounds : int;
+}
+
+type t = {
+  name : string;
+  schedule : Cluster.t -> Container.t array -> outcome;
+}
+
+let empty_outcome =
+  {
+    placed = [];
+    undeployed = [];
+    violations = [];
+    migrations = 0;
+    preemptions = 0;
+    rounds = 0;
+  }
+
+let merge a b =
+  {
+    placed = a.placed @ b.placed;
+    undeployed = a.undeployed @ b.undeployed;
+    violations = a.violations @ b.violations;
+    migrations = a.migrations + b.migrations;
+    preemptions = a.preemptions + b.preemptions;
+    rounds = a.rounds + b.rounds;
+  }
+
+let undeployed_count o = List.length o.undeployed
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "placed=%d undeployed=%d violations=%d (anti=%d) migrations=%d \
+     preemptions=%d rounds=%d"
+    (List.length o.placed) (List.length o.undeployed)
+    (List.length o.violations)
+    (Violation.count_anti_affinity o.violations)
+    o.migrations o.preemptions o.rounds

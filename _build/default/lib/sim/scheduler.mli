@@ -1,0 +1,30 @@
+(** The interface every scheduler in this repository implements, and the
+    outcome record the evaluation metrics are computed from.
+
+    A scheduler receives a mutable {!Cluster.t} (it may already host
+    containers from earlier batches) and a submission batch; it deploys what
+    it can by mutating the cluster and reports the rest. *)
+
+type outcome = {
+  placed : (Container.id * Machine.id) list;
+      (** final placements made for this batch *)
+  undeployed : Container.t list;
+      (** batch containers left unscheduled — the Fig. 9 quality metric *)
+  violations : Violation.t list;
+      (** constraint violations the scheduler *tolerated* *)
+  migrations : int;  (** container moves performed (Fig. 13(b)) *)
+  preemptions : int; (** evictions performed *)
+  rounds : int;      (** internal scheduling rounds/iterations used *)
+}
+
+type t = {
+  name : string;
+  schedule : Cluster.t -> Container.t array -> outcome;
+}
+
+val empty_outcome : outcome
+val merge : outcome -> outcome -> outcome
+(** Concatenates placements/violations and sums the counters. *)
+
+val undeployed_count : outcome -> int
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/trace/alibaba.ml: Application Array Container Distribution Float Int List Resource Rng Workload

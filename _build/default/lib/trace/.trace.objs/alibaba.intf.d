@@ -1,0 +1,1 @@
+lib/trace/alibaba.mli: Resource Workload

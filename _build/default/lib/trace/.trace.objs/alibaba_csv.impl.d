@@ -1,0 +1,1 @@
+lib/trace/alibaba_csv.ml: Application Array Container Float Fun Hashtbl Int List Printf Resource String Workload

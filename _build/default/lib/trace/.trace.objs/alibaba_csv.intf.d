@@ -1,0 +1,1 @@
+lib/trace/alibaba_csv.mli: Workload

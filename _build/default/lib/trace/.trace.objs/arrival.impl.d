@@ -1,0 +1,1 @@
+lib/trace/arrival.ml: Array Container Hashtbl Int List Option String Workload

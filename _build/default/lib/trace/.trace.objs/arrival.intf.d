@@ -1,0 +1,1 @@
+lib/trace/arrival.mli: Workload

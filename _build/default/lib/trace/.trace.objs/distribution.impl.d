@@ -1,0 +1,1 @@
+lib/trace/distribution.ml: Array Float Hashtbl Int List Rng

@@ -1,0 +1,1 @@
+lib/trace/distribution.mli: Rng

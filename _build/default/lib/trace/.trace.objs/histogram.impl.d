@@ -1,0 +1,1 @@
+lib/trace/histogram.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Application Array Buffer Container Fun Hashtbl List Printf Resource String Workload

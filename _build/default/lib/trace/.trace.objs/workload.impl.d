@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Application Array Constraint_set Container Hashtbl List Option Resource Topology

@@ -1,0 +1,1 @@
+lib/trace/workload.mli: Application Constraint_set Container Hashtbl Resource Topology

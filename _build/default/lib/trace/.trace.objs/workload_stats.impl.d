@@ -1,0 +1,1 @@
+lib/trace/workload_stats.ml: Application Array Constraint_set Format Int List Resource Workload

@@ -1,0 +1,1 @@
+lib/trace/workload_stats.mli: Format Resource Workload

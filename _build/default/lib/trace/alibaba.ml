@@ -1,0 +1,241 @@
+type params = {
+  seed : int;
+  n_apps : int;
+  target_containers : int;
+  max_app_size : int;
+  cpu_only : bool;
+  machine_cpu : float;
+  machine_mem_gb : float;
+  frac_single : float;
+  frac_lt_50 : float;
+  frac_anti_affinity : float;
+  frac_priority : float;
+  frac_across : float;
+  priority_classes : int;
+}
+
+let default =
+  {
+    seed = 42;
+    n_apps = 13_056;
+    target_containers = 100_000;
+    max_app_size = 2_500;
+    cpu_only = true;
+    machine_cpu = 32.;
+    machine_mem_gb = 64.;
+    frac_single = 0.64;
+    frac_lt_50 = 0.95;
+    frac_anti_affinity = 0.72;
+    frac_priority = 0.16;
+    frac_across = 0.03;
+    priority_classes = 3;
+  }
+
+let scaled f =
+  if f <= 0. then invalid_arg "Alibaba.scaled: factor must be positive";
+  let s x = max 1 (int_of_float (Float.round (float_of_int x *. f))) in
+  {
+    default with
+    n_apps = s default.n_apps;
+    target_containers = s default.target_containers;
+    max_app_size = max 8 (s default.max_app_size);
+  }
+
+let machine_capacity p =
+  if p.cpu_only then Resource.cpu_only p.machine_cpu
+  else Resource.make ~cpu:p.machine_cpu ~mem_gb:p.machine_mem_gb
+
+(* CPU demand mixes. Calibrated jointly with the priority/size skew so the
+   container-weighted mean lands near 2.5 cores: at the paper's 10
+   containers per 32-CPU machine that is ~78% cluster load — tight enough
+   that greedy schedulers fragment, feasible for good ones. *)
+let cpu_mix =
+  [| (0.28, 0.5); (0.32, 1.0); (0.20, 2.0); (0.12, 4.0); (0.06, 8.0); (0.02, 16.0) |]
+
+(* High-priority apps skew to larger demands (§V.A), mean ~3.7 cores. *)
+let cpu_mix_priority =
+  [| (0.25, 1.0); (0.35, 2.0); (0.22, 4.0); (0.13, 8.0); (0.05, 16.0) |]
+
+let sample_demand rng p ~priority =
+  let cpu =
+    Distribution.categorical rng (if priority > 0 then cpu_mix_priority else cpu_mix)
+  in
+  if p.cpu_only then Resource.cpu_only cpu
+  else
+    (* Memory roughly tracks CPU (2 GB per core) with ±50% jitter, capped
+       at the 32 GB maximum the trace reports. *)
+    let mem = Float.min 32. (cpu *. 2. *. (0.5 +. Rng.float rng)) in
+    Resource.make ~cpu ~mem_gb:(Float.max 0.25 mem)
+
+(* App size: mixture matching the Fig. 8(a) CDF shape. The mid bucket is a
+   Zipf over [2, 50) and the tail a bounded Pareto reaching max_app_size. *)
+let sample_size rng p =
+  let u = Rng.float rng in
+  if u < p.frac_single then 1
+  else if u < p.frac_lt_50 then
+    1 + Distribution.zipf rng ~n:(min 48 (max 2 (p.max_app_size - 1))) ~s:1.4
+  else
+    let lo = min 50 p.max_app_size in
+    Distribution.bounded_pareto rng ~alpha:1.6 ~lo ~hi:p.max_app_size
+
+let generate p =
+  if p.n_apps <= 0 then invalid_arg "Alibaba.generate: no apps";
+  let rng = Rng.create p.seed in
+  let sizes = Array.init p.n_apps (fun _ -> sample_size rng p) in
+  (* Normalise to the container budget while keeping singles single: shave
+     the biggest apps on overshoot, grow the mid-sized bucket on
+     undershoot. The budget is exact so that the evaluation's
+     10-containers-per-machine ratio holds at every scale. *)
+  let target = p.target_containers in
+  let total = ref (Array.fold_left ( + ) 0 sizes) in
+  let order = Array.init p.n_apps (fun i -> i) in
+  Array.sort (fun a b -> Int.compare sizes.(b) sizes.(a)) order;
+  let passes = ref 0 in
+  while !total > target && !passes < 30 do
+    incr passes;
+    Array.iter
+      (fun i ->
+        if !total > target && sizes.(i) > 1 then begin
+          let cut = min (!total - target) (sizes.(i) - (1 + (sizes.(i) / 2))) in
+          if cut > 0 then begin
+            sizes.(i) <- sizes.(i) - cut;
+            total := !total - cut
+          end
+        end)
+      order
+  done;
+  let passes = ref 0 in
+  while !total < target && !passes < 400 do
+    incr passes;
+    (* Grow the tail apps first (size >= 10, largest first) so the low end
+       of the CDF keeps its shape; fall back to any multi-instance app and
+       finally to singles only if unavoidable. *)
+    let grew = ref false in
+    let grow_if cond =
+      Array.iter
+        (fun i ->
+          if !total < target && cond sizes.(i) then begin
+            sizes.(i) <- sizes.(i) + 1;
+            incr total;
+            grew := true
+          end)
+        order
+    in
+    let cap = p.max_app_size in
+    grow_if (fun s -> s >= 10 && s < cap);
+    if (not !grew) && !total < target then grow_if (fun s -> s > 1 && s < cap);
+    if (not !grew) && !total < target then grow_if (fun s -> s < cap)
+  done;
+  (* Priority: probability grows with app size (larger LLAs are the
+     business-critical ones in the trace). Calibrated so the overall share
+     lands near frac_priority. *)
+  let size_boost n = if n >= 50 then 2.0 else if n > 1 then 1.2 else 0.5 in
+  let priorities =
+    Array.map
+      (fun n ->
+        if Rng.bool rng (Float.min 0.95 (p.frac_priority *. size_boost n))
+        then 1 + Rng.int rng p.priority_classes
+        else 0)
+      sizes
+  in
+  let anti_within =
+    Array.map (fun _ -> Rng.bool rng p.frac_anti_affinity) sizes
+  in
+  (* Cross-app anti-affinity: a few apps conflict with the largest apps. *)
+  let by_size = Array.init p.n_apps (fun i -> i) in
+  Array.sort (fun a b -> Int.compare sizes.(b) sizes.(a)) by_size;
+  let big_pool = Array.sub by_size 0 (max 1 (p.n_apps / 100)) in
+  let across = Array.make p.n_apps [] in
+  for i = 0 to p.n_apps - 1 do
+    (* High-priority apps are the interference-sensitive ones in the trace
+       ("cannot be co-located with at least 5,000 containers"). *)
+    let prob =
+      if priorities.(i) > 0 then 8. *. p.frac_across else p.frac_across
+    in
+    if Rng.bool rng prob then begin
+      let k = 1 + Rng.int rng (min 4 (Array.length big_pool)) in
+      let picks =
+        Distribution.sample_without_replacement rng ~k
+          ~n:(Array.length big_pool)
+        |> List.map (fun j -> big_pool.(j))
+        |> List.filter (fun j -> j <> i)
+      in
+      across.(i) <- picks
+    end
+  done;
+  let demands =
+    Array.init p.n_apps (fun i -> sample_demand rng p ~priority:priorities.(i))
+  in
+  (* Load calibration: the evaluation pairs N containers with N/10 machines,
+     so the container-weighted mean CPU must land near
+     0.78 * machine_cpu / 10. Nudge non-priority apps one demand tier at a
+     time (deterministically, in seeded order) until within the band. This
+     keeps the priority/demand correlation while making cluster load
+     scale-invariant. *)
+  let tiers = [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 |] in
+  let tier_of cpu =
+    let best = ref 0 in
+    Array.iteri
+      (fun k t -> if Float.abs (t -. cpu) < Float.abs (tiers.(!best) -. cpu) then best := k)
+      tiers;
+    !best
+  in
+  let rebuild i k =
+    let cpu = tiers.(k) in
+    demands.(i) <-
+      (if p.cpu_only then Resource.cpu_only cpu
+       else
+         let old_mem = Resource.mem_gb demands.(i) in
+         Resource.make ~cpu ~mem_gb:old_mem)
+  in
+  let total_containers = Array.fold_left ( + ) 0 sizes in
+  let total_cpu () =
+    let t = ref 0. in
+    Array.iteri (fun i n -> t := !t +. (float_of_int n *. Resource.cpu demands.(i))) sizes;
+    !t
+  in
+  let capacity_cpu =
+    p.machine_cpu *. (float_of_int total_containers /. 10.)
+  in
+  let lo_band = 0.84 *. capacity_cpu and hi_band = 0.88 *. capacity_cpu in
+  let visit = Array.init p.n_apps (fun i -> i) in
+  Distribution.shuffle rng visit;
+  let cur = ref (total_cpu ()) in
+  let step = ref 0 in
+  let budget = 20 * p.n_apps in
+  while (!cur < lo_band || !cur > hi_band) && !step < budget do
+    let i = visit.(!step mod p.n_apps) in
+    incr step;
+    if priorities.(i) = 0 then begin
+      let k = tier_of (Resource.cpu demands.(i)) in
+      if !cur > hi_band && k > 0 then begin
+        cur := !cur -. (float_of_int sizes.(i) *. (tiers.(k) -. tiers.(k - 1)));
+        rebuild i (k - 1)
+      end
+      else if !cur < lo_band && k < Array.length tiers - 1 then begin
+        cur := !cur +. (float_of_int sizes.(i) *. (tiers.(k + 1) -. tiers.(k)));
+        rebuild i (k + 1)
+      end
+    end
+  done;
+  let apps =
+    Array.init p.n_apps (fun i ->
+        Application.make ~id:i ~n_containers:sizes.(i) ~demand:demands.(i)
+          ~priority:priorities.(i) ~anti_affinity_within:anti_within.(i)
+          ~anti_affinity_across:across.(i) ())
+  in
+  let containers =
+    Array.of_list
+      (List.concat_map
+         (fun (a : Application.t) ->
+           Application.containers a
+             ~first_id:(a.Application.id * p.max_app_size * 2)
+             ~first_arrival:0)
+         (Array.to_list apps))
+  in
+  (* Re-id densely, then interleave submissions. *)
+  let containers =
+    Array.mapi (fun i (c : Container.t) -> { c with Container.id = i }) containers
+  in
+  Distribution.shuffle rng containers;
+  Workload.make ~apps ~containers ~machine_capacity:(machine_capacity p)

@@ -1,0 +1,41 @@
+(** Synthetic workload generator calibrated to the Alibaba LLA trace
+    statistics the paper reports (Fig. 8 and §V.A):
+
+    - ~13,056 applications, ~100,000 containers at full scale;
+    - 64% of apps have a single container, 85% fewer than 50, a handful
+      exceed 2,000;
+    - ~72% of apps carry anti-affinity, ~16% carry priority;
+    - container demand ≤ 16 CPU / 32 GB on 32 CPU / 64 GB machines;
+    - high-priority apps skew towards more instances and larger demands;
+    - a few apps conflict with thousands of containers across apps.
+
+    Generation is fully deterministic given [seed]. *)
+
+type params = {
+  seed : int;
+  n_apps : int;
+  target_containers : int;  (** generation stops near this total *)
+  max_app_size : int;
+  cpu_only : bool;          (** paper §V.A limitation (i) *)
+  machine_cpu : float;
+  machine_mem_gb : float;
+  frac_single : float;
+  frac_lt_50 : float;       (** share of apps with < 50 containers *)
+  frac_anti_affinity : float;
+  frac_priority : float;
+  frac_across : float;      (** apps with cross-app anti-affinity *)
+  priority_classes : int;   (** classes 1..n on top of default 0 *)
+}
+
+val default : params
+(** Full paper scale: 13,056 apps / 100,000 containers / machines of
+    32 CPU, 64 GB. *)
+
+val scaled : float -> params
+(** [scaled f] shrinks apps, containers and the maximum app size by [f]
+    (e.g. [scaled 0.1] for the default experiment scale). *)
+
+val generate : params -> Workload.t
+(** Containers are emitted in a seeded random interleaving. *)
+
+val machine_capacity : params -> Resource.t

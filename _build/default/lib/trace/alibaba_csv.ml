@@ -1,0 +1,137 @@
+type options = {
+  machine_cpu : float;
+  machine_mem_gb : float;
+  cpu_only : bool;
+  anti_within_multi : bool;
+  priority_centile : float;
+}
+
+let default_options =
+  {
+    machine_cpu = 32.;
+    machine_mem_gb = 64.;
+    cpu_only = true;
+    anti_within_multi = true;
+    priority_centile = 0.16;
+  }
+
+type row = {
+  app_du : string;
+  cpu_request : int;  (* centi-cores *)
+  mem_norm : float;   (* 0..100 *)
+}
+
+let parse_row ~line_no line =
+  match String.split_on_char ',' line with
+  | _container :: _machine :: _ts :: app_du :: status :: cpu_request
+    :: _cpu_limit :: mem_size :: _ ->
+      let status = String.lowercase_ascii (String.trim status) in
+      if status <> "started" && status <> "allocated" then None
+      else begin
+        let fail what =
+          failwith (Printf.sprintf "Alibaba_csv: line %d: bad %s" line_no what)
+        in
+        let cpu_request =
+          match int_of_string_opt (String.trim cpu_request) with
+          | Some c when c > 0 -> c
+          | _ -> fail "cpu_request"
+        in
+        let mem_norm =
+          match float_of_string_opt (String.trim mem_size) with
+          | Some m when m >= 0. -> Float.min 100. m
+          | _ -> fail "mem_size"
+        in
+        Some { app_du = String.trim app_du; cpu_request; mem_norm }
+      end
+  | _ -> failwith (Printf.sprintf "Alibaba_csv: line %d: bad row" line_no)
+
+let looks_like_header line =
+  let l = String.lowercase_ascii line in
+  String.length l >= 12 && String.sub l 0 12 = "container_id"
+
+let of_string ?(options = default_options) content =
+  let rows = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && not (i = 0 && looks_like_header line) then
+        match parse_row ~line_no:(i + 1) line with
+        | Some r -> rows := r :: !rows
+        | None -> ())
+    (String.split_on_char '\n' content);
+  let rows = List.rev !rows in
+  if rows = [] then failwith "Alibaba_csv: no usable rows";
+  (* group by app_du, preserving first-seen order *)
+  let order = ref [] in
+  let groups : (string, row list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt groups r.app_du with
+      | Some l -> l := r :: !l
+      | None ->
+          Hashtbl.replace groups r.app_du (ref [ r ]);
+          order := r.app_du :: !order)
+    rows;
+  let order = List.rev !order in
+  let demand_of rs =
+    (* isomorphism: the per-container max over the group's rows *)
+    let cpu_centi = List.fold_left (fun m r -> max m r.cpu_request) 0 rs in
+    let mem_norm = List.fold_left (fun m r -> Float.max m r.mem_norm) 0. rs in
+    let cpu = float_of_int cpu_centi /. 100. in
+    if options.cpu_only then Resource.cpu_only cpu
+    else
+      Resource.make ~cpu
+        ~mem_gb:(Float.max 0.25 (mem_norm /. 100. *. options.machine_mem_gb))
+  in
+  (* priority: top centile of apps by total cpu request *)
+  let totals =
+    List.map
+      (fun du ->
+        let rs = !(Hashtbl.find groups du) in
+        (du, List.fold_left (fun acc r -> acc + r.cpu_request) 0 rs))
+      order
+  in
+  let by_total =
+    List.sort (fun (_, a) (_, b) -> Int.compare b a) totals |> List.map fst
+  in
+  let n_priority =
+    int_of_float (Float.round (options.priority_centile *. float_of_int (List.length order)))
+  in
+  let priority_set = Hashtbl.create 64 in
+  List.iteri
+    (fun i du -> if i < n_priority then Hashtbl.replace priority_set du ())
+    by_total;
+  let apps =
+    List.mapi
+      (fun id du ->
+        let rs = !(Hashtbl.find groups du) in
+        let n = List.length rs in
+        Application.make ~id ~name:du ~n_containers:n ~demand:(demand_of rs)
+          ~priority:(if Hashtbl.mem priority_set du then 1 else 0)
+          ~anti_affinity_within:(options.anti_within_multi && n > 1)
+          ())
+      order
+  in
+  let containers =
+    List.concat_map
+      (fun (a : Application.t) ->
+        Application.containers a
+          ~first_id:(1_000_000 * a.Application.id)
+          ~first_arrival:0)
+      apps
+    |> Array.of_list
+  in
+  let containers =
+    Array.mapi (fun i (c : Container.t) -> { c with Container.id = i }) containers
+  in
+  let machine_capacity =
+    if options.cpu_only then Resource.cpu_only options.machine_cpu
+    else Resource.make ~cpu:options.machine_cpu ~mem_gb:options.machine_mem_gb
+  in
+  Workload.make ~apps:(Array.of_list apps) ~containers ~machine_capacity
+
+let load ?options path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string ?options (really_input_string ic (in_channel_length ic)))

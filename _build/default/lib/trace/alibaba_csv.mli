@@ -1,0 +1,39 @@
+(** Loader for the *public* Alibaba cluster-trace schema
+    ([github.com/alibaba/clusterdata], v2018 `container_meta.csv`), so the
+    real trace can be replayed by anyone who has it:
+
+    {v container_id,machine_id,time_stamp,app_du,status,cpu_request,cpu_limit,mem_size v}
+
+    Mapping into a {!Workload.t}:
+    - rows are grouped by [app_du] into applications; each app's demand is
+      the per-container maximum of its rows (isomorphism, §IV.A);
+    - [cpu_request] is in centi-cores (400 = 4 cores);
+    - [mem_size] is the trace's normalized memory (0–100), scaled to
+      [machine_mem_gb];
+    - rows whose [status] is not [started]/[allocated] are skipped.
+
+    The public trace carries no constraint annotations (those statistics
+    exist only in the paper), so constraints are synthesised the way Fig. 8
+    reports them: [anti_within_multi] gives every multi-container app
+    anti-affinity-within, and [priority_centile] marks the apps with the
+    largest total CPU request as high-priority. Both knobs can be turned
+    off for a constraint-free replay. *)
+
+type options = {
+  machine_cpu : float;
+  machine_mem_gb : float;
+  cpu_only : bool;
+  anti_within_multi : bool;
+  priority_centile : float;  (** e.g. 0.16 → top 16% of apps by total CPU *)
+}
+
+val default_options : options
+(** 32 CPU / 64 GB machines, CPU-only, anti-within for multi-container
+    apps, top 16% priority — the paper's setting. *)
+
+val of_string : ?options:options -> string -> Workload.t
+(** Parse CSV content. Lines that fail to parse raise [Failure] with the
+    line number; a header line is skipped automatically. *)
+
+val load : ?options:options -> string -> Workload.t
+(** Read a file. *)

@@ -1,0 +1,52 @@
+type order =
+  | As_submitted
+  | High_priority_first
+  | Low_priority_first
+  | Large_anti_affinity_first
+  | Small_anti_affinity_first
+
+let all =
+  [
+    ("submitted", As_submitted);
+    ("CHP", High_priority_first);
+    ("CLP", Low_priority_first);
+    ("CLA", Large_anti_affinity_first);
+    ("CSA", Small_anti_affinity_first);
+  ]
+
+let abbrev o =
+  match List.find_opt (fun (_, o') -> o' = o) all with
+  | Some (s, _) -> s
+  | None -> assert false
+
+let of_string s =
+  List.assoc_opt (String.uppercase_ascii s)
+    (List.map (fun (k, v) -> (String.uppercase_ascii k, v)) all)
+
+let stable_sort_by key w =
+  let containers = Array.copy w.Workload.containers in
+  let decorated =
+    Array.map (fun (c : Container.t) -> (key c, c.Container.arrival, c)) containers
+  in
+  Array.sort
+    (fun (k1, a1, _) (k2, a2, _) ->
+      match Int.compare k1 k2 with 0 -> Int.compare a1 a2 | c -> c)
+    decorated;
+  Workload.with_containers w (Array.map (fun (_, _, c) -> c) decorated)
+
+let apply order w =
+  match order with
+  | As_submitted -> w
+  | High_priority_first ->
+      stable_sort_by (fun (c : Container.t) -> -c.Container.priority) w
+  | Low_priority_first ->
+      stable_sort_by (fun (c : Container.t) -> c.Container.priority) w
+  | Large_anti_affinity_first | Small_anti_affinity_first ->
+      let degrees = Workload.anti_affinity_degrees w in
+      let deg (c : Container.t) =
+        Option.value ~default:0 (Hashtbl.find_opt degrees c.Container.app)
+      in
+      let sign =
+        match order with Large_anti_affinity_first -> -1 | _ -> 1
+      in
+      stable_sort_by (fun c -> sign * deg c) w

@@ -1,0 +1,18 @@
+(** The four container-arrival characteristics of §V.C / Fig. 10–13:
+    priority-first orders and anti-affinity-degree orders. *)
+
+type order =
+  | As_submitted
+  | High_priority_first   (** CHP *)
+  | Low_priority_first    (** CLP *)
+  | Large_anti_affinity_first  (** CLA *)
+  | Small_anti_affinity_first  (** CSA *)
+
+val all : (string * order) list
+(** Paper abbreviations: CHP, CLP, CLA, CSA (plus "submitted"). *)
+
+val abbrev : order -> string
+val of_string : string -> order option
+
+val apply : order -> Workload.t -> Workload.t
+(** Stable re-sort of the submission sequence; ties keep submission order. *)

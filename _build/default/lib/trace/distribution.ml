@@ -1,0 +1,54 @@
+let uniform_int rng ~lo ~hi =
+  if hi < lo then invalid_arg "Distribution.uniform_int: empty range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let categorical rng weights =
+  if Array.length weights = 0 then
+    invalid_arg "Distribution.categorical: empty";
+  let total = Array.fold_left (fun s (w, _) -> s +. w) 0. weights in
+  if total <= 0. then invalid_arg "Distribution.categorical: bad weights";
+  let r = Rng.float rng *. total in
+  let acc = ref 0. in
+  let chosen = ref None in
+  Array.iter
+    (fun (w, v) ->
+      if !chosen = None then begin
+        acc := !acc +. w;
+        if r < !acc then chosen := Some v
+      end)
+    weights;
+  match !chosen with Some v -> v | None -> snd weights.(Array.length weights - 1)
+
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Distribution.zipf: n must be positive";
+  let weights = Array.init n (fun i -> (1. /. Float.pow (float_of_int (i + 1)) s, i + 1)) in
+  categorical rng weights
+
+let bounded_pareto rng ~alpha ~lo ~hi =
+  if lo <= 0 || hi < lo then invalid_arg "Distribution.bounded_pareto: bad range";
+  let l = float_of_int lo and h = float_of_int hi in
+  let u = Rng.float rng in
+  let la = Float.pow l alpha and ha = Float.pow h alpha in
+  let x =
+    Float.pow (-.((u *. ha) -. (u *. la) -. ha) /. (ha *. la)) (-1. /. alpha)
+  in
+  max lo (min hi (int_of_float x))
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement rng ~k ~n =
+  if k > n then invalid_arg "Distribution.sample_without_replacement: k > n";
+  (* Floyd's algorithm *)
+  let chosen = Hashtbl.create k in
+  for j = n - k to n - 1 do
+    let t = Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen t ()
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort Int.compare

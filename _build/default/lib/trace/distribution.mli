@@ -1,0 +1,21 @@
+(** Samplers used by the workload generator. *)
+
+val uniform_int : Rng.t -> lo:int -> hi:int -> int
+(** Inclusive range. @raise Invalid_argument if [hi < lo]. *)
+
+val categorical : Rng.t -> (float * 'a) array -> 'a
+(** Weighted choice; weights need not sum to 1.
+    @raise Invalid_argument on an empty or non-positive-total array. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Zipf over [1..n] with exponent [s], by inverse-CDF on precomputed
+    harmonic weights (n is expected to be small, ≤ a few thousand). *)
+
+val bounded_pareto : Rng.t -> alpha:float -> lo:int -> hi:int -> int
+(** Integer bounded Pareto via inverse transform. *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample_without_replacement : Rng.t -> k:int -> n:int -> int list
+(** [k] distinct values from [0..n-1]. @raise Invalid_argument if k > n. *)

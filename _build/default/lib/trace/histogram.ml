@@ -1,0 +1,97 @@
+type t = {
+  mutable samples : float array;
+  mutable n : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 16 0.; n = 0; sorted = true }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0. in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- false
+
+let of_list l =
+  let t = create () in
+  List.iter (add t) l;
+  t
+
+let count t = t.n
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.n in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.n;
+    t.sorted <- true
+  end
+
+let nonempty t name =
+  if t.n = 0 then invalid_arg (Printf.sprintf "Histogram.%s: empty" name)
+
+let min_value t =
+  nonempty t "min_value";
+  ensure_sorted t;
+  t.samples.(0)
+
+let max_value t =
+  nonempty t "max_value";
+  ensure_sorted t;
+  t.samples.(t.n - 1)
+
+let mean t =
+  nonempty t "mean";
+  let s = ref 0. in
+  for i = 0 to t.n - 1 do
+    s := !s +. t.samples.(i)
+  done;
+  !s /. float_of_int t.n
+
+let stddev t =
+  nonempty t "stddev";
+  let m = mean t in
+  let s = ref 0. in
+  for i = 0 to t.n - 1 do
+    let d = t.samples.(i) -. m in
+    s := !s +. (d *. d)
+  done;
+  sqrt (!s /. float_of_int t.n)
+
+let percentile t p =
+  nonempty t "percentile";
+  if p < 0. || p > 1. then invalid_arg "Histogram.percentile: p outside [0,1]";
+  ensure_sorted t;
+  let rank =
+    min (t.n - 1)
+      (max 0 (int_of_float (Float.round (p *. float_of_int (t.n - 1)))))
+  in
+  t.samples.(rank)
+
+let buckets t ~n =
+  nonempty t "buckets";
+  if n <= 0 then invalid_arg "Histogram.buckets: n";
+  ensure_sorted t;
+  let lo = min_value t and hi = max_value t in
+  let width = if hi > lo then (hi -. lo) /. float_of_int n else 1. in
+  let counts = Array.make n 0 in
+  for i = 0 to t.n - 1 do
+    let b =
+      min (n - 1) (int_of_float ((t.samples.(i) -. lo) /. width))
+    in
+    counts.(b) <- counts.(b) + 1
+  done;
+  List.init n (fun b ->
+      (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "(empty)"
+  else
+    Format.fprintf ppf
+      "n=%d min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f" t.n
+      (min_value t) (percentile t 0.5) (percentile t 0.95) (percentile t 0.99)
+      (max_value t) (mean t)

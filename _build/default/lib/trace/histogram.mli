@@ -1,0 +1,25 @@
+(** Small statistics helper for trace analysis and reports: streaming
+    min/max/mean plus exact percentiles over the recorded samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val of_list : float list -> t
+val count : t -> int
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+val mean : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank on the sorted samples.
+    @raise Invalid_argument when empty or p outside [0, 1]. *)
+
+val buckets : t -> n:int -> (float * float * int) list
+(** Equal-width buckets [(lo, hi, count)] spanning [min, max]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count/min/p50/p95/p99/max/mean. *)

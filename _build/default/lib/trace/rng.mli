@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 PRNG.
+
+    Every experiment in the repository is seeded, so results are exactly
+    replayable; we avoid [Stdlib.Random] to keep streams stable across OCaml
+    releases and to allow cheap independent sub-streams. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** Independent sub-stream (advances the parent). *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)

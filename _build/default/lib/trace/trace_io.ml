@@ -1,0 +1,103 @@
+let header = "# aladdin-trace v1"
+
+let vec_to_string v =
+  String.concat "," (List.map string_of_int (Array.to_list (Resource.to_array v)))
+
+let vec_of_string s =
+  Resource.of_array
+    (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+
+let ids_to_string = function
+  | [] -> "-"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let ids_of_string = function
+  | "-" -> []
+  | s -> List.map int_of_string (String.split_on_char ',' s)
+
+let to_string (w : Workload.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "machine %s\n" (vec_to_string w.Workload.machine_capacity));
+  Array.iter
+    (fun (a : Application.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "app %d %s %d %d %d %s %s\n" a.Application.id
+           a.Application.name a.Application.n_containers a.Application.priority
+           (if a.Application.anti_affinity_within then 1 else 0)
+           (vec_to_string a.Application.demand)
+           (ids_to_string a.Application.anti_affinity_across)))
+    w.Workload.apps;
+  Array.iter
+    (fun (c : Container.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "container %d %d\n" c.Container.id c.Container.app))
+    w.Workload.containers;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (match lines with
+  | h :: _ when String.trim h = header -> ()
+  | _ -> failwith "Trace_io: missing header");
+  let machine = ref None in
+  let apps = ref [] in
+  let containers = ref [] in
+  let app_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | "#" :: _ -> ()
+      | [ "machine"; v ] -> machine := Some (vec_of_string v)
+      | [ "app"; id; name; n; prio; within; demand; across ] ->
+          let a =
+            Application.make ~id:(int_of_string id) ~name
+              ~n_containers:(int_of_string n) ~demand:(vec_of_string demand)
+              ~priority:(int_of_string prio)
+              ~anti_affinity_within:(int_of_string within = 1)
+              ~anti_affinity_across:(ids_of_string across) ()
+          in
+          Hashtbl.replace app_by_id a.Application.id a;
+          apps := a :: !apps
+      | [ "container"; id; app ] ->
+          let app = int_of_string app in
+          let a =
+            match Hashtbl.find_opt app_by_id app with
+            | Some a -> a
+            | None -> failwith "Trace_io: container before its app"
+          in
+          containers :=
+            Container.make ~id:(int_of_string id) ~app
+              ~demand:a.Application.demand ~priority:a.Application.priority
+              ~arrival:(List.length !containers)
+            :: !containers
+      | l when List.hd l = header -> ()
+      | _ when String.trim line = header -> ()
+      | _ -> failwith (Printf.sprintf "Trace_io: bad line %S" line))
+    lines;
+  let machine_capacity =
+    match !machine with
+    | Some m -> m
+    | None -> failwith "Trace_io: missing machine line"
+  in
+  Workload.make
+    ~apps:(Array.of_list (List.rev !apps))
+    ~containers:(Array.of_list (List.rev !containers))
+    ~machine_capacity
+
+let save w path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string w))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,20 @@
+(** Plain-text serialisation of workloads, so generated traces can be saved
+    once and replayed across runs and tools.
+
+    Line-oriented format (fields space-separated, lists comma-separated):
+    {v
+    # aladdin-trace v1
+    machine <unit,unit,...>
+    app <id> <name> <n> <priority> <within:0|1> <demand units> <across ids|->
+    container <id> <app-id>
+    v}
+    Containers appear in submission order. *)
+
+val save : Workload.t -> string -> unit
+(** @raise Sys_error on IO failure. *)
+
+val load : string -> Workload.t
+(** @raise Failure on malformed input; @raise Sys_error on IO failure. *)
+
+val to_string : Workload.t -> string
+val of_string : string -> Workload.t

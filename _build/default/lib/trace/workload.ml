@@ -1,0 +1,68 @@
+type t = {
+  apps : Application.t array;
+  containers : Container.t array;
+  machine_capacity : Resource.t;
+}
+
+let renumber containers =
+  Array.mapi
+    (fun i (c : Container.t) -> { c with Container.arrival = i })
+    containers
+
+let make ~apps ~containers ~machine_capacity =
+  let known = Hashtbl.create (Array.length apps) in
+  Array.iter
+    (fun (a : Application.t) -> Hashtbl.replace known a.Application.id ())
+    apps;
+  Array.iter
+    (fun (c : Container.t) ->
+      if not (Hashtbl.mem known c.Container.app) then
+        invalid_arg "Workload.make: container references unknown app")
+    containers;
+  { apps; containers = renumber containers; machine_capacity }
+
+let constraint_set t = Constraint_set.of_apps t.apps
+let n_apps t = Array.length t.apps
+let n_containers t = Array.length t.containers
+
+let total_demand t =
+  if Array.length t.containers = 0 then
+    Resource.zero (Resource.dims t.machine_capacity)
+  else
+    Array.fold_left
+      (fun acc (c : Container.t) -> Resource.add acc c.Container.demand)
+      (Resource.zero (Resource.dims t.machine_capacity))
+      t.containers
+
+let app_sizes t =
+  let sizes = Hashtbl.create (Array.length t.apps) in
+  Array.iter
+    (fun (a : Application.t) ->
+      Hashtbl.replace sizes a.Application.id a.Application.n_containers)
+    t.apps;
+  sizes
+
+let degree_of cs sizes id =
+  let size a = Option.value ~default:0 (Hashtbl.find_opt sizes a) in
+  List.fold_left
+    (fun acc a -> if a = id then acc + (size a - 1) else acc + size a)
+    0
+    (Constraint_set.conflicting_apps cs id)
+
+let anti_affinity_degree t id = degree_of (constraint_set t) (app_sizes t) id
+
+let anti_affinity_degrees t =
+  let cs = constraint_set t in
+  let sizes = app_sizes t in
+  let out = Hashtbl.create (Array.length t.apps) in
+  Array.iter
+    (fun (a : Application.t) ->
+      Hashtbl.replace out a.Application.id (degree_of cs sizes a.Application.id))
+    t.apps;
+  out
+
+let with_containers t containers = { t with containers = renumber containers }
+
+let topology ?machines_per_rack ?racks_per_group t ~n_machines =
+  Topology.homogeneous ?machines_per_rack ?racks_per_group ~n_machines
+    ~capacity:t.machine_capacity ()

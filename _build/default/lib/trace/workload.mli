@@ -1,0 +1,38 @@
+(** A scheduling workload: applications, their materialised containers in
+    submission order, and the machine shape they are destined for. *)
+
+type t = {
+  apps : Application.t array;
+  containers : Container.t array;
+      (** submission order; [containers.(i).arrival = i] *)
+  machine_capacity : Resource.t;
+}
+
+val make :
+  apps:Application.t array ->
+  containers:Container.t array ->
+  machine_capacity:Resource.t ->
+  t
+(** Normalises arrivals to the array order.
+    @raise Invalid_argument if a container references an unknown app. *)
+
+val constraint_set : t -> Constraint_set.t
+val n_apps : t -> int
+val n_containers : t -> int
+
+val total_demand : t -> Resource.t
+val app_sizes : t -> (Application.id, int) Hashtbl.t
+
+val anti_affinity_degree : t -> Application.id -> int
+(** Number of containers an app's containers cannot share a machine with:
+    (n-1) within when anti-within, plus the sizes of conflicting apps. *)
+
+val anti_affinity_degrees : t -> (Application.id, int) Hashtbl.t
+(** All degrees in one pass (use this at trace scale). *)
+
+val with_containers : t -> Container.t array -> t
+(** Same workload, different submission order. *)
+
+val topology : ?machines_per_rack:int -> ?racks_per_group:int ->
+  t -> n_machines:int -> Topology.t
+(** Homogeneous topology with this workload's machine shape. *)

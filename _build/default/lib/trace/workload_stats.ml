@@ -1,0 +1,76 @@
+type t = {
+  n_apps : int;
+  n_containers : int;
+  n_single_instance : int;
+  n_anti_affinity : int;
+  n_priority : int;
+  max_app_size : int;
+  mean_app_size : float;
+  n_lt_50 : int;
+  max_demand : Resource.t;
+}
+
+let compute w =
+  let apps = w.Workload.apps in
+  let cs = Workload.constraint_set w in
+  let n_apps = Array.length apps in
+  let n_containers = Array.length w.Workload.containers in
+  let count f = Array.fold_left (fun n a -> if f a then n + 1 else n) 0 apps in
+  let max_app_size =
+    Array.fold_left (fun m (a : Application.t) -> max m a.Application.n_containers) 0 apps
+  in
+  let max_demand =
+    Array.fold_left
+      (fun m (a : Application.t) ->
+        if
+          Resource.dominant_share ~demand:a.Application.demand
+            ~capacity:w.Workload.machine_capacity
+          > Resource.dominant_share ~demand:m ~capacity:w.Workload.machine_capacity
+        then a.Application.demand
+        else m)
+      (Resource.zero (Resource.dims w.Workload.machine_capacity))
+      apps
+  in
+  {
+    n_apps;
+    n_containers;
+    n_single_instance =
+      count (fun (a : Application.t) -> a.Application.n_containers = 1);
+    n_anti_affinity = Constraint_set.n_with_anti_affinity cs;
+    n_priority = Constraint_set.n_with_priority cs;
+    max_app_size;
+    mean_app_size =
+      (if n_apps = 0 then 0. else float_of_int n_containers /. float_of_int n_apps);
+    n_lt_50 = count (fun (a : Application.t) -> a.Application.n_containers < 50);
+    max_demand;
+  }
+
+let cdf w ~at =
+  let apps = w.Workload.apps in
+  let n = float_of_int (max 1 (Array.length apps)) in
+  List.map
+    (fun size ->
+      let le =
+        Array.fold_left
+          (fun acc (a : Application.t) ->
+            if a.Application.n_containers <= size then acc + 1 else acc)
+          0 apps
+      in
+      (size, float_of_int le /. n))
+    (List.sort_uniq Int.compare at)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>apps: %d, containers: %d@,single-instance apps: %d (%.0f%%)@,\
+     apps < 50 containers: %d (%.0f%%)@,largest app: %d containers@,\
+     mean app size: %.2f@,anti-affinity apps: %d (%.0f%%)@,\
+     priority apps: %d (%.0f%%)@,max demand: %a@]"
+    s.n_apps s.n_containers s.n_single_instance
+    (100. *. float_of_int s.n_single_instance /. float_of_int (max 1 s.n_apps))
+    s.n_lt_50
+    (100. *. float_of_int s.n_lt_50 /. float_of_int (max 1 s.n_apps))
+    s.max_app_size s.mean_app_size s.n_anti_affinity
+    (100. *. float_of_int s.n_anti_affinity /. float_of_int (max 1 s.n_apps))
+    s.n_priority
+    (100. *. float_of_int s.n_priority /. float_of_int (max 1 s.n_apps))
+    Resource.pp s.max_demand

@@ -1,0 +1,20 @@
+(** Workload characterisation — reproduces Fig. 8. *)
+
+type t = {
+  n_apps : int;
+  n_containers : int;
+  n_single_instance : int;
+  n_anti_affinity : int;   (** Fig. 8(b) middle bar *)
+  n_priority : int;        (** Fig. 8(b) right bar *)
+  max_app_size : int;
+  mean_app_size : float;
+  n_lt_50 : int;           (** apps with fewer than 50 containers *)
+  max_demand : Resource.t; (** largest per-container demand *)
+}
+
+val compute : Workload.t -> t
+
+val cdf : Workload.t -> at:int list -> (int * float) list
+(** Fig. 8(a): fraction of apps with ≤ size containers at each size. *)
+
+val pp : Format.formatter -> t -> unit

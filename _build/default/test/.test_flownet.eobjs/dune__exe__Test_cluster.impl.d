@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Application Array Blacklist Cluster Constraint_set Container Int List Machine QCheck QCheck_alcotest Resource Topology Violation

@@ -1,0 +1,1 @@
+test/test_flownet.ml: Alcotest Array Flownet List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kube.ml: Alcotest Cluster Controller Ehc Kube_api Kube_objects List Printf Resolver Resource

@@ -1,0 +1,1 @@
+test/test_mixed.ml: Aladdin Alcotest Application Array Cluster Constraint_set Container Des Int List QCheck QCheck_alcotest Resource Scheduler Topology

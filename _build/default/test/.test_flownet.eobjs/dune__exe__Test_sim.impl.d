@@ -1,0 +1,1 @@
+test/test_sim.ml: Aladdin Alcotest Alibaba Application Array Capacity_planner Cluster Container List Metrics Option Replay Resource Scheduler Violation Workload

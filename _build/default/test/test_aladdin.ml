@@ -1,0 +1,604 @@
+(* Tests for the Aladdin core: priority weights (Eq. 3-5), the tiered flow
+   graph, Algorithm 1's search with IL/DL, migration & preemption (Fig. 3
+   and Fig. 7), and the end-to-end scheduler invariants. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let cap32 = Resource.cpu_only 32.
+
+let mk ?(id = 0) ?(app = 0) ?(priority = 0) ?(arrival = 0) cpu =
+  Container.make ~id ~app ~demand:(Resource.cpu_only cpu) ~priority ~arrival
+
+let cluster_of apps ~n_machines ~machine_cpu =
+  let topo =
+    Topology.homogeneous ~machines_per_rack:2 ~racks_per_group:2 ~n_machines
+      ~capacity:(Resource.cpu_only machine_cpu) ()
+  in
+  Cluster.create topo ~constraints:(Constraint_set.of_apps apps)
+
+(* ---------- weights ---------- *)
+
+let test_weights_eq5_guarantee () =
+  let batch =
+    [| mk ~id:0 ~priority:0 16.; mk ~id:1 ~priority:1 0.5; mk ~id:2 ~priority:2 1. |]
+  in
+  let w = Aladdin.Weights.compute batch ~capacity:cap32 in
+  check bool "Eq.5 holds" true (Aladdin.Weights.satisfies_eq5 w batch);
+  check int "lowest weight is 1" 1 (Aladdin.Weights.weight w ~priority:0);
+  check bool "monotone" true
+    (Aladdin.Weights.weight w ~priority:2 > Aladdin.Weights.weight w ~priority:1)
+
+let test_weights_fixed_base () =
+  let batch = [| mk ~id:0 ~priority:0 1.; mk ~id:1 ~priority:1 1.; mk ~id:2 ~priority:2 1. |] in
+  let w = Aladdin.Weights.fixed ~base:16 batch ~capacity:cap32 in
+  check int "w0" 1 (Aladdin.Weights.weight w ~priority:0);
+  check int "w1" 16 (Aladdin.Weights.weight w ~priority:1);
+  check int "w2" 256 (Aladdin.Weights.weight w ~priority:2);
+  Alcotest.check_raises "base too small"
+    (Invalid_argument "Weights.fixed: base must be >= 2") (fun () ->
+      ignore (Aladdin.Weights.fixed ~base:1 batch ~capacity:cap32))
+
+let test_weights_magnitude () =
+  let w = Aladdin.Weights.compute [| mk 16. |] ~capacity:cap32 in
+  check int "16 of 32 cpu = 500 per-mille" 500
+    (Aladdin.Weights.magnitude w (mk 16.));
+  check bool "tiny demand still >= 1" true
+    (Aladdin.Weights.magnitude w (mk 0.001) >= 1)
+
+let prop_weights_eq5_random =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (pair (int_range 0 3) (oneofl [ 0.5; 1.; 2.; 4.; 8.; 16. ])))
+  in
+  QCheck.Test.make ~count:300 ~name:"Eq.5 guarantee on random batches"
+    (QCheck.make gen) (fun specs ->
+      let batch =
+        Array.of_list
+          (List.mapi (fun i (p, cpu) -> mk ~id:i ~priority:p cpu) specs)
+      in
+      let w = Aladdin.Weights.compute batch ~capacity:cap32 in
+      Aladdin.Weights.satisfies_eq5 w batch)
+
+(* ---------- flow graph ---------- *)
+
+let test_flow_graph_edges () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:4 ~demand:(Resource.cpu_only 1.) ();
+      Application.make ~id:1 ~n_containers:2 ~demand:(Resource.cpu_only 2.) ();
+    |]
+  in
+  let cl = cluster_of apps ~n_machines:8 ~machine_cpu:32. in
+  let batch =
+    Array.append
+      (Array.init 4 (fun i -> mk ~id:i ~app:0 1.))
+      (Array.init 2 (fun i -> mk ~id:(4 + i) ~app:1 2.))
+  in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  Alcotest.(check (list int)) "apps" [ 0; 1 ] (Aladdin.Flow_graph.app_ids fg);
+  Alcotest.(check (list int)) "containers of app 0" [ 0; 1; 2; 3 ]
+    (Aladdin.Flow_graph.container_indices_of_app fg 0);
+  (* 8 machines / 2 per rack / 2 racks per group: 4 racks, 2 groups *)
+  check int "vertices" (2 + 6 + 2 + 2 + 4 + 8) (Aladdin.Flow_graph.n_vertices fg);
+  check bool "fewer edges than naive" true
+    (Aladdin.Flow_graph.n_edges fg < Aladdin.Flow_graph.naive_edges fg + 8 * 6);
+  check int "naive" 48 (Aladdin.Flow_graph.naive_edges fg)
+
+let test_flow_graph_projection () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:3 ~demand:(Resource.cpu_only 16.) () |]
+  in
+  let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+  let batch = Array.init 3 (fun i -> mk ~id:i ~app:0 16.) in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let g, src, sink = Aladdin.Flow_graph.scalar_projection fg in
+  let max_flow = Flownet.Dinic.run g ~src ~dst:sink in
+  (* two machines of 32 cap the flow at 64k millis = 64000; the batch only
+     supplies 48k *)
+  check int "projection max flow = min(supply, capacity)" 48_000 max_flow
+
+(* ---------- search: IL & DL ---------- *)
+
+let one_app_cluster () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:8 ~demand:(Resource.cpu_only 8.)
+        ~anti_affinity_within:true ();
+      Application.make ~id:1 ~n_containers:8 ~demand:(Resource.cpu_only 4.) ();
+    |]
+  in
+  cluster_of apps ~n_machines:4 ~machine_cpu:32.
+
+let test_search_finds_and_respects_blacklist () =
+  let cl = one_app_cluster () in
+  let batch = [| mk ~id:0 ~app:0 8.; mk ~id:1 ~app:0 8. |] in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let s = Aladdin.Search.create fg in
+  (match Aladdin.Search.find_machine s batch.(0) with
+  | Some mid ->
+      Alcotest.(check bool) "place" true (Cluster.place cl batch.(0) mid = Ok ());
+      Aladdin.Search.note_placement s mid;
+      (match Aladdin.Search.find_machine s batch.(1) with
+      | Some mid2 -> check bool "sibling on another machine" true (mid2 <> mid)
+      | None -> Alcotest.fail "second machine expected")
+  | None -> Alcotest.fail "machine expected")
+
+let test_search_dl_cuts_paths () =
+  let cl = one_app_cluster () in
+  let batch = [| mk ~id:0 ~app:1 4. |] in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let with_dl = Aladdin.Search.create ~dl:true fg in
+  ignore (Aladdin.Search.find_machine with_dl batch.(0));
+  let without_dl = Aladdin.Search.create ~dl:false fg in
+  ignore (Aladdin.Search.find_machine without_dl batch.(0));
+  check bool "DL explores fewer paths" true
+    ((Aladdin.Search.stats with_dl).Aladdin.Search.paths_explored
+    < (Aladdin.Search.stats without_dl).Aladdin.Search.paths_explored)
+
+let test_search_il_skips_siblings () =
+  (* app 0 demands more than any machine: first container fails everywhere,
+     siblings must be skipped via the app-level cache. *)
+  let apps =
+    [| Application.make ~id:0 ~n_containers:3 ~demand:(Resource.cpu_only 64.) () |]
+  in
+  let cl = cluster_of apps ~n_machines:4 ~machine_cpu:32. in
+  let batch = Array.init 3 (fun i -> mk ~id:i ~app:0 64.) in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let s = Aladdin.Search.create ~il:true fg in
+  Array.iter (fun c -> ignore (Aladdin.Search.find_machine s c)) batch;
+  let st = Aladdin.Search.stats s in
+  check int "only the first sibling scanned" 4 st.Aladdin.Search.paths_explored;
+  check bool "il skips recorded" true (st.Aladdin.Search.il_skips >= 2)
+
+let test_search_parks_dead_machines_and_revives () =
+  (* all machines full: the search parks them; invalidate revives. *)
+  let apps =
+    [| Application.make ~id:0 ~n_containers:16 ~demand:(Resource.cpu_only 8.) () |]
+  in
+  let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+  for i = 0 to 3 do
+    ignore (Cluster.place cl (mk ~id:i ~app:0 8.) 0);
+    ignore (Cluster.place cl (mk ~id:(10 + i) ~app:0 8.) 1)
+  done;
+  let batch = Array.init 4 (fun i -> mk ~id:(100 + i) ~app:0 8.) in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let s = Aladdin.Search.create fg in
+  Alcotest.(check bool) "nothing fits" true
+    (Aladdin.Search.find_machine s batch.(0) = None);
+  let before = (Aladdin.Search.stats s).Aladdin.Search.paths_explored in
+  (* parked: a second query does not rescan full machines *)
+  Alcotest.(check bool) "still nothing" true
+    (Aladdin.Search.find_machine s batch.(1) = None);
+  let after = (Aladdin.Search.stats s).Aladdin.Search.paths_explored in
+  check bool "parked machines not rescanned" true (after <= before + 1);
+  (* free a spot, tell the search, and find it again *)
+  Cluster.remove cl 0;
+  Aladdin.Search.invalidate s;
+  Alcotest.(check bool) "revived after invalidate" true
+    (Aladdin.Search.find_machine s batch.(2) = Some 0)
+
+let test_search_prefers_used_machines () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:8 ~demand:(Resource.cpu_only 2.) () |]
+  in
+  let cl = cluster_of apps ~n_machines:4 ~machine_cpu:32. in
+  ignore (Cluster.place cl (mk ~id:0 ~app:0 2.) 2);
+  let batch = [| mk ~id:1 ~app:0 2. |] in
+  let fg = Aladdin.Flow_graph.build cl batch in
+  let s = Aladdin.Search.create fg in
+  check bool "packs onto the active machine" true
+    (Aladdin.Search.find_machine s batch.(0) = Some 2)
+
+(* DL returns the same machine the full scan would pick (the first
+   admissible in preference order) — placements must be identical. *)
+let prop_dl_preserves_placement =
+  let gen = QCheck.Gen.(list_size (int_range 1 25) (int_range 0 3)) in
+  QCheck.Test.make ~count:200 ~name:"IL/DL do not change placements"
+    (QCheck.make gen) (fun app_choices ->
+      let apps =
+        Array.init 4 (fun i ->
+            Application.make ~id:i ~n_containers:30
+              ~demand:(Resource.cpu_only (float_of_int (1 + i)))
+              ~anti_affinity_within:(i mod 2 = 0) ())
+      in
+      let batch =
+        Array.of_list
+          (List.mapi (fun i app -> mk ~id:i ~app (float_of_int (1 + app))) app_choices)
+      in
+      let run il dl =
+        let cl = cluster_of apps ~n_machines:5 ~machine_cpu:8. in
+        let sched =
+          Aladdin.Aladdin_scheduler.make
+            ~options:{ Aladdin.Aladdin_scheduler.default_options with il; dl }
+            ()
+        in
+        let o = sched.Scheduler.schedule cl batch in
+        List.sort compare o.Scheduler.placed
+      in
+      run false false = run true true)
+
+(* ---------- migration & preemption scenarios ---------- *)
+
+(* Fig. 3(b): A (high prio) runs on M; B (low prio, anti to A) fits only on
+   M; A can run on N too → migrate A, deploy B. *)
+let test_fig3b_migration () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:1 ~demand:(Resource.cpu_only 8.)
+        ~priority:1 ~anti_affinity_across:[ 1 ] ();
+      Application.make ~id:1 ~n_containers:1 ~demand:(Resource.cpu_only 24.) ();
+      Application.make ~id:2 ~n_containers:1 ~demand:(Resource.cpu_only 16.) ();
+    |]
+  in
+  let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+  let a = mk ~id:0 ~app:0 ~priority:1 8. in
+  let b = mk ~id:1 ~app:1 24. in
+  (* A on machine 0; machine 1 partially filled by an unrelated app so B
+     (24 cpu) only fits on machine 0, where A blocks it. *)
+  Alcotest.(check bool) "A placed" true (Cluster.place cl a 0 = Ok ());
+  let stuff = mk ~id:9 ~app:2 16. in
+  Alcotest.(check bool) "filler placed" true (Cluster.place cl stuff 1 = Ok ());
+  (match
+     Aladdin.Migration.find_and_apply_migration cl b ~max_moves:4
+   with
+  | Some plan ->
+      check int "B lands on machine 0" 0 plan.Aladdin.Migration.target;
+      check int "one move" 1 (List.length plan.Aladdin.Migration.moves);
+      let mv = List.hd plan.Aladdin.Migration.moves in
+      check int "A migrated to 1" 1 mv.Aladdin.Migration.to_machine;
+      Alcotest.(check bool) "B now placeable" true (Cluster.place cl b 0 = Ok ())
+  | None -> Alcotest.fail "migration plan expected")
+
+(* Fig. 7: machine full of small tasks; a large task needs room → the
+   planner relocates enough of them (rescheduling-for-capacity). *)
+let test_fig7_capacity_migration () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:8 ~demand:(Resource.cpu_only 8.) ();
+      Application.make ~id:1 ~n_containers:1 ~demand:(Resource.cpu_only 24.) ();
+    |]
+  in
+  let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+  (* fill both machines to 16/32 with app-0 tasks *)
+  for i = 0 to 1 do
+    Alcotest.(check bool) "fill m0" true (Cluster.place cl (mk ~id:i ~app:0 8.) 0 = Ok ());
+    Alcotest.(check bool) "fill m1" true
+      (Cluster.place cl (mk ~id:(10 + i) ~app:0 8.) 1 = Ok ())
+  done;
+  let big = mk ~id:99 ~app:1 24. in
+  (* 16 free on each machine: stuck without migration *)
+  Alcotest.(check bool) "blocked everywhere" true
+    (Cluster.admissible cl big 0 = Error Cluster.No_capacity
+    && Cluster.admissible cl big 1 = Error Cluster.No_capacity);
+  (match Aladdin.Migration.find_and_apply_migration cl big ~max_moves:4 with
+  | Some plan ->
+      check bool "moves happened" true (List.length plan.Aladdin.Migration.moves >= 1);
+      Alcotest.(check bool) "big fits now" true
+        (Cluster.place cl big plan.Aladdin.Migration.target = Ok ())
+  | None -> Alcotest.fail "capacity migration expected")
+
+(* Fig. 3(a): preemption only ever evicts strictly lower weights. *)
+let test_preemption_priority_safe () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:4 ~demand:(Resource.cpu_only 16.) ();
+      Application.make ~id:1 ~n_containers:1 ~demand:(Resource.cpu_only 32.)
+        ~priority:2 ();
+    |]
+  in
+  let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+  for i = 0 to 1 do
+    ignore (Cluster.place cl (mk ~id:i ~app:0 16.) 0);
+    ignore (Cluster.place cl (mk ~id:(10 + i) ~app:0 16.) 1)
+  done;
+  let batch = [| mk ~id:99 ~app:1 ~priority:2 32. |] in
+  let w = Aladdin.Weights.compute
+      (Array.append batch [| mk ~id:100 ~app:0 16. |]) ~capacity:cap32
+  in
+  (match Aladdin.Migration.find_and_apply_preemption cl w batch.(0) with
+  | Some plan ->
+      check int "evicts both low-priority" 2
+        (List.length plan.Aladdin.Migration.evicted);
+      List.iter
+        (fun (e : Container.t) -> check int "victims are low priority" 0 e.Container.priority)
+        plan.Aladdin.Migration.evicted
+  | None -> Alcotest.fail "preemption expected");
+  (* reverse direction: a low-priority container must never preempt *)
+  let low = mk ~id:200 ~app:0 ~priority:0 16. in
+  ignore (Cluster.place cl batch.(0) 0);
+  Alcotest.(check bool) "low cannot preempt high" true
+    (Aladdin.Migration.find_and_apply_preemption cl w low = None)
+
+(* ---------- end-to-end scheduler invariants ---------- *)
+
+let random_workload_gen =
+  QCheck.Gen.(int_range 0 10_000)
+
+let scheduler_outcome seed =
+  let params = { (Alibaba.scaled 0.01) with Alibaba.seed = seed } in
+  let w = Alibaba.generate params in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let machines = max 4 (Workload.n_containers w / 10) in
+  Replay.run_workload sched w ~n_machines:machines
+
+let prop_aladdin_never_violates =
+  QCheck.Test.make ~count:20 ~name:"Aladdin placements never violate"
+    (QCheck.make random_workload_gen) (fun seed ->
+      let r = scheduler_outcome seed in
+      r.Replay.outcome.Scheduler.violations = []
+      && Cluster.current_violations r.Replay.cluster = [])
+
+let prop_aladdin_capacity_respected =
+  QCheck.Test.make ~count:20 ~name:"machine capacity respected"
+    (QCheck.make random_workload_gen) (fun seed ->
+      let r = scheduler_outcome seed in
+      Array.for_all
+        (fun m ->
+          Resource.fits ~demand:(Machine.used m) ~within:(Machine.capacity m))
+        (Cluster.machines r.Replay.cluster))
+
+let prop_aladdin_accounting =
+  QCheck.Test.make ~count:20 ~name:"placed + undeployed = batch"
+    (QCheck.make random_workload_gen) (fun seed ->
+      let r = scheduler_outcome seed in
+      List.length r.Replay.outcome.Scheduler.placed
+      + List.length r.Replay.outcome.Scheduler.undeployed
+      = r.Replay.n_submitted)
+
+let test_scheduler_deploys_all_at_paper_ratio () =
+  let r = scheduler_outcome 42 in
+  check int "zero undeployed" 0
+    (List.length r.Replay.outcome.Scheduler.undeployed)
+
+let test_scheduler_names () =
+  check bool "plain" true
+    (Aladdin.Aladdin_scheduler.name_of_options Aladdin.Aladdin_scheduler.plain
+    = "Aladdin");
+  check bool "il" true
+    (Aladdin.Aladdin_scheduler.name_of_options Aladdin.Aladdin_scheduler.with_il
+    = "Aladdin+IL");
+  check bool "default" true
+    (Aladdin.Aladdin_scheduler.name_of_options
+       Aladdin.Aladdin_scheduler.default_options
+    = "Aladdin+IL+DL");
+  check bool "base" true
+    (Aladdin.Aladdin_scheduler.name_of_options
+       { Aladdin.Aladdin_scheduler.default_options with weight_base = Some 16 }
+    = "Aladdin+IL+DL(16)")
+
+(* Regression: a later low-priority batch must never evict deployed
+   high-priority containers, even though its batch-local weight table does
+   not know the higher classes. *)
+let test_cross_batch_preemption_safety () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:2 ~demand:(Resource.cpu_only 8.)
+        ~priority:2 ();
+      Application.make ~id:1 ~n_containers:1 ~demand:(Resource.cpu_only 32.) ();
+    |]
+  in
+  let cl = cluster_of apps ~n_machines:1 ~machine_cpu:32. in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let high = [| mk ~id:0 ~app:0 ~priority:2 8.; mk ~id:1 ~app:0 ~priority:2 8. |] in
+  let o1 = sched.Scheduler.schedule cl high in
+  check int "high placed" 2 (List.length o1.Scheduler.placed);
+  (* a big low-priority container arrives in its own batch *)
+  let o2 = sched.Scheduler.schedule cl [| mk ~id:9 ~app:1 ~priority:0 32. |] in
+  check int "low-priority undeployed" 1 (List.length o2.Scheduler.undeployed);
+  check bool "high-priority still deployed" true
+    (Cluster.machine_of cl 0 <> None && Cluster.machine_of cl 1 <> None)
+
+(* priority honored: with low-priority-first arrival, every high-priority
+   container still deploys (preemption pushes the low ones out). *)
+let test_priority_respected_under_clp () =
+  let params = { (Alibaba.scaled 0.01) with Alibaba.seed = 7 } in
+  let w = Alibaba.generate params in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let machines = max 4 (Workload.n_containers w / 10) in
+  let r =
+    Replay.run_workload ~order:Arrival.Low_priority_first sched w
+      ~n_machines:machines
+  in
+  List.iter
+    (fun (c : Container.t) ->
+      check int "undeployed are lowest priority only" 0 c.Container.priority)
+    r.Replay.outcome.Scheduler.undeployed
+
+let test_gang_all_or_nothing () =
+  (* app 0 needs 3 distinct machines but only 2 exist: without gang, 2 of
+     3 deploy; with gang, the whole app rolls back. *)
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:3 ~demand:(Resource.cpu_only 4.)
+        ~anti_affinity_within:true ();
+      Application.make ~id:1 ~n_containers:1 ~demand:(Resource.cpu_only 4.) ();
+    |]
+  in
+  let batch =
+    Array.append
+      (Array.init 3 (fun i -> mk ~id:i ~app:0 4.))
+      [| mk ~id:10 ~app:1 4. |]
+  in
+  let run gang =
+    let cl = cluster_of apps ~n_machines:2 ~machine_cpu:32. in
+    let sched =
+      Aladdin.Aladdin_scheduler.make
+        ~options:{ Aladdin.Aladdin_scheduler.default_options with gang }
+        ()
+    in
+    (cl, sched.Scheduler.schedule cl batch)
+  in
+  let _, without = run false in
+  check int "partial placement without gang" 3 (List.length without.Scheduler.placed);
+  let cl, with_gang = run true in
+  check int "gang rolls the app back" 1 (List.length with_gang.Scheduler.placed);
+  check int "three undeployed" 3 (List.length with_gang.Scheduler.undeployed);
+  (* the independent app survives *)
+  check bool "other app stays" true (Cluster.machine_of cl 10 <> None);
+  check int "cluster consistent" 1 (Cluster.n_placed cl)
+
+let test_flow_graph_dot () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:2 ~demand:(Resource.cpu_only 1.) () |]
+  in
+  let cl = cluster_of apps ~n_machines:4 ~machine_cpu:32. in
+  let fg = Aladdin.Flow_graph.build cl (Array.init 2 (fun i -> mk ~id:i ~app:0 1.)) in
+  let dot = Aladdin.Flow_graph.to_dot fg in
+  check bool "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  let contains needle =
+    let nl = String.length needle and hl = String.length dot in
+    let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "has app vertex" true (contains "A0");
+  check bool "has machine vertex" true (contains "N3");
+  check bool "has sink edges" true (contains "-> t")
+
+(* ---------- lifecycle ---------- *)
+
+let lifecycle_cluster () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:8 ~demand:(Resource.cpu_only 8.)
+        ~priority:1 ~anti_affinity_within:true ();
+      Application.make ~id:1 ~n_containers:8 ~demand:(Resource.cpu_only 4.) ();
+    |]
+  in
+  cluster_of apps ~n_machines:8 ~machine_cpu:32.
+
+let app0 () =
+  Application.make ~id:0 ~n_containers:8 ~demand:(Resource.cpu_only 8.)
+    ~priority:1 ~anti_affinity_within:true ()
+
+let test_lifecycle_scale_out_in () =
+  let cl = lifecycle_cluster () in
+  let o = Aladdin.Lifecycle.scale_out cl ~app:(app0 ()) ~replicas:4 ~first_id:100 in
+  check int "scaled out" 4 (List.length o.Scheduler.placed);
+  check int "running" 4 (List.length (Aladdin.Lifecycle.running cl ~app:0));
+  (* anti-within: all on distinct machines *)
+  let machines =
+    List.filter_map (fun (cid, _) -> Cluster.machine_of cl cid) o.Scheduler.placed
+  in
+  check int "distinct machines" 4 (List.length (List.sort_uniq compare machines));
+  let removed = Aladdin.Lifecycle.scale_in cl ~app:0 ~replicas:2 in
+  check int "scaled in" 2 (List.length removed);
+  check int "running after scale-in" 2
+    (List.length (Aladdin.Lifecycle.running cl ~app:0));
+  check bool "highest ids removed first" true
+    (List.for_all (fun id -> id >= 102) removed)
+
+let test_lifecycle_failure_recovery () =
+  let cl = lifecycle_cluster () in
+  let _ = Aladdin.Lifecycle.scale_out cl ~app:(app0 ()) ~replicas:6 ~first_id:0 in
+  (* pick a machine hosting one replica and fail it *)
+  let victim =
+    match Cluster.machine_of cl 0 with Some m -> m | None -> Alcotest.fail "placed"
+  in
+  let report = Aladdin.Lifecycle.fail_machine cl victim in
+  check int "one displaced" 1 (List.length report.Aladdin.Lifecycle.displaced);
+  check int "recovered" 1 (List.length report.Aladdin.Lifecycle.recovered);
+  check int "none lost" 0 (List.length report.Aladdin.Lifecycle.lost);
+  check bool "machine offline" true (Cluster.is_offline cl victim);
+  check int "machine empty" 0 (Machine.n_containers (Cluster.machine cl victim));
+  (* the recovered replica is NOT on the failed machine and not with a
+     sibling *)
+  check int "still 6 running" 6 (List.length (Aladdin.Lifecycle.running cl ~app:0));
+  check int "no violations" 0 (List.length (Cluster.current_violations cl));
+  (* nothing can be placed on the offline machine *)
+  check bool "offline rejects" true
+    (Cluster.admissible cl (mk ~id:777 ~app:1 1.) victim = Error Cluster.No_capacity);
+  Aladdin.Lifecycle.recover_machine cl victim;
+  check bool "back online" true
+    (Cluster.admissible cl (mk ~id:777 ~app:1 1.) victim = Ok ())
+
+let test_lifecycle_rolling_restart () =
+  let cl = lifecycle_cluster () in
+  let _ = Aladdin.Lifecycle.scale_out cl ~app:(app0 ()) ~replicas:5 ~first_id:0 in
+  let before = List.length (Aladdin.Lifecycle.running cl ~app:0) in
+  let report = Aladdin.Lifecycle.rolling_restart cl ~app:0 in
+  check int "all restarted" 5 (List.length report.Aladdin.Lifecycle.restarted);
+  check int "none stuck" 0 (List.length report.Aladdin.Lifecycle.stuck);
+  check int "replica count preserved" before
+    (List.length (Aladdin.Lifecycle.running cl ~app:0));
+  check int "no violations" 0 (List.length (Cluster.current_violations cl))
+
+let test_lifecycle_validation () =
+  let cl = lifecycle_cluster () in
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument "Constraint_set.app: unknown id") (fun () ->
+      ignore
+        (Aladdin.Lifecycle.scale_out cl
+           ~app:
+             (Application.make ~id:99 ~n_containers:1
+                ~demand:(Resource.cpu_only 1.) ())
+           ~replicas:1 ~first_id:0));
+  Alcotest.check_raises "bad replicas"
+    (Invalid_argument "Lifecycle.scale_out: replicas") (fun () ->
+      ignore (Aladdin.Lifecycle.scale_out cl ~app:(app0 ()) ~replicas:0 ~first_id:0))
+
+let () =
+  Alcotest.run "aladdin"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "Eq.5 guarantee" `Quick test_weights_eq5_guarantee;
+          Alcotest.test_case "fixed base" `Quick test_weights_fixed_base;
+          Alcotest.test_case "magnitude" `Quick test_weights_magnitude;
+          QCheck_alcotest.to_alcotest prop_weights_eq5_random;
+        ] );
+      ( "flow-graph",
+        [
+          Alcotest.test_case "tiers and edges" `Quick test_flow_graph_edges;
+          Alcotest.test_case "scalar projection" `Quick test_flow_graph_projection;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "blacklist respected" `Quick
+            test_search_finds_and_respects_blacklist;
+          Alcotest.test_case "DL cuts paths" `Quick test_search_dl_cuts_paths;
+          Alcotest.test_case "IL skips siblings" `Quick test_search_il_skips_siblings;
+          Alcotest.test_case "parks and revives machines" `Quick
+            test_search_parks_dead_machines_and_revives;
+          Alcotest.test_case "prefers used machines" `Quick
+            test_search_prefers_used_machines;
+          QCheck_alcotest.to_alcotest prop_dl_preserves_placement;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "Fig.3(b) migration" `Quick test_fig3b_migration;
+          Alcotest.test_case "Fig.7 capacity migration" `Quick
+            test_fig7_capacity_migration;
+          Alcotest.test_case "preemption priority-safe" `Quick
+            test_preemption_priority_safe;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "deploys all at paper ratio" `Quick
+            test_scheduler_deploys_all_at_paper_ratio;
+          Alcotest.test_case "policy names" `Quick test_scheduler_names;
+          Alcotest.test_case "priority under CLP" `Quick
+            test_priority_respected_under_clp;
+          Alcotest.test_case "cross-batch preemption safety" `Quick
+            test_cross_batch_preemption_safety;
+          QCheck_alcotest.to_alcotest prop_aladdin_never_violates;
+          QCheck_alcotest.to_alcotest prop_aladdin_capacity_respected;
+          QCheck_alcotest.to_alcotest prop_aladdin_accounting;
+        ] );
+      ( "gang",
+        [
+          Alcotest.test_case "all-or-nothing" `Quick test_gang_all_or_nothing;
+          Alcotest.test_case "dot export" `Quick test_flow_graph_dot;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "scale out/in" `Quick test_lifecycle_scale_out_in;
+          Alcotest.test_case "failure recovery" `Quick
+            test_lifecycle_failure_recovery;
+          Alcotest.test_case "rolling restart" `Quick
+            test_lifecycle_rolling_restart;
+          Alcotest.test_case "validation" `Quick test_lifecycle_validation;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Integration tests: the full experiment pipeline at 1/100 scale. These
+   assert the paper's qualitative shapes, not absolute numbers. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let tiny = Exp_config.make ~seed:42 ~factor:0.01 ()
+
+(* ---------- config ---------- *)
+
+let test_config_make () =
+  check int "machines at 0.01" 100 tiny.Exp_config.machines;
+  check int "containers at 0.01" 1000 tiny.Exp_config.containers;
+  check int "scaled paper count" 40 (Exp_config.scale_machines tiny 4000);
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Exp_config.make: factor must be positive") (fun () ->
+      ignore (Exp_config.make ~factor:0. ()))
+
+let test_config_env () =
+  Unix.putenv "ALADDIN_SCALE" "0.02";
+  Unix.putenv "ALADDIN_SEED" "7";
+  let cfg = Exp_config.of_env () in
+  check int "seed from env" 7 cfg.Exp_config.seed;
+  check bool "factor from env" true (Float.abs (cfg.Exp_config.factor -. 0.02) < 1e-9);
+  Unix.putenv "ALADDIN_SCALE" "full";
+  check bool "full" true ((Exp_config.of_env ()).Exp_config.factor = 1.0);
+  Unix.putenv "ALADDIN_SCALE" "garbage";
+  check bool "garbage falls back" true
+    ((Exp_config.of_env ()).Exp_config.factor = 0.1);
+  Unix.putenv "ALADDIN_SCALE" "";
+  Unix.putenv "ALADDIN_SEED" ""
+
+(* ---------- fig 8 ---------- *)
+
+let test_fig8_shapes () =
+  let r = Fig8.run tiny in
+  let s = r.Fig8.stats in
+  check int "container budget" tiny.Exp_config.containers
+    s.Workload_stats.n_containers;
+  check bool "cdf monotone" true
+    (let rec mono = function
+       | (_, a) :: ((_, b) :: _ as tl) -> a <= b +. 1e-9 && mono tl
+       | _ -> true
+     in
+     mono r.Fig8.cdf);
+  check bool "cdf ends at 1" true
+    (match List.rev r.Fig8.cdf with (_, f) :: _ -> f > 0.999 | [] -> false)
+
+(* ---------- fig 9 ---------- *)
+
+let test_fig9_shapes () =
+  let panels = Fig9.run tiny in
+  check int "four panels" 4 (List.length panels);
+  List.iter
+    (fun { Fig9.label = _; rows } ->
+      check int "six schedulers" 6 (List.length rows);
+      (* Aladdin always wins: zero undeployed, zero violations *)
+      let aladdin = List.nth rows 5 in
+      check (Alcotest.float 1e-9) "aladdin zero" 0. aladdin.Fig9.undeployed_pct;
+      check int "aladdin no violations" 0 aladdin.Fig9.n_violations;
+      List.iter
+        (fun r ->
+          check bool "pct within range" true
+            (r.Fig9.undeployed_pct >= 0. && r.Fig9.undeployed_pct <= 100.))
+        rows)
+    panels;
+  (* Firmament improves with the rescheduling budget: panel (a) uses
+     reschd=1, panel (d) reschd=8. *)
+  let undeployed_of panel name_prefix =
+    let { Fig9.rows; _ } = List.nth panels panel in
+    (List.find
+       (fun r ->
+         String.length r.Fig9.scheduler >= String.length name_prefix
+         && String.sub r.Fig9.scheduler 0 (String.length name_prefix)
+            = name_prefix)
+       rows)
+      .Fig9.undeployed_pct
+  in
+  check bool "QUINCY(8) <= QUINCY(1)" true
+    (undeployed_of 3 "Firmament-QUINCY" <= undeployed_of 0 "Firmament-QUINCY")
+
+(* ---------- fig 10 / 11 ---------- *)
+
+let test_fig10_shapes () =
+  let cells = Fig10.run tiny in
+  check int "4 orders x 4 schedulers" 16 (List.length cells);
+  (* Aladdin uses the fewest machines on every arrival order. *)
+  List.iter
+    (fun order ->
+      let of_sched prefix =
+        List.find_opt
+          (fun c ->
+            c.Fig10.order = order
+            && String.length c.Fig10.scheduler >= String.length prefix
+            && String.sub c.Fig10.scheduler 0 (String.length prefix) = prefix)
+          cells
+      in
+      match (of_sched "Aladdin", of_sched "Go-Kube") with
+      | Some a, Some g -> (
+          match (a.Fig10.used, g.Fig10.used) with
+          | Some ua, Some ug ->
+              check bool "Aladdin <= Go-Kube machines" true (ua <= ug)
+          | _ -> ())
+      | _ -> Alcotest.fail "cells missing")
+    Arrival.
+      [
+        High_priority_first;
+        Low_priority_first;
+        Large_anti_affinity_first;
+        Small_anti_affinity_first;
+      ];
+  (* efficiency rows computable and non-negative *)
+  List.iter
+    (fun (_, e) -> check bool "eff >= 0" true (e >= -1e9 && e >= 0.))
+    (Fig10.efficiency_rows cells)
+
+(* ---------- fig 12 ---------- *)
+
+let test_fig12_shapes () =
+  let cfg = Exp_config.make ~seed:42 ~factor:0.005 () in
+  let points = Fig12.run cfg in
+  check bool "several sizes" true (List.length points >= 2);
+  List.iter
+    (fun p ->
+      check int "six schedulers" 6 (List.length p.Fig12.latency_ms);
+      List.iter
+        (fun (_, ms) -> check bool "latency non-negative" true (ms >= 0.))
+        p.Fig12.latency_ms)
+    points
+
+(* ---------- fig 13 ---------- *)
+
+let test_fig13_shapes () =
+  let cfg = Exp_config.make ~seed:42 ~factor:0.005 () in
+  let points = Fig13.run cfg in
+  check bool "points exist" true (List.length points >= 4);
+  List.iter
+    (fun p ->
+      check bool "elapsed >= 0" true (p.Fig13.elapsed_s >= 0.);
+      check bool "migrations >= 0" true (p.Fig13.migrations >= 0);
+      check bool "paths > 0" true (p.Fig13.paths_explored > 0))
+    points
+
+(* ---------- ablations & extensions ---------- *)
+
+let test_ablations_shapes () =
+  let rows = Ablations.search_optimizations tiny in
+  check int "four policies" 4 (List.length rows);
+  (* quality identical across policies *)
+  let undeployed =
+    List.map (fun (r : Ablations.search_row) -> r.Ablations.undeployed) rows
+  in
+  check bool "same quality" true
+    (List.for_all (fun u -> u = List.hd undeployed) undeployed);
+  (* IL+DL explores no more paths than plain *)
+  let paths name =
+    (List.find (fun (r : Ablations.search_row) -> r.Ablations.policy = name) rows)
+      .Ablations.paths_explored
+  in
+  check bool "IL+DL <= plain" true (paths "Aladdin+IL+DL" <= paths "Aladdin");
+  let mech = Ablations.mechanisms tiny in
+  check int "four configs" 4 (List.length mech);
+  let full : Ablations.mechanism_row = List.hd mech in
+  let none : Ablations.mechanism_row = List.nth mech 3 in
+  check bool "mechanisms never hurt" true
+    (full.Ablations.undeployed <= none.Ablations.undeployed);
+  let dims = Ablations.dimensions tiny in
+  check int "two dims rows" 2 (List.length dims)
+
+let test_heterogeneous_shapes () =
+  let rows = Heterogeneous.run tiny in
+  check int "four rows" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      if
+        String.length r.Heterogeneous.scheduler >= 7
+        && String.sub r.Heterogeneous.scheduler 0 7 = "Aladdin"
+      then check int "aladdin deploys all on any pool" 0 r.Heterogeneous.undeployed)
+    rows
+
+let test_online_shapes () =
+  let rows = Online.run tiny in
+  check int "four modes" 4 (List.length rows);
+  List.iter
+    (fun r -> check int (r.Online.mode ^ " deploys all") 0 r.Online.undeployed)
+    rows
+
+let test_failure_shapes () =
+  let steps = Failure.run ~n_failures:3 tiny in
+  check int "three steps" 3 (List.length steps);
+  List.iter
+    (fun s ->
+      check int "no violations after recovery" 0 s.Failure.violations;
+      check bool "anti-within blast radius is one replica" true
+        (s.Failure.max_replicas_lost <= 1);
+      check int "recovered + lost = displaced" s.Failure.displaced
+        (s.Failure.recovered + s.Failure.lost))
+    steps
+
+(* ---------- end to end: all schedulers on one workload ---------- *)
+
+let test_cross_scheduler_sanity () =
+  let w = Exp_config.workload tiny in
+  let total = Workload.n_containers w in
+  let machines = tiny.Exp_config.machines in
+  let schedulers =
+    [
+      Sched_zoo.aladdin ();
+      Sched_zoo.gokube ();
+      Sched_zoo.medea ~a:1. ~b:1. ~c:0.;
+      Sched_zoo.firmament Cost_model.Quincy ~reschd:8;
+    ]
+  in
+  List.iter
+    (fun sched ->
+      let r = Replay.run_workload sched w ~n_machines:machines in
+      check int
+        (sched.Scheduler.name ^ ": accounting")
+        total
+        (List.length r.Replay.outcome.Scheduler.placed
+        + List.length r.Replay.outcome.Scheduler.undeployed);
+      (* no scheduler may corrupt machine capacity *)
+      Array.iter
+        (fun m ->
+          check bool "capacity" true
+            (Resource.fits ~demand:(Machine.used m) ~within:(Machine.capacity m)))
+        (Cluster.machines r.Replay.cluster))
+    schedulers
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "make" `Quick test_config_make;
+          Alcotest.test_case "env" `Quick test_config_env;
+        ] );
+      ("fig8", [ Alcotest.test_case "shapes" `Quick test_fig8_shapes ]);
+      ("fig9", [ Alcotest.test_case "shapes" `Slow test_fig9_shapes ]);
+      ("fig10", [ Alcotest.test_case "shapes" `Slow test_fig10_shapes ]);
+      ("fig12", [ Alcotest.test_case "shapes" `Slow test_fig12_shapes ]);
+      ("fig13", [ Alcotest.test_case "shapes" `Slow test_fig13_shapes ]);
+      ( "extensions",
+        [
+          Alcotest.test_case "ablations" `Slow test_ablations_shapes;
+          Alcotest.test_case "heterogeneous" `Slow test_heterogeneous_shapes;
+          Alcotest.test_case "online" `Slow test_online_shapes;
+          Alcotest.test_case "failure" `Slow test_failure_shapes;
+        ] );
+      ( "cross-scheduler",
+        [ Alcotest.test_case "sanity" `Slow test_cross_scheduler_sanity ] );
+    ]

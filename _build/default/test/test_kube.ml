@@ -1,0 +1,262 @@
+(* Tests for the Kubernetes co-design layer (Fig. 6): the mock API server,
+   the events handling center, the model adaptor and the resolvers. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let node name cpu =
+  { Kube_objects.node_name = name; capacity = Resource.cpu_only cpu }
+
+let profile ?(priority = 0) ?(within = false) ?(across = []) name app_id cpu
+    replicas =
+  {
+    Kube_objects.profile_name = name;
+    app_id;
+    demand = Resource.cpu_only cpu;
+    priority;
+    anti_affinity_within = within;
+    anti_affinity_across = across;
+    replicas;
+  }
+
+let basic_api () =
+  let api = Kube_api.create () in
+  List.iter (Kube_api.add_node api)
+    [ node "n0" 32.; node "n1" 32.; node "n2" 32.; node "n3" 32.; node "n4" 32. ];
+  Kube_api.add_profile api (profile "web" 0 8. 3 ~within:true);
+  Kube_api.add_profile api (profile "cache" 1 4. 2 ~across:[ 0 ]);
+  Kube_api.add_profile api (profile "batch" 2 2. 4);
+  api
+
+(* ---------- api server ---------- *)
+
+let test_api_objects () =
+  let api = basic_api () in
+  check int "nodes" 5 (List.length (Kube_api.nodes api));
+  check int "profiles" 3 (List.length (Kube_api.profiles api));
+  let p = Kube_api.create_pod api ~name:"web-0" ~profile:"web" in
+  check bool "pending" true (p.Kube_objects.phase = Kube_objects.Pending);
+  Alcotest.check_raises "duplicate pod"
+    (Invalid_argument "Kube_api.create_pod: duplicate") (fun () ->
+      ignore (Kube_api.create_pod api ~name:"web-0" ~profile:"web"));
+  Alcotest.check_raises "unknown profile (admission)"
+    (Invalid_argument "Kube_api.create_pod: unknown profile") (fun () ->
+      ignore (Kube_api.create_pod api ~name:"x" ~profile:"nope"));
+  Alcotest.check_raises "duplicate node"
+    (Invalid_argument "Kube_api.add_node: duplicate") (fun () ->
+      Kube_api.add_node api (node "n0" 32.));
+  Alcotest.check_raises "duplicate app id"
+    (Invalid_argument "Kube_api.add_profile: duplicate app id") (fun () ->
+      Kube_api.add_profile api (profile "other" 0 1. 1))
+
+let test_api_bind_lifecycle () =
+  let api = basic_api () in
+  let _ = Kube_api.create_pod api ~name:"web-0" ~profile:"web" in
+  Kube_api.bind api ~pod:"web-0" ~node:"n1";
+  (match Kube_api.find_pod api "web-0" with
+  | Some p -> check bool "bound" true (p.Kube_objects.phase = Kube_objects.Bound "n1")
+  | None -> Alcotest.fail "pod exists");
+  Alcotest.check_raises "rebind same node"
+    (Invalid_argument "Kube_api.bind: already bound") (fun () ->
+      Kube_api.bind api ~pod:"web-0" ~node:"n1");
+  (* migration: re-bind to a different node is allowed *)
+  Kube_api.bind api ~pod:"web-0" ~node:"n2";
+  Kube_api.delete_pod api "web-0";
+  check bool "gone" true (Kube_api.find_pod api "web-0" = None);
+  Alcotest.check_raises "delete unknown" Not_found (fun () ->
+      Kube_api.delete_pod api "web-0")
+
+let test_api_watch_replays_and_streams () =
+  let api = basic_api () in
+  let _ = Kube_api.create_pod api ~name:"web-0" ~profile:"web" in
+  let seen = ref [] in
+  Kube_api.watch api (fun ev -> seen := ev :: !seen);
+  (* list part: 5 nodes + 3 profiles + 1 pod *)
+  check int "replayed" 9 (List.length !seen);
+  let v0 = Kube_api.resource_version api in
+  let _ = Kube_api.create_pod api ~name:"web-1" ~profile:"web" in
+  check int "streamed" 10 (List.length !seen);
+  check bool "version bumped" true (Kube_api.resource_version api > v0)
+
+(* ---------- ehc ---------- *)
+
+let test_ehc_batches_changes () =
+  let api = basic_api () in
+  let ehc = Ehc.attach api in
+  let _ = Kube_api.create_pod api ~name:"a" ~profile:"batch" in
+  let _ = Kube_api.create_pod api ~name:"b" ~profile:"batch" in
+  check int "pending counted" 2 (Ehc.pending_count ehc);
+  let c = Ehc.drain ehc in
+  check int "nodes in first drain" 5 (List.length c.Ehc.new_nodes);
+  check int "profiles in first drain" 3 (List.length c.Ehc.new_profiles);
+  check int "pods in order" 2 (List.length c.Ehc.pending_pods);
+  check bool "order preserved" true
+    (List.map (fun (p : Kube_objects.pod) -> p.Kube_objects.pod_name)
+       c.Ehc.pending_pods
+    = [ "a"; "b" ]);
+  let c2 = Ehc.drain ehc in
+  check int "second drain empty" 0 (List.length c2.Ehc.pending_pods)
+
+let test_ehc_drops_deleted_pending () =
+  let api = basic_api () in
+  let ehc = Ehc.attach api in
+  let _ = Kube_api.create_pod api ~name:"a" ~profile:"batch" in
+  Kube_api.delete_pod api "a";
+  let c = Ehc.drain ehc in
+  check int "pending gone" 0 (List.length c.Ehc.pending_pods);
+  check int "not a bound deletion" 0 (List.length c.Ehc.deleted_pods)
+
+(* ---------- controller end-to-end ---------- *)
+
+let test_controller_schedules_and_binds () =
+  let api = basic_api () in
+  let ctl = Controller.create api in
+  for i = 0 to 2 do
+    ignore (Kube_api.create_pod api ~name:(Printf.sprintf "web-%d" i) ~profile:"web")
+  done;
+  for i = 0 to 1 do
+    ignore (Kube_api.create_pod api ~name:(Printf.sprintf "cache-%d" i) ~profile:"cache")
+  done;
+  let report = Controller.sync ctl in
+  check int "all bound" 5 (List.length report.Resolver.bound);
+  check int "none unschedulable" 0 (List.length report.Resolver.unschedulable);
+  (* anti-within: the three web pods sit on three distinct nodes *)
+  let web_nodes =
+    List.filter_map
+      (fun (p : Kube_objects.pod) ->
+        if p.Kube_objects.profile = "web" then
+          match p.Kube_objects.phase with
+          | Kube_objects.Bound n -> Some n
+          | _ -> None
+        else None)
+      (Kube_api.pods api)
+  in
+  check int "web spread" 3 (List.length (List.sort_uniq compare web_nodes));
+  (* cache must not share a node with web (anti-across) *)
+  let node_of name =
+    match Kube_api.find_pod api name with
+    | Some { Kube_objects.phase = Kube_objects.Bound n; _ } -> Some n
+    | _ -> None
+  in
+  List.iter
+    (fun cache ->
+      match node_of cache with
+      | Some n -> check bool "cache apart from web" true (not (List.mem n web_nodes))
+      | None -> Alcotest.fail "cache bound")
+    [ "cache-0"; "cache-1" ];
+  (* mirror agrees with the API *)
+  match Controller.cluster ctl with
+  | Some cluster -> check int "mirror placements" 5 (Cluster.n_placed cluster)
+  | None -> Alcotest.fail "cluster mirror exists"
+
+let test_controller_unschedulable_and_delete_frees () =
+  let api = Kube_api.create () in
+  Kube_api.add_node api (node "n0" 8.);
+  Kube_api.add_profile api (profile "big" 0 8. 2 ~within:true);
+  let ctl = Controller.create api in
+  let _ = Kube_api.create_pod api ~name:"big-0" ~profile:"big" in
+  let _ = Kube_api.create_pod api ~name:"big-1" ~profile:"big" in
+  let report = Controller.sync ctl in
+  (* one node: the second anti-within pod cannot land *)
+  check int "one bound" 1 (List.length report.Resolver.bound);
+  check int "one unschedulable" 1 (List.length report.Resolver.unschedulable);
+  (* deleting the bound pod frees the node for a new pod *)
+  let bound_name = fst (List.hd report.Resolver.bound) in
+  Kube_api.delete_pod api bound_name;
+  let _ = Kube_api.create_pod api ~name:"big-2" ~profile:"big" in
+  let report2 = Controller.sync ctl in
+  check int "replacement bound" 1 (List.length report2.Resolver.bound)
+
+let test_controller_multiple_rounds () =
+  let api = basic_api () in
+  let ctl = Controller.create api in
+  let _ = Kube_api.create_pod api ~name:"batch-0" ~profile:"batch" in
+  let r1 = Controller.sync ctl in
+  check int "round 1 binds" 1 (List.length r1.Resolver.bound);
+  let r_idle = Controller.sync ctl in
+  check int "idle round binds nothing" 0 (List.length r_idle.Resolver.bound);
+  let _ = Kube_api.create_pod api ~name:"batch-1" ~profile:"batch" in
+  let r2 = Controller.sync ctl in
+  check int "round 2 binds" 1 (List.length r2.Resolver.bound)
+
+let test_controller_cordon_and_drain () =
+  let api = basic_api () in
+  let ctl = Controller.create api in
+  for i = 0 to 2 do
+    ignore (Kube_api.create_pod api ~name:(Printf.sprintf "web-%d" i) ~profile:"web")
+  done;
+  let r = Controller.sync ctl in
+  check int "three bound" 3 (List.length r.Resolver.bound);
+  (* cordon: the node keeps its pod but takes no new ones *)
+  let victim_node =
+    match Kube_api.find_pod api "web-0" with
+    | Some { Kube_objects.phase = Kube_objects.Bound n; _ } -> n
+    | _ -> Alcotest.fail "web-0 bound"
+  in
+  Controller.cordon ctl ~node:victim_node;
+  let _ = Kube_api.create_pod api ~name:"batch-x" ~profile:"batch" in
+  let r2 = Controller.sync ctl in
+  (match r2.Resolver.bound with
+  | [ (_, node) ] -> check bool "avoided cordoned node" true (node <> victim_node)
+  | _ -> Alcotest.fail "batch-x bound");
+  (* drain: the web pod moves to another node, anti-within preserved *)
+  let report = Controller.drain_node ctl ~node:victim_node in
+  check int "one pod rebound" 1 (List.length report.Resolver.bound);
+  let web_nodes =
+    List.filter_map
+      (fun (p : Kube_objects.pod) ->
+        if p.Kube_objects.profile = "web" then
+          match p.Kube_objects.phase with
+          | Kube_objects.Bound n -> Some n
+          | _ -> None
+        else None)
+      (Kube_api.pods api)
+  in
+  check int "web still on 3 distinct nodes" 3
+    (List.length (List.sort_uniq compare web_nodes));
+  check bool "none on the drained node" true
+    (not (List.mem victim_node web_nodes));
+  Controller.uncordon ctl ~node:victim_node;
+  Alcotest.check_raises "unknown node" (Invalid_argument "Controller: unknown node")
+    (fun () -> Controller.cordon ctl ~node:"nope")
+
+let test_controller_heterogeneous_nodes () =
+  let api = Kube_api.create () in
+  Kube_api.add_node api (node "small" 4.);
+  Kube_api.add_node api (node "large" 64.);
+  Kube_api.add_profile api (profile "fat" 0 32. 1);
+  let ctl = Controller.create api in
+  let _ = Kube_api.create_pod api ~name:"fat-0" ~profile:"fat" in
+  let report = Controller.sync ctl in
+  check bool "lands on the large node" true
+    (report.Resolver.bound = [ ("fat-0", "large") ])
+
+let () =
+  Alcotest.run "kube"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "objects" `Quick test_api_objects;
+          Alcotest.test_case "bind lifecycle" `Quick test_api_bind_lifecycle;
+          Alcotest.test_case "watch" `Quick test_api_watch_replays_and_streams;
+        ] );
+      ( "ehc",
+        [
+          Alcotest.test_case "batches changes" `Quick test_ehc_batches_changes;
+          Alcotest.test_case "drops deleted pending" `Quick
+            test_ehc_drops_deleted_pending;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "schedules and binds" `Quick
+            test_controller_schedules_and_binds;
+          Alcotest.test_case "unschedulable + delete frees" `Quick
+            test_controller_unschedulable_and_delete_frees;
+          Alcotest.test_case "multiple rounds" `Quick test_controller_multiple_rounds;
+          Alcotest.test_case "cordon and drain" `Quick
+            test_controller_cordon_and_drain;
+          Alcotest.test_case "heterogeneous nodes" `Quick
+            test_controller_heterogeneous_nodes;
+        ] );
+    ]

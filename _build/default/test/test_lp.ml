@@ -1,0 +1,272 @@
+(* Tests for the simplex / branch-and-bound ILP substrate. *)
+
+module M = Lp.Model
+module S = Lp.Simplex
+module I = Lp.Ilp
+
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let solve_expect m expected =
+  match S.solve m with
+  | S.Optimal { objective; x } ->
+      checkf "objective" expected objective;
+      Alcotest.(check bool) "solution feasible" true (M.feasible m x)
+  | S.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+(* max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 → 36 at (2,6). Classic. *)
+let test_simplex_classic () =
+  let m = M.create () in
+  let x = M.add_var m and y = M.add_var m in
+  M.add_constraint m [ (x, 1.) ] M.Le 4.;
+  M.add_constraint m [ (y, 2.) ] M.Le 12.;
+  M.add_constraint m [ (x, 3.); (y, 2.) ] M.Le 18.;
+  M.set_objective m [ (x, 3.); (y, 5.) ];
+  solve_expect m 36.
+
+let test_simplex_upper_bounds () =
+  let m = M.create () in
+  let x = M.add_var ~upper:2.5 m in
+  M.set_objective m [ (x, 1.) ];
+  solve_expect m 2.5
+
+let test_simplex_unbounded () =
+  let m = M.create () in
+  let x = M.add_var m in
+  M.set_objective m [ (x, 1.) ];
+  Alcotest.(check bool) "unbounded" true (S.solve m = S.Unbounded)
+
+let test_simplex_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m in
+  M.add_constraint m [ (x, 1.) ] M.Le 1.;
+  M.add_constraint m [ (x, 1.) ] M.Ge 2.;
+  M.set_objective m [ (x, 1.) ];
+  Alcotest.(check bool) "infeasible" true (S.solve m = S.Infeasible)
+
+let test_simplex_equality () =
+  let m = M.create () in
+  let x = M.add_var m and y = M.add_var m in
+  M.add_constraint m [ (x, 1.); (y, 1.) ] M.Eq 10.;
+  M.add_constraint m [ (x, 1.) ] M.Le 3.;
+  M.set_objective m [ (x, 2.); (y, 1.) ];
+  (* x=3, y=7 → 13 *)
+  solve_expect m 13.
+
+let test_simplex_ge_rows () =
+  let m = M.create () in
+  let x = M.add_var m and y = M.add_var m in
+  (* minimize x+2y st x+y>=4, y>=1 → maximize -(x+2y) = -5 at (3,1) *)
+  M.add_constraint m [ (x, 1.); (y, 1.) ] M.Ge 4.;
+  M.add_constraint m [ (y, 1.) ] M.Ge 1.;
+  M.set_objective m [ (x, -1.); (y, -2.) ];
+  solve_expect m (-5.)
+
+let test_simplex_degenerate () =
+  (* Beale's cycling example — Bland's rule must terminate. *)
+  let m = M.create () in
+  let x1 = M.add_var m and x2 = M.add_var m
+  and x3 = M.add_var m and x4 = M.add_var m in
+  M.add_constraint m [ (x1, 0.25); (x2, -8.); (x3, -1.); (x4, 9.) ] M.Le 0.;
+  M.add_constraint m [ (x1, 0.5); (x2, -12.); (x3, -0.5); (x4, 3.) ] M.Le 0.;
+  M.add_constraint m [ (x3, 1.) ] M.Le 1.;
+  M.set_objective m [ (x1, 0.75); (x2, -20.); (x3, 0.5); (x4, -6.) ];
+  solve_expect m 1.25
+
+let test_feasible_check () =
+  let m = M.create () in
+  let x = M.add_var ~upper:5. m in
+  M.add_constraint m [ (x, 1.) ] M.Ge 2.;
+  Alcotest.(check bool) "inside" true (M.feasible m [| 3. |]);
+  Alcotest.(check bool) "below row" false (M.feasible m [| 1. |]);
+  Alcotest.(check bool) "above bound" false (M.feasible m [| 6. |]);
+  Alcotest.(check bool) "negative" false (M.feasible m [| -1. |])
+
+(* ---------- ILP ---------- *)
+
+let test_ilp_knapsack () =
+  (* values 10,13,7; weights 3,4,2; capacity 6 → best 20 (items 1+3). *)
+  let m = M.create () in
+  let xs = List.init 3 (fun _ -> M.add_var ~upper:1. ~integer:true m) in
+  let weights = [ 3.; 4.; 2. ] and values = [ 10.; 13.; 7. ] in
+  M.add_constraint m (List.combine xs weights) M.Le 6.;
+  M.set_objective m (List.combine xs values);
+  match I.solve m with
+  | I.Solved { objective; status; x } ->
+      checkf "knapsack optimum" 20. objective;
+      Alcotest.(check bool) "status optimal" true (status = I.Optimal);
+      List.iteri
+        (fun i v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "x%d integral" i)
+            true
+            (Float.abs (x.(v) -. Float.round x.(v)) < 1e-6))
+        xs
+  | I.Infeasible -> Alcotest.fail "should be feasible"
+
+let test_ilp_rounds_lp_down () =
+  (* LP relaxation gives x=1.5; ILP must give 1. *)
+  let m = M.create () in
+  let x = M.add_var ~integer:true m in
+  M.add_constraint m [ (x, 2.) ] M.Le 3.;
+  M.set_objective m [ (x, 1.) ];
+  match I.solve m with
+  | I.Solved { objective; _ } -> checkf "integer optimum" 1. objective
+  | I.Infeasible -> Alcotest.fail "feasible"
+
+let test_ilp_infeasible () =
+  let m = M.create () in
+  let x = M.add_var ~upper:1. ~integer:true m in
+  M.add_constraint m [ (x, 2.) ] M.Ge 1.;
+  M.add_constraint m [ (x, 2.) ] M.Le 1.;
+  (* only x=0.5 satisfies both; no integer point *)
+  M.set_objective m [ (x, 1.) ];
+  Alcotest.(check bool) "infeasible" true (I.solve m = I.Infeasible)
+
+let test_ilp_assignment () =
+  (* 2 tasks, 2 machines, profits [[5;9];[8;2]]; each task and machine at
+     most once → 9 + 8 = 17. *)
+  let m = M.create () in
+  let x = Array.init 2 (fun _ -> Array.init 2 (fun _ -> M.add_var ~upper:1. ~integer:true m)) in
+  for i = 0 to 1 do
+    M.add_constraint m [ (x.(i).(0), 1.); (x.(i).(1), 1.) ] M.Le 1.
+  done;
+  for j = 0 to 1 do
+    M.add_constraint m [ (x.(0).(j), 1.); (x.(1).(j), 1.) ] M.Le 1.
+  done;
+  let profits = [| [| 5.; 9. |]; [| 8.; 2. |] |] in
+  M.set_objective m
+    (List.concat
+       (List.init 2 (fun i -> List.init 2 (fun j -> (x.(i).(j), profits.(i).(j))))));
+  match I.solve m with
+  | I.Solved { objective; _ } -> checkf "assignment optimum" 17. objective
+  | I.Infeasible -> Alcotest.fail "feasible"
+
+let test_ilp_budget () =
+  (* A tiny budget still returns some incumbent with Feasible status (or
+     proves optimality fast on this easy model). *)
+  let m = M.create () in
+  let xs = List.init 6 (fun _ -> M.add_var ~upper:1. ~integer:true m) in
+  M.add_constraint m (List.map (fun v -> (v, 1.)) xs) M.Le 3.;
+  M.set_objective m (List.map (fun v -> (v, 1.)) xs);
+  match I.solve ~node_budget:2 m with
+  | I.Solved { objective; _ } ->
+      Alcotest.(check bool) "objective within bound" true (objective <= 3. +. 1e-9)
+  | I.Infeasible -> Alcotest.fail "feasible"
+
+(* Brute-force verification on random small 0/1 ILPs. *)
+let random_ilp_gen =
+  QCheck.Gen.(
+    let* nv = int_range 1 4 in
+    let* nc = int_range 0 3 in
+    let* obj = list_repeat nv (int_range (-5) 5) in
+    let* rows =
+      list_repeat nc
+        (pair (list_repeat nv (int_range (-4) 4)) (int_range 0 8))
+    in
+    return (nv, obj, rows))
+
+let brute_force (nv, obj, rows) =
+  let best = ref neg_infinity in
+  for mask = 0 to (1 lsl nv) - 1 do
+    let x = List.init nv (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.) in
+    let ok =
+      List.for_all
+        (fun (coeffs, rhs) ->
+          List.fold_left2 (fun acc c xi -> acc +. (float_of_int c *. xi)) 0. coeffs x
+          <= float_of_int rhs +. 1e-9)
+        rows
+    in
+    if ok then begin
+      let v =
+        List.fold_left2 (fun acc c xi -> acc +. (float_of_int c *. xi)) 0. obj x
+      in
+      if v > !best then best := v
+    end
+  done;
+  !best
+
+let prop_ilp_matches_brute_force =
+  QCheck.Test.make ~count:200 ~name:"B&B matches brute force on 0/1 ILPs"
+    (QCheck.make random_ilp_gen) (fun ((nv, obj, rows) as spec) ->
+      let m = M.create () in
+      let xs = List.init nv (fun _ -> M.add_var ~upper:1. ~integer:true m) in
+      List.iter
+        (fun (coeffs, rhs) ->
+          M.add_constraint m
+            (List.combine xs (List.map float_of_int coeffs))
+            M.Le (float_of_int rhs))
+        rows;
+      M.set_objective m (List.combine xs (List.map float_of_int obj));
+      let expected = brute_force spec in
+      match I.solve m with
+      | I.Solved { objective; _ } -> Float.abs (objective -. expected) < 1e-6
+      | I.Infeasible -> expected = neg_infinity)
+
+(* Random bounded LPs, feasible by construction: pick a witness point x*,
+   make every row satisfied by it. The solver must return Optimal with an
+   objective at least as good as the witness. *)
+let random_lp_gen =
+  QCheck.Gen.(
+    let* nv = int_range 1 4 in
+    let* nc = int_range 0 4 in
+    let* witness = list_repeat nv (int_range 0 5) in
+    let* obj = list_repeat nv (int_range (-5) 5) in
+    let* rows = list_repeat nc (list_repeat nv (int_range 0 4)) in
+    return (nv, witness, obj, rows))
+
+let prop_simplex_beats_witness =
+  QCheck.Test.make ~count:300 ~name:"simplex optimal >= feasible witness"
+    (QCheck.make random_lp_gen) (fun (nv, witness, obj, rows) ->
+      let m = M.create () in
+      let xs = List.init nv (fun _ -> M.add_var ~upper:10. m) in
+      List.iter
+        (fun coeffs ->
+          let rhs =
+            List.fold_left2
+              (fun acc c w -> acc +. (float_of_int c *. float_of_int w))
+              0. coeffs witness
+          in
+          M.add_constraint m
+            (List.combine xs (List.map float_of_int coeffs))
+            M.Le rhs)
+        rows;
+      M.set_objective m (List.combine xs (List.map float_of_int obj));
+      let witness_value =
+        List.fold_left2
+          (fun acc c w -> acc +. (float_of_int c *. float_of_int w))
+          0. obj witness
+      in
+      match S.solve m with
+      | S.Optimal { objective; x } ->
+          M.feasible m x && objective >= witness_value -. 1e-6
+      | S.Infeasible | S.Unbounded -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "classic" `Quick test_simplex_classic;
+          Alcotest.test_case "upper bounds" `Quick test_simplex_upper_bounds;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "equality rows" `Quick test_simplex_equality;
+          Alcotest.test_case "ge rows" `Quick test_simplex_ge_rows;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate;
+          Alcotest.test_case "feasible check" `Quick test_feasible_check;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "rounds LP down" `Quick test_ilp_rounds_lp_down;
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "assignment" `Quick test_ilp_assignment;
+          Alcotest.test_case "node budget" `Quick test_ilp_budget;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_ilp_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_simplex_beats_witness;
+        ] );
+    ]

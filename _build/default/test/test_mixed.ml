@@ -1,0 +1,216 @@
+(* Tests for the discrete-event core and the short-lived/LLA mixed
+   scheduler (§IV.D). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------- des ---------- *)
+
+let test_des_orders_events () =
+  let q = Des.create () in
+  Des.schedule q ~at:3. "c";
+  Des.schedule q ~at:1. "a";
+  Des.schedule q ~at:2. "b";
+  let order = ref [] in
+  let rec drain () =
+    match Des.next q with
+    | Some (_, x) ->
+        order := x :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_des_fifo_ties () =
+  let q = Des.create () in
+  for i = 0 to 9 do
+    Des.schedule q ~at:5. i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Des.next q with
+    | Some (_, x) ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order on ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_des_clock_and_guards () =
+  let q = Des.create () in
+  Des.schedule q ~at:10. ();
+  check bool "clock starts at 0" true (Des.now q = 0.);
+  ignore (Des.next q);
+  check bool "clock advanced" true (Des.now q = 10.);
+  Alcotest.check_raises "no scheduling in the past"
+    (Invalid_argument "Des.schedule: in the past") (fun () ->
+      Des.schedule q ~at:5. ());
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Des.after: negative delay") (fun () ->
+      Des.after q ~delay:(-1.) ());
+  Des.after q ~delay:2. ();
+  check int "pending" 1 (Des.pending q)
+
+let test_des_interleaved_pop_push () =
+  let q = Des.create () in
+  Des.schedule q ~at:1. 1;
+  (match Des.next q with
+  | Some (_, 1) -> Des.after q ~delay:0.5 2
+  | _ -> Alcotest.fail "expected 1");
+  Des.schedule q ~at:1.2 3;
+  (match Des.next q with
+  | Some (t, 3) -> check bool "1.2 first" true (t = 1.2)
+  | _ -> Alcotest.fail "expected 3");
+  match Des.next q with
+  | Some (t, 2) -> check bool "then 1.5" true (t = 1.5)
+  | _ -> Alcotest.fail "expected 2"
+
+(* model-based: Des agrees with a sorted-list reference on random
+   schedules *)
+let prop_des_matches_sorted_reference =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 40) (int_range 0 1000))
+  in
+  QCheck.Test.make ~count:300 ~name:"Des pops in (time, insertion) order"
+    (QCheck.make gen) (fun times ->
+      let q = Des.create () in
+      List.iteri
+        (fun i t -> Des.schedule q ~at:(float_of_int t) (i, t))
+        times;
+      let expected =
+        List.mapi (fun i t -> (i, t)) times
+        |> List.stable_sort (fun (_, a) (_, b) -> Int.compare a b)
+      in
+      let rec drain acc =
+        match Des.next q with
+        | Some (_, x) -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = expected)
+
+(* ---------- short-lived tasks ---------- *)
+
+let mixed_cluster () =
+  let apps =
+    [|
+      Application.make ~id:0 ~name:"lla" ~n_containers:4
+        ~demand:(Resource.cpu_only 8.) ~priority:1 ~anti_affinity_within:true ();
+      Application.make ~id:1 ~name:"batch" ~n_containers:1
+        ~demand:(Resource.cpu_only 1.) ();
+    |]
+  in
+  let topo =
+    Topology.homogeneous ~n_machines:4 ~capacity:(Resource.cpu_only 16.) ()
+  in
+  Cluster.create topo ~constraints:(Constraint_set.of_apps apps)
+
+let task ~id ?(cpu = 4.) ?(duration = 10.) arrival =
+  Aladdin.Short_lived.make_task ~task_id:id ~demand:(Resource.cpu_only cpu)
+    ~duration ~arrival
+
+let run ?backfill ?max_queue ?(lla_batches = []) tasks =
+  let cluster = mixed_cluster () in
+  let stats =
+    Aladdin.Short_lived.run ?backfill ?max_queue ~cluster ~task_app:1
+      ~lla_scheduler:(Aladdin.Aladdin_scheduler.make ())
+      ~lla_batches tasks
+  in
+  (cluster, stats)
+
+let test_tasks_complete_and_free_capacity () =
+  let tasks = List.init 8 (fun i -> task ~id:i (float_of_int i)) in
+  let cluster, stats = run tasks in
+  check int "all complete" 8 stats.Aladdin.Short_lived.completed;
+  check int "capacity fully returned" 0 (Cluster.n_placed cluster);
+  check bool "no expiry" true (stats.Aladdin.Short_lived.expired = 0)
+
+let test_tasks_queue_under_pressure () =
+  (* 4 machines x 16 cpu = 64; 32 concurrent 4-cpu tasks saturate; the
+     rest wait. All arrive at t=0 with duration 10. *)
+  let tasks = List.init 20 (fun i -> task ~id:i ~cpu:16. 0.) in
+  let _, stats = run tasks in
+  check int "all complete eventually" 20 stats.Aladdin.Short_lived.completed;
+  check bool "waiting happened" true (stats.Aladdin.Short_lived.mean_wait > 0.);
+  check bool "peak queue grew" true (stats.Aladdin.Short_lived.peak_queue > 0);
+  check bool "turnaround >= duration" true
+    (stats.Aladdin.Short_lived.mean_turnaround >= 10.)
+
+let test_task_queue_bound () =
+  let tasks = List.init 30 (fun i -> task ~id:i ~cpu:16. ~duration:100. 0.) in
+  let _, stats = run ~max_queue:5 tasks in
+  check bool "some expired" true (stats.Aladdin.Short_lived.expired > 0);
+  check int "completed + expired = all" 30
+    (stats.Aladdin.Short_lived.completed + stats.Aladdin.Short_lived.expired)
+
+let test_backfill_beats_fifo () =
+  (* A 16-cpu head blocks the queue while small tasks could run: backfill
+     completes them earlier. *)
+  let tasks =
+    task ~id:0 ~cpu:12. ~duration:50. 0.
+    :: task ~id:1 ~cpu:12. ~duration:50. 0.
+    :: task ~id:2 ~cpu:12. ~duration:50. 0.
+    :: task ~id:3 ~cpu:12. ~duration:50. 0.
+    :: task ~id:4 ~cpu:16. ~duration:50. 1.  (* blocked head: needs 16 free *)
+    :: List.init 8 (fun i -> task ~id:(5 + i) ~cpu:1. ~duration:5. 2.)
+  in
+  let _, with_bf = run ~backfill:true tasks in
+  let _, without_bf = run ~backfill:false tasks in
+  check bool "backfill lowers mean wait" true
+    (with_bf.Aladdin.Short_lived.mean_wait
+    < without_bf.Aladdin.Short_lived.mean_wait)
+
+let test_llas_and_tasks_coexist () =
+  let lla_batch =
+    Array.init 4 (fun i ->
+        Container.make ~id:(100 + i) ~app:0 ~demand:(Resource.cpu_only 8.)
+          ~priority:1 ~arrival:i)
+  in
+  let tasks = List.init 12 (fun i -> task ~id:i ~cpu:4. (float_of_int i)) in
+  let cluster, stats = run ~lla_batches:[ (5., lla_batch) ] tasks in
+  check int "tasks all complete" 12 stats.Aladdin.Short_lived.completed;
+  let o = stats.Aladdin.Short_lived.lla_outcome in
+  check int "LLAs all placed" 4 (List.length o.Scheduler.placed);
+  check int "LLAs stay while tasks drain" 4 (Cluster.n_placed cluster);
+  check int "no violations" 0 (List.length (Cluster.current_violations cluster))
+
+let test_task_validation () =
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Short_lived.make_task: duration") (fun () ->
+      ignore
+        (Aladdin.Short_lived.make_task ~task_id:0
+           ~demand:(Resource.cpu_only 1.) ~duration:0. ~arrival:0.));
+  Alcotest.check_raises "bad arrival"
+    (Invalid_argument "Short_lived.make_task: arrival") (fun () ->
+      ignore
+        (Aladdin.Short_lived.make_task ~task_id:0
+           ~demand:(Resource.cpu_only 1.) ~duration:1. ~arrival:(-1.)))
+
+let () =
+  Alcotest.run "mixed"
+    [
+      ( "des",
+        [
+          Alcotest.test_case "orders events" `Quick test_des_orders_events;
+          Alcotest.test_case "FIFO ties" `Quick test_des_fifo_ties;
+          Alcotest.test_case "clock & guards" `Quick test_des_clock_and_guards;
+          Alcotest.test_case "interleaved" `Quick test_des_interleaved_pop_push;
+          QCheck_alcotest.to_alcotest prop_des_matches_sorted_reference;
+        ] );
+      ( "short-lived",
+        [
+          Alcotest.test_case "complete & free" `Quick
+            test_tasks_complete_and_free_capacity;
+          Alcotest.test_case "queue under pressure" `Quick
+            test_tasks_queue_under_pressure;
+          Alcotest.test_case "queue bound" `Quick test_task_queue_bound;
+          Alcotest.test_case "backfill beats FIFO" `Quick test_backfill_beats_fifo;
+          Alcotest.test_case "LLAs + tasks coexist" `Quick
+            test_llas_and_tasks_coexist;
+          Alcotest.test_case "validation" `Quick test_task_validation;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the simulation layer: replay, metrics, capacity planner. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mk ?(id = 0) ?(app = 0) ?(priority = 0) ?(arrival = 0) cpu =
+  Container.make ~id ~app ~demand:(Resource.cpu_only cpu) ~priority ~arrival
+
+let tiny_workload ?(n = 12) () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:n ~demand:(Resource.cpu_only 4.) () |]
+  in
+  let containers = Array.init n (fun i -> mk ~id:i ~app:0 4.) in
+  Workload.make ~apps ~containers ~machine_capacity:(Resource.cpu_only 8.)
+
+(* A deterministic first-fit scheduler used as a known-good fixture. *)
+let first_fit_sched =
+  {
+    Scheduler.name = "first-fit";
+    schedule =
+      (fun cluster batch ->
+        let undeployed = ref [] in
+        Array.iter
+          (fun c ->
+            let n = Cluster.n_machines cluster in
+            let rec go mid =
+              if mid >= n then undeployed := c :: !undeployed
+              else
+                match Cluster.place cluster c mid with
+                | Ok () -> ()
+                | Error _ -> go (mid + 1)
+            in
+            go 0)
+          batch;
+        {
+          Scheduler.empty_outcome with
+          Scheduler.placed =
+            Array.to_list batch
+            |> List.filter_map (fun (c : Container.t) ->
+                   Option.map
+                     (fun m -> (c.Container.id, m))
+                     (Cluster.machine_of cluster c.Container.id));
+          undeployed = List.rev !undeployed;
+        });
+  }
+
+(* ---------- scheduler outcome helpers ---------- *)
+
+let test_merge_counts () =
+  let a =
+    { Scheduler.empty_outcome with Scheduler.placed = [ (1, 0) ]; migrations = 2 }
+  in
+  let b =
+    {
+      Scheduler.empty_outcome with
+      Scheduler.placed = [ (2, 1) ];
+      undeployed = [ mk ~id:3 1. ];
+      preemptions = 1;
+    }
+  in
+  let m = Scheduler.merge a b in
+  check int "placed" 2 (List.length m.Scheduler.placed);
+  check int "undeployed" 1 (List.length m.Scheduler.undeployed);
+  check int "migrations" 2 m.Scheduler.migrations;
+  check int "preemptions" 1 m.Scheduler.preemptions;
+  check int "undeployed count helper" 1 (Scheduler.undeployed_count m)
+
+(* ---------- replay ---------- *)
+
+let test_replay_single_wave () =
+  let w = tiny_workload () in
+  let r = Replay.run_workload first_fit_sched w ~n_machines:6 in
+  check int "submitted" 12 r.Replay.n_submitted;
+  check int "all placed (2 per machine)" 12
+    (List.length r.Replay.outcome.Scheduler.placed);
+  check int "machines used" 6 (Cluster.used_machines r.Replay.cluster);
+  check bool "latency measured" true (r.Replay.elapsed_s >= 0.)
+
+let test_replay_batched_equals_single () =
+  let w = tiny_workload () in
+  let single = Replay.run_workload first_fit_sched w ~n_machines:6 in
+  let cluster =
+    Cluster.create
+      (Workload.topology w ~n_machines:6)
+      ~constraints:(Workload.constraint_set w)
+  in
+  let batched =
+    Replay.run ~batch:5 first_fit_sched ~cluster
+      ~containers:w.Workload.containers
+  in
+  check int "same placements count"
+    (List.length single.Replay.outcome.Scheduler.placed)
+    (List.length batched.Replay.outcome.Scheduler.placed)
+
+let test_replay_overload_reports_undeployed () =
+  let w = tiny_workload () in
+  let r = Replay.run_workload first_fit_sched w ~n_machines:2 in
+  check int "4 fit" 4 (List.length r.Replay.outcome.Scheduler.placed);
+  check int "8 undeployed" 8 (List.length r.Replay.outcome.Scheduler.undeployed)
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_undeployed_pct () =
+  let o = { Scheduler.empty_outcome with Scheduler.undeployed = [ mk 1.; mk 2. ] } in
+  check (Alcotest.float 1e-9) "pct" 20. (Metrics.undeployed_pct o ~total:10);
+  check (Alcotest.float 1e-9) "zero total" 0. (Metrics.undeployed_pct o ~total:0)
+
+let test_metrics_efficiency () =
+  check (Alcotest.float 1e-9) "best is 0" 0. (Metrics.efficiency ~used:100 ~best:100);
+  check (Alcotest.float 1e-9) "54% more" 0.54
+    (Metrics.efficiency ~used:154 ~best:100);
+  Alcotest.check_raises "bad baseline"
+    (Invalid_argument "Metrics.efficiency: bad baseline") (fun () ->
+      ignore (Metrics.efficiency ~used:1 ~best:0))
+
+let test_metrics_latency () =
+  check (Alcotest.float 1e-9) "ms per container" 2.
+    (Metrics.latency_ms ~elapsed_s:0.2 ~containers:100);
+  check (Alcotest.float 1e-9) "empty" 0. (Metrics.latency_ms ~elapsed_s:1. ~containers:0)
+
+let test_metrics_utilization_summary () =
+  let w = tiny_workload ~n:3 () in
+  let cluster =
+    Cluster.create
+      (Workload.topology w ~n_machines:4)
+      ~constraints:(Workload.constraint_set w)
+  in
+  (* one machine with 8/8, one with 4/8, two empty *)
+  ignore (Cluster.place cluster (mk ~id:0 ~app:0 4.) 0);
+  ignore (Cluster.place cluster (mk ~id:1 ~app:0 4.) 0);
+  ignore (Cluster.place cluster (mk ~id:2 ~app:0 4.) 1);
+  let u = Metrics.utilization_summary cluster in
+  check int "used" 2 u.Metrics.n_used;
+  check (Alcotest.float 1e-6) "min" 50. u.Metrics.min_pct;
+  check (Alcotest.float 1e-6) "max" 100. u.Metrics.max_pct;
+  check (Alcotest.float 1e-6) "mean" 75. u.Metrics.mean_pct
+
+let test_metrics_anti_ratio () =
+  let o =
+    {
+      Scheduler.empty_outcome with
+      Scheduler.violations =
+        [
+          Violation.Anti_affinity { container = 0; machine = 0; against = 1 };
+          Violation.Priority_inversion { container = 1; displaced_by = 2 };
+        ];
+    }
+  in
+  check (Alcotest.float 1e-9) "50%" 50. (Metrics.anti_affinity_ratio_pct o)
+
+(* ---------- capacity planner ---------- *)
+
+let test_planner_lower_bound () =
+  let w = tiny_workload () in
+  (* 12 containers x 4 cpu = 48 cpu over 8-cpu machines → ≥ 6 *)
+  check int "demand bound" 6 (Capacity_planner.demand_lower_bound w);
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:9 ~demand:(Resource.cpu_only 1.)
+        ~anti_affinity_within:true ();
+    |]
+  in
+  let containers = Array.init 9 (fun i -> mk ~id:i ~app:0 1.) in
+  let w2 =
+    Workload.make ~apps ~containers ~machine_capacity:(Resource.cpu_only 8.)
+  in
+  check int "anti-within bound dominates" 9 (Capacity_planner.demand_lower_bound w2)
+
+let test_planner_finds_minimum () =
+  let w = tiny_workload () in
+  match Capacity_planner.plan first_fit_sched w with
+  | Some { Capacity_planner.pool; used; _ } ->
+      check int "minimal pool" 6 pool;
+      check int "used machines" 6 used
+  | None -> Alcotest.fail "plan expected"
+
+let test_planner_infeasible () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:1 ~demand:(Resource.cpu_only 16.) () |]
+  in
+  let containers = [| mk ~id:0 ~app:0 16. |] in
+  let w =
+    Workload.make ~apps ~containers ~machine_capacity:(Resource.cpu_only 8.)
+  in
+  (* container larger than any machine: no pool works *)
+  check bool "no plan" true (Capacity_planner.plan ~hi:16 first_fit_sched w = None)
+
+let test_planner_with_aladdin () =
+  let params = { (Alibaba.scaled 0.005) with Alibaba.seed = 21 } in
+  let w = Alibaba.generate params in
+  match Capacity_planner.plan (Aladdin.Aladdin_scheduler.make ()) w with
+  | Some { Capacity_planner.pool; used; run; _ } ->
+      check bool "pool >= lower bound" true
+        (pool >= Capacity_planner.demand_lower_bound w);
+      check bool "used <= pool" true (used <= pool);
+      check int "no undeployed at minimum" 0
+        (List.length run.Replay.outcome.Scheduler.undeployed)
+  | None -> Alcotest.fail "aladdin should plan"
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("outcome", [ Alcotest.test_case "merge" `Quick test_merge_counts ]);
+      ( "replay",
+        [
+          Alcotest.test_case "single wave" `Quick test_replay_single_wave;
+          Alcotest.test_case "batched equals single" `Quick
+            test_replay_batched_equals_single;
+          Alcotest.test_case "overload" `Quick test_replay_overload_reports_undeployed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "undeployed pct" `Quick test_metrics_undeployed_pct;
+          Alcotest.test_case "efficiency Eq.10" `Quick test_metrics_efficiency;
+          Alcotest.test_case "latency Eq.11" `Quick test_metrics_latency;
+          Alcotest.test_case "utilization summary" `Quick
+            test_metrics_utilization_summary;
+          Alcotest.test_case "anti ratio" `Quick test_metrics_anti_ratio;
+        ] );
+      ( "capacity-planner",
+        [
+          Alcotest.test_case "lower bound" `Quick test_planner_lower_bound;
+          Alcotest.test_case "finds minimum" `Quick test_planner_finds_minimum;
+          Alcotest.test_case "infeasible" `Quick test_planner_infeasible;
+          Alcotest.test_case "with aladdin" `Quick test_planner_with_aladdin;
+        ] );
+    ]

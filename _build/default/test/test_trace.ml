@@ -1,0 +1,463 @@
+(* Tests for the trace substrate: RNG, samplers, the calibrated generator,
+   arrival orders and serialisation. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------- rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done;
+  let c = Rng.create 8 in
+  check bool "different seed differs" true
+    (Rng.next_int64 (Rng.create 7) <> Rng.next_int64 c)
+
+let test_rng_float_range () =
+  let r = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    check bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 2 in
+  for _ = 1 to 10_000 do
+    let i = Rng.int r 7 in
+    check bool "in range" true (i >= 0 && i < 7)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  check bool "child differs from parent continuation" true
+    (Rng.next_int64 child <> Rng.next_int64 parent)
+
+(* ---------- distributions ---------- *)
+
+let test_uniform_int () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Distribution.uniform_int r ~lo:3 ~hi:5 in
+    check bool "bounds" true (v >= 3 && v <= 5)
+  done
+
+let test_categorical () =
+  let r = Rng.create 5 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Distribution.categorical r [| (8., "a"); (2., "b") |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = Hashtbl.find counts "a" in
+  check bool "roughly 80%" true (a > 7500 && a < 8500);
+  Alcotest.check_raises "empty" (Invalid_argument "Distribution.categorical: empty")
+    (fun () -> ignore (Distribution.categorical r [||]))
+
+let test_zipf_bounds () =
+  let r = Rng.create 6 in
+  for _ = 1 to 2000 do
+    let v = Distribution.zipf r ~n:10 ~s:1.2 in
+    check bool "bounds" true (v >= 1 && v <= 10)
+  done
+
+let test_zipf_skew () =
+  let r = Rng.create 7 in
+  let ones = ref 0 in
+  for _ = 1 to 5000 do
+    if Distribution.zipf r ~n:50 ~s:1.2 = 1 then incr ones
+  done;
+  check bool "head heavy" true (!ones > 1000)
+
+let test_pareto_bounds () =
+  let r = Rng.create 8 in
+  for _ = 1 to 2000 do
+    let v = Distribution.bounded_pareto r ~alpha:1.5 ~lo:50 ~hi:2500 in
+    check bool "bounds" true (v >= 50 && v <= 2500)
+  done
+
+let test_shuffle_permutes () =
+  let r = Rng.create 9 in
+  let a = Array.init 100 (fun i -> i) in
+  let b = Array.copy a in
+  Distribution.shuffle r b;
+  check bool "same multiset" true
+    (List.sort Int.compare (Array.to_list b) = Array.to_list a);
+  check bool "actually moved" true (b <> a)
+
+let test_sample_without_replacement () =
+  let r = Rng.create 10 in
+  let s = Distribution.sample_without_replacement r ~k:5 ~n:10 in
+  check int "count" 5 (List.length s);
+  check bool "distinct" true (List.length (List.sort_uniq Int.compare s) = 5);
+  check bool "in range" true (List.for_all (fun v -> v >= 0 && v < 10) s)
+
+(* ---------- generator ---------- *)
+
+let small_params = { (Alibaba.scaled 0.02) with Alibaba.seed = 11 }
+
+let test_generator_deterministic () =
+  let w1 = Alibaba.generate small_params in
+  let w2 = Alibaba.generate small_params in
+  check bool "same trace for same seed" true
+    (Trace_io.to_string w1 = Trace_io.to_string w2);
+  let w3 = Alibaba.generate { small_params with Alibaba.seed = 12 } in
+  check bool "seed changes trace" true
+    (Trace_io.to_string w1 <> Trace_io.to_string w3)
+
+let test_generator_statistics () =
+  let w = Alibaba.generate small_params in
+  let s = Workload_stats.compute w in
+  check int "exact container budget" small_params.Alibaba.target_containers
+    s.Workload_stats.n_containers;
+  check int "app count" small_params.Alibaba.n_apps s.Workload_stats.n_apps;
+  let pct n = 100 * n / s.Workload_stats.n_apps in
+  check bool "singles near 64%" true
+    (abs (pct s.Workload_stats.n_single_instance - 64) <= 8);
+  check bool "anti-affinity near 72%" true
+    (abs (pct s.Workload_stats.n_anti_affinity - 72) <= 10);
+  check bool "priority near 16%" true
+    (abs (pct s.Workload_stats.n_priority - 16) <= 10)
+
+let test_generator_load_band () =
+  (* The calibration pass must land cluster load in ~[0.80, 0.90] at the
+     paper's 10-containers-per-machine ratio. *)
+  List.iter
+    (fun f ->
+      let w = Alibaba.generate { (Alibaba.scaled f) with Alibaba.seed = 3 } in
+      let total = (Resource.to_array (Workload.total_demand w)).(0) in
+      let machines = Workload.n_containers w / 10 in
+      let cap = (Resource.to_array w.Workload.machine_capacity).(0) * machines in
+      let load = float_of_int total /. float_of_int cap in
+      check bool (Printf.sprintf "load at scale %.2f in band (%.2f)" f load)
+        true
+        (load > 0.78 && load < 0.92))
+    [ 0.02; 0.1 ]
+
+let test_generator_demand_cap () =
+  let w = Alibaba.generate small_params in
+  Array.iter
+    (fun (a : Application.t) ->
+      check bool "demand <= 16 cpu" true (Resource.cpu a.Application.demand <= 16.))
+    w.Workload.apps
+
+let test_generator_container_arrivals () =
+  let w = Alibaba.generate small_params in
+  Array.iteri
+    (fun i (c : Container.t) -> check int "arrival = index" i c.Container.arrival)
+    w.Workload.containers
+
+(* ---------- workload ---------- *)
+
+let mini_workload () =
+  let apps =
+    [|
+      Application.make ~id:0 ~n_containers:2 ~demand:(Resource.cpu_only 1.)
+        ~priority:2 ~anti_affinity_within:true ();
+      Application.make ~id:1 ~n_containers:3 ~demand:(Resource.cpu_only 2.)
+        ~anti_affinity_across:[ 0 ] ();
+      Application.make ~id:2 ~n_containers:1 ~demand:(Resource.cpu_only 4.) ();
+    |]
+  in
+  let containers =
+    Array.of_list
+      (List.concat_map
+         (fun (a : Application.t) ->
+           Application.containers a
+             ~first_id:(10 * a.Application.id)
+             ~first_arrival:0)
+         (Array.to_list apps))
+  in
+  Workload.make ~apps ~containers ~machine_capacity:(Resource.cpu_only 32.)
+
+let test_workload_degrees () =
+  let w = mini_workload () in
+  (* app 0: within (2-1) + across app1 (3) = 4; app 1: across app0 (2) = 2;
+     app 2: 0 *)
+  check int "degree app 0" 4 (Workload.anti_affinity_degree w 0);
+  check int "degree app 1" 2 (Workload.anti_affinity_degree w 1);
+  check int "degree app 2" 0 (Workload.anti_affinity_degree w 2);
+  let all = Workload.anti_affinity_degrees w in
+  check int "bulk matches" 4 (Hashtbl.find all 0)
+
+let test_workload_total_demand () =
+  let w = mini_workload () in
+  check int "total cpu millis" 12_000
+    (Resource.to_array (Workload.total_demand w)).(0)
+
+let test_workload_validation () =
+  let apps =
+    [| Application.make ~id:0 ~n_containers:1 ~demand:(Resource.cpu_only 1.) () |]
+  in
+  let orphan =
+    [| Container.make ~id:0 ~app:42 ~demand:(Resource.cpu_only 1.) ~priority:0 ~arrival:0 |]
+  in
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument "Workload.make: container references unknown app")
+    (fun () ->
+      ignore
+        (Workload.make ~apps ~containers:orphan
+           ~machine_capacity:(Resource.cpu_only 32.)))
+
+(* ---------- arrival orders ---------- *)
+
+let test_arrival_priority_orders () =
+  let w = mini_workload () in
+  let chp = (Arrival.apply Arrival.High_priority_first w).Workload.containers in
+  let clp = (Arrival.apply Arrival.Low_priority_first w).Workload.containers in
+  let priorities a =
+    Array.to_list (Array.map (fun (c : Container.t) -> c.Container.priority) a)
+  in
+  check bool "CHP descending" true
+    (priorities chp = List.sort (fun a b -> Int.compare b a) (priorities chp));
+  check bool "CLP ascending" true
+    (priorities clp = List.sort Int.compare (priorities clp))
+
+let test_arrival_degree_orders () =
+  let w = mini_workload () in
+  let degrees = Workload.anti_affinity_degrees w in
+  let deg (c : Container.t) = Hashtbl.find degrees c.Container.app in
+  let cla = (Arrival.apply Arrival.Large_anti_affinity_first w).Workload.containers in
+  let csa = (Arrival.apply Arrival.Small_anti_affinity_first w).Workload.containers in
+  let ds a = Array.to_list (Array.map deg a) in
+  check bool "CLA descending" true
+    (ds cla = List.sort (fun a b -> Int.compare b a) (ds cla));
+  check bool "CSA ascending" true (ds csa = List.sort Int.compare (ds csa))
+
+let test_arrival_stable_and_complete () =
+  let w = Alibaba.generate small_params in
+  List.iter
+    (fun (_, o) ->
+      let w' = Arrival.apply o w in
+      check int "same containers"
+        (Workload.n_containers w)
+        (Workload.n_containers w');
+      let ids a =
+        Array.to_list (Array.map (fun (c : Container.t) -> c.Container.id) a)
+        |> List.sort Int.compare
+      in
+      check bool "same id multiset" true
+        (ids w.Workload.containers = ids w'.Workload.containers))
+    Arrival.all
+
+let test_arrival_names () =
+  check bool "CHP roundtrip" true
+    (Arrival.of_string "chp" = Some Arrival.High_priority_first);
+  check bool "abbrev" true (Arrival.abbrev Arrival.Small_anti_affinity_first = "CSA");
+  check bool "unknown" true (Arrival.of_string "bogus" = None)
+
+(* ---------- io ---------- *)
+
+let test_io_roundtrip () =
+  let w = Alibaba.generate small_params in
+  let s = Trace_io.to_string w in
+  let w' = Trace_io.of_string s in
+  check bool "roundtrip identical" true (Trace_io.to_string w' = s);
+  check int "containers preserved" (Workload.n_containers w) (Workload.n_containers w')
+
+let test_io_file_roundtrip () =
+  let w = mini_workload () in
+  let path = Filename.temp_file "aladdin" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save w path;
+      let w' = Trace_io.load path in
+      check bool "file roundtrip" true (Trace_io.to_string w = Trace_io.to_string w'))
+
+let test_io_rejects_garbage () =
+  Alcotest.check_raises "missing header" (Failure "Trace_io: missing header")
+    (fun () -> ignore (Trace_io.of_string "nope"))
+
+(* ---------- stats / cdf ---------- *)
+
+let test_stats_cdf () =
+  let w = mini_workload () in
+  let cdf = Workload_stats.cdf w ~at:[ 1; 2; 3 ] in
+  check bool "cdf at 1" true (List.assoc 1 cdf = 1. /. 3.);
+  check bool "cdf at 3" true (List.assoc 3 cdf = 1.);
+  let s = Workload_stats.compute w in
+  check int "singles" 1 s.Workload_stats.n_single_instance;
+  check int "max app" 3 s.Workload_stats.max_app_size
+
+(* ---------- public Alibaba CSV schema ---------- *)
+
+let sample_csv =
+  "container_id,machine_id,time_stamp,app_du,status,cpu_request,cpu_limit,mem_size\n\
+   c1,m1,0,app_A,started,400,800,50\n\
+   c2,m2,0,app_A,started,400,800,50\n\
+   c3,m3,0,app_B,started,800,800,25\n\
+   c4,m4,0,app_B,terminated,800,800,25\n\
+   c5,m5,0,app_C,allocated,100,200,10\n"
+
+let test_csv_parses () =
+  let w = Alibaba_csv.of_string sample_csv in
+  check int "apps" 3 (Workload.n_apps w);
+  (* the terminated row is skipped *)
+  check int "containers" 4 (Workload.n_containers w);
+  let cs = Workload.constraint_set w in
+  let by_name name =
+    Array.to_list w.Workload.apps
+    |> List.find (fun (a : Application.t) -> a.Application.name = name)
+  in
+  let a = by_name "app_A" and b = by_name "app_B" in
+  check (Alcotest.float 1e-9) "centi-core cpu" 4. (Resource.cpu a.Application.demand);
+  check int "app_A size" 2 a.Application.n_containers;
+  check bool "multi app gets anti-within" true
+    (Constraint_set.anti_within cs a.Application.id);
+  check int "app_B size (terminated dropped)" 1 b.Application.n_containers;
+  check bool "single app no anti-within" false
+    (Constraint_set.anti_within cs b.Application.id)
+
+let test_csv_priority_centile () =
+  let w =
+    Alibaba_csv.of_string
+      ~options:{ Alibaba_csv.default_options with priority_centile = 0.34 }
+      sample_csv
+  in
+  (* top 34% of 3 apps = 1 app; app_A has the largest total cpu (800) and
+     ties with app_B — one of them is priority *)
+  let n_prio =
+    Array.to_list w.Workload.apps
+    |> List.filter (fun (a : Application.t) -> a.Application.priority > 0)
+    |> List.length
+  in
+  check int "one priority app" 1 n_prio
+
+let test_csv_multidim () =
+  let w =
+    Alibaba_csv.of_string
+      ~options:{ Alibaba_csv.default_options with cpu_only = false }
+      sample_csv
+  in
+  check int "two dims" 2 (Resource.dims w.Workload.machine_capacity);
+  let a =
+    Array.to_list w.Workload.apps
+    |> List.find (fun (a : Application.t) -> a.Application.name = "app_A")
+  in
+  (* mem 50/100 of 64 GB = 32 GB *)
+  check (Alcotest.float 1e-6) "mem scaling" 32. (Resource.mem_gb a.Application.demand)
+
+let test_csv_rejects_garbage () =
+  Alcotest.check_raises "empty" (Failure "Alibaba_csv: no usable rows")
+    (fun () -> ignore (Alibaba_csv.of_string ""));
+  Alcotest.check_raises "bad row" (Failure "Alibaba_csv: line 1: bad row")
+    (fun () -> ignore (Alibaba_csv.of_string "just,three,columns"))
+
+let test_csv_replayable () =
+  let w = Alibaba_csv.of_string sample_csv in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let r = Replay.run_workload sched w ~n_machines:4 in
+  check int "all placed" 4 (List.length r.Replay.outcome.Scheduler.placed)
+
+(* ---------- histogram ---------- *)
+
+let test_histogram_basics () =
+  let h = Histogram.of_list [ 5.; 1.; 3.; 2.; 4. ] in
+  check int "count" 5 (Histogram.count h);
+  check (Alcotest.float 1e-9) "min" 1. (Histogram.min_value h);
+  check (Alcotest.float 1e-9) "max" 5. (Histogram.max_value h);
+  check (Alcotest.float 1e-9) "mean" 3. (Histogram.mean h);
+  check (Alcotest.float 1e-9) "median" 3. (Histogram.percentile h 0.5);
+  check (Alcotest.float 1e-9) "p0" 1. (Histogram.percentile h 0.);
+  check (Alcotest.float 1e-9) "p100" 5. (Histogram.percentile h 1.);
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.) (Histogram.stddev h)
+
+let test_histogram_interleaved_adds () =
+  let h = Histogram.create () in
+  Histogram.add h 10.;
+  check (Alcotest.float 1e-9) "after one" 10. (Histogram.percentile h 0.5);
+  Histogram.add h 0.;
+  (* adding after a sorted query must keep results correct *)
+  check (Alcotest.float 1e-9) "min updated" 0. (Histogram.min_value h)
+
+let test_histogram_buckets () =
+  let h = Histogram.of_list [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 10. ] in
+  let bs = Histogram.buckets h ~n:2 in
+  check int "two buckets" 2 (List.length bs);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 bs in
+  check int "all counted" 10 total
+
+let test_histogram_errors () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "empty mean" (Invalid_argument "Histogram.mean: empty")
+    (fun () -> ignore (Histogram.mean h));
+  Histogram.add h 1.;
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Histogram.percentile: p outside [0,1]") (fun () ->
+      ignore (Histogram.percentile h 2.))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_int;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+          Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "statistics" `Quick test_generator_statistics;
+          Alcotest.test_case "load band" `Quick test_generator_load_band;
+          Alcotest.test_case "demand cap" `Quick test_generator_demand_cap;
+          Alcotest.test_case "arrival normalisation" `Quick
+            test_generator_container_arrivals;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "degrees" `Quick test_workload_degrees;
+          Alcotest.test_case "total demand" `Quick test_workload_total_demand;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "priority orders" `Quick test_arrival_priority_orders;
+          Alcotest.test_case "degree orders" `Quick test_arrival_degree_orders;
+          Alcotest.test_case "stable & complete" `Quick
+            test_arrival_stable_and_complete;
+          Alcotest.test_case "names" `Quick test_arrival_names;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+        ] );
+      ("stats", [ Alcotest.test_case "cdf" `Quick test_stats_cdf ]);
+      ( "alibaba-csv",
+        [
+          Alcotest.test_case "parses" `Quick test_csv_parses;
+          Alcotest.test_case "priority centile" `Quick test_csv_priority_centile;
+          Alcotest.test_case "multidimensional" `Quick test_csv_multidim;
+          Alcotest.test_case "rejects garbage" `Quick test_csv_rejects_garbage;
+          Alcotest.test_case "replayable" `Quick test_csv_replayable;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "interleaved adds" `Quick
+            test_histogram_interleaved_adds;
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "errors" `Quick test_histogram_errors;
+        ] );
+    ]
