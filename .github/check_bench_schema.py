@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate the shape of BENCH_sched.json written by bench/main.exe.
+
+Fails (exit 1) on missing sections, wrong types, length mismatches between
+the per-batch series, or non-positive latencies — so CI catches a solver or
+serialisation regression even when the bench itself exits 0.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"BENCH_sched.json schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    for section in ("config", "per_batch", "summary", "obs"):
+        if section not in doc:
+            fail(f"missing section {section!r}")
+
+    config = doc["config"]
+    for key in ("machines", "batches", "containers", "seed"):
+        if not isinstance(config.get(key), int):
+            fail(f"config.{key} must be an int")
+    if config["machines"] <= 0 or config["batches"] <= 0:
+        fail("config.machines and config.batches must be positive")
+
+    per_batch = doc["per_batch"]
+    series = ("solver_cold_ms", "solver_warm_ms", "sched_cold_ms", "sched_warm_ms")
+    lengths = set()
+    for key in series:
+        xs = per_batch.get(key)
+        if not isinstance(xs, list) or not xs:
+            fail(f"per_batch.{key} must be a non-empty array")
+        if not all(isinstance(x, (int, float)) and x >= 0 for x in xs):
+            fail(f"per_batch.{key} must contain nonnegative numbers")
+        lengths.add(len(xs))
+    if len(lengths) != 1:
+        fail(f"per_batch series have mismatched lengths: {sorted(lengths)}")
+    if lengths.pop() != config["batches"]:
+        fail("per_batch series length disagrees with config.batches")
+
+    summary = doc["summary"]
+    for key in (
+        "solver_cold_total_ms",
+        "solver_warm_total_ms",
+        "solver_speedup",
+        "sched_cold_total_ms",
+        "sched_warm_total_ms",
+        "sched_speedup",
+    ):
+        if not isinstance(summary.get(key), (int, float)):
+            fail(f"summary.{key} must be a number")
+    if summary["solver_speedup"] <= 0 or summary["sched_speedup"] <= 0:
+        fail("speedups must be positive")
+
+    obs = doc["obs"]
+    for key in ("counters", "histograms"):
+        if not isinstance(obs.get(key), dict):
+            fail(f"obs.{key} must be an object")
+    if obs["counters"].get("mincost.warm_hits", 0) <= 0:
+        fail("obs.counters['mincost.warm_hits'] should be positive after the bench")
+
+    print(f"{path}: schema OK "
+          f"({config['batches']} batches, solver speedup {summary['solver_speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_sched.json")

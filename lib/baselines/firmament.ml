@@ -13,6 +13,11 @@ let default =
 let name c =
   Printf.sprintf "Firmament-%s(%d)" (Cost_model.name c.cost_model) c.reschd
 
+let solve_hist = Obs.histogram "firmament.solve_ns"
+let batch_hist = Obs.histogram "firmament.batch_ns"
+let c_solves = Obs.counter "firmament.solves"
+let c_rounds = Obs.counter "firmament.rounds"
+
 let slot_size_millis batch =
   if Array.length batch = 0 then 1000
   else begin
@@ -65,16 +70,19 @@ let solve_round config cluster ~n_pending ~slot ~penalty =
       Flownet.Graph.add_arc g ~src:(nv y) ~dst:sink ~cap:slots
         ~cost:(Cost_model.machine_cost config.cost_model m + (5_000 * penalty.(y)))
   done;
+  Obs.incr c_solves;
   let _stats =
-    match config.solver with
-    | Ssp -> Flownet.Mincost.run g ~src:super ~dst:sink
-    | Cost_scaling -> Flownet.Cost_scaling.run g ~src:super ~dst:sink
+    Obs.time solve_hist (fun () ->
+        match config.solver with
+        | Ssp -> Flownet.Mincost.run g ~src:super ~dst:sink
+        | Cost_scaling -> Flownet.Cost_scaling.run g ~src:super ~dst:sink)
   in
   Array.map
     (fun arc -> if arc < 0 then 0 else Flownet.Graph.flow g arc)
     machine_arc
 
 let schedule config cluster batch =
+  let t0 = Obs.now_ns () in
   let pending = ref (Array.to_list batch) in
   let terminal = ref [] in
   let round = ref 0 in
@@ -173,6 +181,8 @@ let schedule config cluster batch =
     progress := !placed_this_round > 0 || !requeued <> [];
     pending := List.rev_append !requeued !unrouted
   done;
+  Obs.add c_rounds !round;
+  Obs.observe_ns batch_hist (Int64.sub (Obs.now_ns ()) t0);
   let undeployed = !terminal @ !pending in
   let placed =
     Array.to_list batch

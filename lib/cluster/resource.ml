@@ -19,6 +19,7 @@ let make ~cpu ~mem_gb =
 
 let cpu_only cpu = of_array [| int_of_float (Float.round (cpu *. milli)) |]
 let to_array t = Array.copy t
+let get t d = t.(d)
 let dims = Array.length
 let zero n = Array.make n 0
 let is_zero t = Array.for_all (fun x -> x = 0) t

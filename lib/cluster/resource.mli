@@ -23,6 +23,11 @@ val of_array : int array -> t
     entries or an empty array. *)
 
 val to_array : t -> int array
+
+val get : t -> int -> int
+(** Raw units of one dimension, without the defensive copy of {!to_array}
+    — for per-machine hot loops (projection builds, capacity deltas). *)
+
 val dims : t -> int
 val zero : int -> t
 val is_zero : t -> bool

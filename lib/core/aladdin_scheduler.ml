@@ -40,9 +40,58 @@ let name_of_options o =
 let last_stats : Search.stats option ref = ref None
 let last_search_stats () = !last_stats
 
-let schedule options cluster batch =
+(* Warm-start state carried between batches: the search (with its
+   cross-batch equivalence classes) and a persistent scalar-projection
+   arena for solver-driven consumers. Placements are unaffected — only
+   per-batch setup cost. *)
+type warm = {
+  mutable w_cluster : Cluster.t option;
+  mutable w_search : Search.t option;
+  w_projection : Flow_graph.projection_cache;
+}
+
+let warm_create () =
+  {
+    w_cluster = None;
+    w_search = None;
+    w_projection = Flow_graph.projection_cache ();
+  }
+
+let warm_projection w = w.w_projection
+
+let batch_hist = Obs.histogram "aladdin.batch_ns"
+let c_batches = Obs.counter "aladdin.batches"
+let c_creates = Obs.counter "aladdin.search_creates"
+let c_refreshes = Obs.counter "aladdin.search_refreshes"
+let c_placed = Obs.counter "aladdin.containers_placed"
+let c_undeployed = Obs.counter "aladdin.containers_undeployed"
+
+let search_for ?warm options fg cluster =
+  match warm with
+  | Some w -> (
+      match (w.w_search, w.w_cluster) with
+      | Some s, Some cl
+        when cl == cluster
+             && Search.il_enabled s = options.il
+             && Search.dl_enabled s = options.dl ->
+          Search.refresh s fg;
+          Obs.incr c_refreshes;
+          s
+      | _ ->
+          let s = Search.create ~il:options.il ~dl:options.dl ~eq:true fg in
+          w.w_search <- Some s;
+          w.w_cluster <- Some cluster;
+          Obs.incr c_creates;
+          s)
+  | None ->
+      Obs.incr c_creates;
+      Search.create ~il:options.il ~dl:options.dl fg
+
+let schedule ?warm options cluster batch =
+  Obs.incr c_batches;
+  let t0 = Obs.now_ns () in
   let fg = Flow_graph.build cluster batch in
-  let search = Search.create ~il:options.il ~dl:options.dl fg in
+  let search = search_for ?warm options fg cluster in
   let capacity = Topology.capacity (Cluster.topology cluster) 0 in
   let weights =
     match options.weight_base with
@@ -149,17 +198,30 @@ let schedule options cluster batch =
            | Some mid -> Some (c.Container.id, mid)
            | None -> None)
   in
-  {
-    Scheduler.placed;
-    undeployed = List.rev !undeployed;
-    violations = [];
-    migrations = !migrations;
-    preemptions = !preemptions;
-    rounds = !rounds;
-  }
+  let outcome =
+    {
+      Scheduler.placed;
+      undeployed = List.rev !undeployed;
+      violations = [];
+      migrations = !migrations;
+      preemptions = !preemptions;
+      rounds = !rounds;
+    }
+  in
+  Obs.add c_placed (List.length placed);
+  Obs.add c_undeployed (List.length outcome.Scheduler.undeployed);
+  Obs.observe_ns batch_hist (Int64.sub (Obs.now_ns ()) t0);
+  outcome
 
 let make ?(options = default_options) () =
   {
     Scheduler.name = name_of_options options;
     schedule = (fun cluster batch -> schedule options cluster batch);
+  }
+
+let make_warm ?(options = default_options) () =
+  let warm = warm_create () in
+  {
+    Scheduler.name = name_of_options options ^ "~warm";
+    schedule = (fun cluster batch -> schedule ~warm options cluster batch);
   }

@@ -2,11 +2,13 @@ type stats = {
   mutable paths_explored : int;
   mutable il_skips : int;
   mutable dl_cuts : int;
+  mutable eq_skips : int;
 }
 
 type t = {
   il : bool;
   dl : bool;
+  eq : bool;
   cluster : Cluster.t;
   n_machines : int;
   stats : stats;
@@ -18,15 +20,20 @@ type t = {
   mutable cursor : int;          (* first id that may still be inactive *)
   (* Machines proven unable to host even the smallest batch demand are
      parked out of the scan until a migration/preemption frees space. *)
-  min_demand : Resource.t;
+  mutable min_demand : Resource.t;
   mutable parked : int list;
   (* IL caches. The pair cache is a bitmap over (batch app slot, machine):
      one bit per admissibility failure, so consulting it costs less than
      re-running the capacity function. *)
-  app_slot : (Application.id, int) Hashtbl.t;
-  n_app_slots : int;
-  failed_pair : Bytes.t;
-  failed_app : Bytes.t;
+  mutable app_slot : (Application.id, int) Hashtbl.t;
+  mutable n_app_slots : int;
+  mutable failed_pair : Bytes.t;
+  mutable failed_app : Bytes.t;
+  (* Machine equivalence classes, keyed on the free-resource signature.
+     "Free vector F cannot host demand D" is a pure fact about the two
+     vectors, so entries stay valid forever — across batches included —
+     and machines sharing a signature share the verdict. *)
+  unfit : (Resource.t * Resource.t, unit) Hashtbl.t;
 }
 
 let min_demand_of batch ~dims =
@@ -43,14 +50,17 @@ let min_demand_of batch ~dims =
    dimension can host no batch container at all. *)
 let machine_dead t m = not (Machine.fits m t.min_demand)
 
-let create ?(il = true) ?(dl = true) fg =
-  let cluster = Flow_graph.cluster fg in
-  let n = Cluster.n_machines cluster in
-  let batch = Flow_graph.batch fg in
+let app_slots_of fg =
   let apps = Flow_graph.app_ids fg in
   let app_slot = Hashtbl.create (List.length apps) in
   List.iteri (fun i app -> Hashtbl.replace app_slot app i) apps;
-  let n_app_slots = max 1 (List.length apps) in
+  (app_slot, max 1 (List.length apps))
+
+let create ?(il = true) ?(dl = true) ?(eq = false) fg =
+  let cluster = Flow_graph.cluster fg in
+  let n = Cluster.n_machines cluster in
+  let batch = Flow_graph.batch fg in
+  let app_slot, n_app_slots = app_slots_of fg in
   let dims =
     Resource.dims (Topology.capacity (Cluster.topology cluster) 0)
   in
@@ -58,9 +68,10 @@ let create ?(il = true) ?(dl = true) fg =
     {
       il;
       dl;
+      eq;
       cluster;
       n_machines = n;
-      stats = { paths_explored = 0; il_skips = 0; dl_cuts = 0 };
+      stats = { paths_explored = 0; il_skips = 0; dl_cuts = 0; eq_skips = 0 };
       active = Array.make n 0;
       n_active = 0;
       is_active = Array.make n false;
@@ -74,6 +85,7 @@ let create ?(il = true) ?(dl = true) fg =
          else Bytes.empty);
       failed_app =
         (if il then Bytes.make ((n_app_slots + 7) / 8) '\000' else Bytes.empty);
+      unfit = (if eq then Hashtbl.create 256 else Hashtbl.create 1);
     }
   in
   (* Machines used by earlier batches are already active. *)
@@ -88,8 +100,63 @@ let create ?(il = true) ?(dl = true) fg =
     (Cluster.machines cluster);
   t
 
+let refresh t fg =
+  if not (Flow_graph.cluster fg == t.cluster) then
+    invalid_arg "Search.refresh: different cluster";
+  let batch = Flow_graph.batch fg in
+  let dims = Resource.dims t.min_demand in
+  t.min_demand <- min_demand_of batch ~dims;
+  (* Per-batch IL caches restart from scratch (app slots are batch-local). *)
+  let app_slot, n_app_slots = app_slots_of fg in
+  t.app_slot <- app_slot;
+  if t.il then begin
+    let pair_len = ((n_app_slots * t.n_machines) + 7) / 8 in
+    if n_app_slots <> t.n_app_slots || Bytes.length t.failed_pair <> pair_len
+    then begin
+      t.failed_pair <- Bytes.make pair_len '\000';
+      t.failed_app <- Bytes.make ((n_app_slots + 7) / 8) '\000'
+    end
+    else begin
+      Bytes.fill t.failed_pair 0 (Bytes.length t.failed_pair) '\000';
+      Bytes.fill t.failed_app 0 (Bytes.length t.failed_app) '\000'
+    end
+  end;
+  t.n_app_slots <- n_app_slots;
+  (* Re-seed the packing preference exactly as a from-scratch create would:
+     the machines currently in use, in machine-id order. Only machines this
+     search has touched (active or parked) can have gained or lost
+     containers through the scheduler, so the rebuild is O(touched), not
+     O(cluster). *)
+  let touched = ref t.parked in
+  for i = t.n_active - 1 downto 0 do
+    touched := t.active.(i) :: !touched
+  done;
+  t.parked <- [];
+  t.n_active <- 0;
+  List.iter
+    (fun mid ->
+      if not (Machine.is_used (Cluster.machine t.cluster mid)) then
+        t.is_active.(mid) <- false)
+    !touched;
+  let used = List.sort_uniq Int.compare !touched in
+  List.iter
+    (fun mid ->
+      if t.is_active.(mid) then begin
+        t.active.(t.n_active) <- mid;
+        t.n_active <- t.n_active + 1
+      end)
+    used;
+  t.cursor <- 0;
+  (* Per-batch stats, mirroring a fresh create. The cross-batch [unfit]
+     equivalence table is deliberately kept. *)
+  t.stats.paths_explored <- 0;
+  t.stats.il_skips <- 0;
+  t.stats.dl_cuts <- 0;
+  t.stats.eq_skips <- 0
+
 let il_enabled t = t.il
 let dl_enabled t = t.dl
+let eq_enabled t = t.eq
 let stats t = t.stats
 
 let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
@@ -143,18 +210,47 @@ let find_machine t (c : Container.t) =
       in
       if skip then t.stats.il_skips <- t.stats.il_skips + 1
       else begin
-        incr scanned;
-        t.stats.paths_explored <- t.stats.paths_explored + 1;
-        match Cluster.admissible t.cluster c mid with
-        | Ok () ->
-            if !best = None then best := Some mid;
-            (* Depth limiting: T_i's flow is capped by its demand, so no
-               further path can increase it — stop searching. *)
-            if t.dl then stop := true
-        | Error _ -> (
-            match slot with
-            | Some s -> bit_set t.failed_pair ((s * n) + mid)
-            | None -> ())
+        let machine = Cluster.machine t.cluster mid in
+        (* Equivalence class: a machine whose free-resource signature is
+           already known too small for this demand fails without being
+           scanned. Sound because capacity fit is a pure function of
+           (free, demand); blacklist conflicts stay per-machine. *)
+        let eq_key =
+          if t.eq then Some (Machine.free machine, c.Container.demand)
+          else None
+        in
+        let eq_unfit =
+          match eq_key with Some k -> Hashtbl.mem t.unfit k | None -> false
+        in
+        if eq_unfit then begin
+          t.stats.eq_skips <- t.stats.eq_skips + 1;
+          match slot with
+          | Some s -> bit_set t.failed_pair ((s * n) + mid)
+          | None -> ()
+        end
+        else begin
+          incr scanned;
+          t.stats.paths_explored <- t.stats.paths_explored + 1;
+          match Cluster.admissible t.cluster c mid with
+          | Ok () ->
+              if !best = None then best := Some mid;
+              (* Depth limiting: T_i's flow is capped by its demand, so no
+                 further path can increase it — stop searching. *)
+              if t.dl then stop := true
+          | Error err ->
+              (match slot with
+              | Some s -> bit_set t.failed_pair ((s * n) + mid)
+              | None -> ());
+              (* Record the equivalence-class verdict only for genuine
+                 capacity misfits: offline machines also answer
+                 No_capacity but their signature is not at fault. *)
+              (match (eq_key, err) with
+              | Some k, Cluster.No_capacity
+                when (not (Cluster.is_offline t.cluster mid))
+                     && not (Machine.fits machine c.Container.demand) ->
+                  Hashtbl.replace t.unfit k ()
+              | _ -> ())
+        end
       end
     in
     (* Tier 1: active machines, parking the ones that can no longer host

@@ -5,6 +5,10 @@
    drained FIFO push/relabel-style; conservation is restored at phase end,
    so the s→t flow value fixed by the initial max flow never changes. *)
 
+let c_phases = Obs.counter "cost_scaling.refine_phases"
+let c_saturations = Obs.counter "cost_scaling.arc_saturations"
+let c_relabels = Obs.counter "cost_scaling.price_updates"
+
 let run g ~src ~dst =
   let n = Graph.n_vertices g in
   let m = Graph.n_arcs g in
@@ -26,10 +30,12 @@ let run g ~src ~dst =
   let eps = ref max_c in
   while !eps >= 1 do
     incr phases;
+    Obs.incr c_phases;
     (* saturate every admissible (negative reduced cost) residual arc *)
     for a = 0 to m - 1 do
       let r = Graph.residual g a in
       if r > 0 && reduced a < 0 then begin
+        Obs.incr c_saturations;
         Graph.push g a r;
         excess.(Graph.src g a) <- excess.(Graph.src g a) - r;
         excess.(Graph.dst g a) <- excess.(Graph.dst g a) + r
@@ -70,7 +76,10 @@ let run g ~src ~dst =
           if !best = min_int then progress := false
             (* isolated excess cannot happen in a connected residual; stop
                defensively rather than loop *)
-          else price.(v) <- !best
+          else begin
+            Obs.incr c_relabels;
+            price.(v) <- !best
+          end
         end
       done
     done;

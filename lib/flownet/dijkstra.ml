@@ -1,12 +1,63 @@
 type result = { dist : int array; parent : int array }
 
-let run g ~src ~potential =
+(* Reusable scratch space: label arrays sized to the largest graph seen,
+   reset between runs by undoing only the previous run's footprint — so a
+   run costs O(explored region), not O(vertices), in both time and
+   allocation. *)
+type workspace = {
+  mutable dist : int array;
+  mutable parent : int array;
+  mutable settled : bool array;
+  heap : Heap.t;
+  mutable touched : int array;
+  mutable n_touched : int;
+}
+
+let workspace () =
+  {
+    dist = [||];
+    parent = [||];
+    settled = [||];
+    heap = Heap.create ~capacity:64 ();
+    touched = [||];
+    n_touched = 0;
+  }
+
+let touch ws v =
+  if ws.n_touched = Array.length ws.touched then begin
+    let grown = Array.make (max 64 (2 * ws.n_touched)) 0 in
+    Array.blit ws.touched 0 grown 0 ws.n_touched;
+    ws.touched <- grown
+  end;
+  ws.touched.(ws.n_touched) <- v;
+  ws.n_touched <- ws.n_touched + 1
+
+let prepare ws n =
+  if Array.length ws.dist < n then begin
+    ws.dist <- Array.make n max_int;
+    ws.parent <- Array.make n (-1);
+    ws.settled <- Array.make n false;
+    ws.n_touched <- 0
+  end
+  else begin
+    for i = 0 to ws.n_touched - 1 do
+      let v = ws.touched.(i) in
+      ws.dist.(v) <- max_int;
+      ws.parent.(v) <- -1;
+      ws.settled.(v) <- false
+    done;
+    ws.n_touched <- 0
+  end;
+  Heap.clear ws.heap
+
+let run ?ws ?(stop_at = -1) g ~src ~potential =
   let n = Graph.n_vertices g in
-  let dist = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create ~capacity:(n + 1) () in
+  let ws = match ws with Some w -> w | None -> workspace () in
+  prepare ws n;
+  let dist = ws.dist and parent = ws.parent and settled = ws.settled in
+  let heap = ws.heap in
   dist.(src) <- 0;
+  touch ws src;
   Heap.push heap ~key:0 ~value:src;
   let continue = ref true in
   while !continue do
@@ -15,23 +66,26 @@ let run g ~src ~potential =
     | Some (d, u) ->
         if not settled.(u) && d = dist.(u) then begin
           settled.(u) <- true;
-          Graph.iter_out g u (fun a ->
-              if Graph.residual g a > 0 then begin
-                let v = Graph.dst g a in
-                if not settled.(v) then begin
-                  let rc =
-                    Graph.cost g a + potential.(u) - potential.(v)
-                  in
-                  if rc < 0 then
-                    invalid_arg "Dijkstra.run: negative reduced cost";
-                  let nd = d + rc in
-                  if nd < dist.(v) then begin
-                    dist.(v) <- nd;
-                    parent.(v) <- a;
-                    Heap.push heap ~key:nd ~value:v
+          if u = stop_at then continue := false
+          else
+            Graph.iter_out g u (fun a ->
+                if Graph.residual g a > 0 then begin
+                  let v = Graph.dst g a in
+                  if not settled.(v) then begin
+                    let rc =
+                      Graph.cost g a + potential.(u) - potential.(v)
+                    in
+                    if rc < 0 then
+                      invalid_arg "Dijkstra.run: negative reduced cost";
+                    let nd = d + rc in
+                    if nd < dist.(v) then begin
+                      if dist.(v) = max_int then touch ws v;
+                      dist.(v) <- nd;
+                      parent.(v) <- a;
+                      Heap.push heap ~key:nd ~value:v
+                    end
                   end
-                end
-              end)
+                end)
         end
   done;
   { dist; parent }

@@ -7,6 +7,23 @@ type result = {
   parent : int array;
 }
 
-val run : Graph.t -> src:int -> potential:int array -> result
-(** @raise Invalid_argument when a reduced cost is negative (stale
+type workspace
+(** Reusable label arrays + heap. A run resets only its predecessor's
+    footprint, so repeated runs cost O(explored region) each instead of
+    O(vertices) — the win behind the min-cost solver's augmentation loop. *)
+
+val workspace : unit -> workspace
+
+val run :
+  ?ws:workspace -> ?stop_at:int -> Graph.t -> src:int -> potential:int array ->
+  result
+(** With [ws], the result arrays are owned by the workspace (they may be
+    longer than the vertex count) and are invalidated by the next run that
+    uses it.
+
+    With [stop_at], the search returns as soon as that vertex settles:
+    its distance and parent are exact, other entries are tentative labels
+    (>= the settled distance) or [max_int]. The min-cost solver uses this
+    to avoid settling the whole graph per augmentation.
+    @raise Invalid_argument when a reduced cost is negative (stale
     potentials). *)

@@ -1,3 +1,7 @@
+let c_phases = Obs.counter "dinic.phases"
+let c_arcs = Obs.counter "dinic.arcs_touched"
+let c_augmented = Obs.counter "dinic.units_augmented"
+
 let build_levels g ~src ~dst level =
   Array.fill level 0 (Array.length level) (-1);
   let q = Queue.create () in
@@ -6,6 +10,7 @@ let build_levels g ~src ~dst level =
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     Graph.iter_out g u (fun a ->
+        Obs.incr c_arcs;
         if Graph.residual g a > 0 then begin
           let v = Graph.dst g a in
           if level.(v) < 0 then begin
@@ -51,10 +56,12 @@ let run g ~src ~dst =
   let level = Array.make n (-1) in
   let total = ref 0 in
   while build_levels g ~src ~dst level do
+    Obs.incr c_phases;
     let cursor =
       Array.init n (fun v -> List.rev (Graph.fold_out g v (fun l a -> a :: l) []))
     in
     let pushed = blocking_flow g ~src ~dst level cursor in
     total := !total + pushed
   done;
+  Obs.add c_augmented !total;
   !total

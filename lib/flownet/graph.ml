@@ -92,7 +92,26 @@ let set_capacity g a c =
   if c < g.flow_.(a) then invalid_arg "Graph.set_capacity: below current flow";
   g.cap_.(a) <- c
 
+let set_cost g a c =
+  check_arc g a;
+  if not (is_forward a) then invalid_arg "Graph.set_cost: twin arc";
+  g.cost_.(a) <- c;
+  g.cost_.(rev a) <- -c
+
 let reset_flows g = Array.fill g.flow_ 0 g.m 0
+
+let mark g = g.m
+
+let truncate g mark =
+  if mark < 0 || mark > g.m || mark land 1 <> 0 then
+    invalid_arg "Graph.truncate: bad mark";
+  (* Arcs are pushed at the front of their source's adjacency list, so the
+     arcs above [mark] are exactly the list prefixes — pop them in reverse
+     insertion order and every head pointer lands back where it was. *)
+  for a = g.m - 1 downto mark do
+    g.head.(g.src_.(a)) <- g.next_.(a)
+  done;
+  g.m <- mark
 
 let iter_out g v f =
   let a = ref g.head.(v) in

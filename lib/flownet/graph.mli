@@ -38,8 +38,22 @@ val set_capacity : t -> int -> int -> unit
 (** Replace the capacity of an arc (used by incremental schedulers).
     @raise Invalid_argument if below the current flow. *)
 
+val set_cost : t -> int -> int -> unit
+(** Replace the cost of a forward arc (its twin gets the negated cost).
+    @raise Invalid_argument on a twin arc id. *)
+
 val reset_flows : t -> unit
 (** Zero all flows, keeping the topology. *)
+
+val mark : t -> int
+(** Checkpoint of the arc arena (the current arc count), for {!truncate}. *)
+
+val truncate : t -> int -> unit
+(** [truncate g m] removes every arc added after the {!mark} [m], restoring
+    the adjacency lists exactly. Flows on the removed arcs are discarded;
+    flows on surviving arcs are untouched. Used by incremental schedulers to
+    reuse the static tier of a network across batches.
+    @raise Invalid_argument if [m] is not a twin-aligned mark in range. *)
 
 val rev : int -> int
 (** Residual twin id of an arc. *)

@@ -1,36 +1,137 @@
 type stats = { flow : int; cost : int; iterations : int }
 
-let run ?(max_flow = max_int) g ~src ~dst =
+type warm = {
+  mutable potential : int array;
+  mutable prevalidated : bool;
+  ws : Dijkstra.workspace;
+}
+
+let warm_create () =
+  { potential = [||]; prevalidated = false; ws = Dijkstra.workspace () }
+
+let c_bootstraps = Obs.counter "mincost.spfa_bootstraps"
+let c_warm_hits = Obs.counter "mincost.warm_hits"
+let c_warm_misses = Obs.counter "mincost.warm_misses"
+let c_paths = Obs.counter "mincost.augmenting_paths"
+let c_dijkstra = Obs.counter "mincost.dijkstra_runs"
+
+(* The Dijkstra phases only ever explore the residual subgraph reachable
+   from [src], and pushing flow can only shrink that region (reverse arcs
+   appear between already-reached vertices) — so nonnegative reduced cost
+   need only hold there. Arcs stranded beyond the reachable frontier (e.g.
+   negative-cost arcs between vertices the source cannot feed) are
+   irrelevant and must not invalidate a warm start. *)
+let potential_valid g ~src potential =
   let n = Graph.n_vertices g in
+  if Array.length potential <> n then false
+  else begin
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let stack = ref [ src ] in
+    let ok = ref true in
+    while !ok && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          Graph.iter_out g u (fun a ->
+              if !ok && Graph.residual g a > 0 then begin
+                let v = Graph.dst g a in
+                if Graph.cost g a + potential.(u) - potential.(v) < 0 then
+                  ok := false
+                else if not seen.(v) then begin
+                  seen.(v) <- true;
+                  stack := v :: !stack
+                end
+              end)
+    done;
+    !ok
+  end
+
+let run ?warm ?(max_flow = max_int) g ~src ~dst =
+  let n = Graph.n_vertices g in
+  (* One Dijkstra workspace for the whole augmentation loop (carried across
+     solves when warm), so each phase pays for the region it explores
+     rather than O(vertices) of allocation and initialisation. *)
+  let ws =
+    match warm with Some w -> w.ws | None -> Dijkstra.workspace ()
+  in
   let potential = Array.make n 0 in
-  (* Initial potentials via SPFA, valid with negative arc costs. *)
-  let first = Spfa.run g ~src in
-  Array.blit first.Spfa.dist 0 potential 0 n;
-  (* Unreachable vertices keep potential 0; they are never on a path. *)
-  for v = 0 to n - 1 do
-    if potential.(v) = max_int then potential.(v) <- 0
-  done;
   let total_flow = ref 0 in
   let total_cost = ref 0 in
   let iterations = ref 0 in
-  let continue = ref (first.Spfa.dist.(dst) <> max_int && max_flow > 0) in
-  (* The first augmentation reuses the SPFA tree directly. *)
-  let parent0 = first.Spfa.parent in
-  (if !continue then
-     match Path.of_parents g ~parent:parent0 ~src ~dst with
-     | None -> continue := false
-     | Some p ->
-         let d = min p.Path.bottleneck (max_flow - !total_flow) in
-         Path.augment g p d;
-         total_flow := !total_flow + d;
-         total_cost := !total_cost + (d * Path.cost g p);
-         incr iterations);
+  let continue = ref (max_flow > 0) in
+  let warm_ok =
+    match warm with
+    | Some w
+      when Array.length w.potential = n
+           && (w.prevalidated || potential_valid g ~src w.potential) ->
+        (* [prevalidated] is a one-shot promise from a caller that maintains
+           validity by construction (the incremental projection checks the
+           arcs it edits); it spares the O(arcs) scan. *)
+        w.prevalidated <- false;
+        Array.blit w.potential 0 potential 0 n;
+        true
+    | Some w ->
+        w.prevalidated <- false;
+        Obs.incr c_warm_misses;
+        false
+    | None -> false
+  in
+  if warm_ok then Obs.incr c_warm_hits
+  else begin
+    (* Initial potentials via SPFA, valid with negative arc costs. *)
+    Obs.incr c_bootstraps;
+    let first = Spfa.run g ~src in
+    Array.blit first.Spfa.dist 0 potential 0 n;
+    (* Unreachable vertices never sit on an augmenting path, so any finite
+       potential works for the solve itself. Using the largest finite
+       distance (rather than 0) additionally makes every arc *out of* the
+       unreachable region keep a nonnegative reduced cost when arc costs
+       are themselves nonnegative — no residual arc enters that region, so
+       with this fill the carried potentials stay valid arc-by-arc, which
+       is what lets the incremental projection revalidate in O(changed). *)
+    let dmax = ref 0 in
+    for v = 0 to n - 1 do
+      if potential.(v) <> max_int && potential.(v) > !dmax then
+        dmax := potential.(v)
+    done;
+    for v = 0 to n - 1 do
+      if potential.(v) = max_int then potential.(v) <- !dmax
+    done;
+    (* Carry the bootstrap potentials — not the post-augmentation ones —
+       into the warm state: once flows are reset for the next solve,
+       saturated arcs become residual again and only the all-flows-zero
+       potentials are sure to keep their reduced costs nonnegative. *)
+    (match warm with Some w -> w.potential <- Array.copy potential | None -> ());
+    continue := !continue && first.Spfa.dist.(dst) <> max_int;
+    (* The first augmentation reuses the SPFA tree directly. *)
+    if !continue then
+      match Path.of_parents g ~parent:first.Spfa.parent ~src ~dst with
+      | None -> continue := false
+      | Some p ->
+          let d = min p.Path.bottleneck (max_flow - !total_flow) in
+          Path.augment g p d;
+          total_flow := !total_flow + d;
+          total_cost := !total_cost + (d * Path.cost g p);
+          incr iterations
+  end;
   while !continue && !total_flow < max_flow do
-    let { Dijkstra.dist; parent } = Dijkstra.run g ~src ~potential in
+    Obs.incr c_dijkstra;
+    let { Dijkstra.dist; parent } =
+      Dijkstra.run ~ws ~stop_at:dst g ~src ~potential
+    in
     if dist.(dst) = max_int then continue := false
     else begin
+      (* The search stops once [dst] settles, so unsettled vertices carry a
+         tentative label >= dist(dst) (or max_int). Capping the update at
+         dist(dst) keeps every residual reduced cost nonnegative — the
+         LEMON-style bound: settled->unsettled arcs gain dist(u) - dist(dst)
+         <= 0 slack on top of the triangle inequality, unsettled pairs are
+         shifted uniformly — while sparing the full-graph scan. *)
+      let d_dst = dist.(dst) in
       for v = 0 to n - 1 do
-        if dist.(v) <> max_int then potential.(v) <- potential.(v) + dist.(v)
+        potential.(v) <- potential.(v) + min dist.(v) d_dst
       done;
       match Path.of_parents g ~parent ~src ~dst with
       | None -> continue := false
@@ -42,4 +143,5 @@ let run ?(max_flow = max_int) g ~src ~dst =
           incr iterations
     end
   done;
+  Obs.add c_paths !iterations;
   { flow = !total_flow; cost = !total_cost; iterations = !iterations }

@@ -2,7 +2,7 @@
 
     The first shortest-path pass uses {!Spfa} (arc costs may be negative);
     later passes use {!Dijkstra} with Johnson potentials. This is the solver
-    behind the Firmament baseline. *)
+    behind the Firmament baseline and the incremental Aladdin projection. *)
 
 type stats = {
   flow : int;        (** total units pushed *)
@@ -10,6 +10,34 @@ type stats = {
   iterations : int;  (** augmenting paths used *)
 }
 
-val run : ?max_flow:int -> Graph.t -> src:int -> dst:int -> stats
+type warm = {
+  mutable potential : int array;
+  mutable prevalidated : bool;
+  ws : Dijkstra.workspace;
+}
+(** Johnson potentials carried across successive solves. An empty array means
+    cold. Callers that edit the graph between solves (e.g. the incremental
+    projection) may patch entries directly; {!run} validates before use,
+    unless [prevalidated] is set — a one-shot flag (cleared by {!run}) for
+    callers that maintain validity by construction and check the arcs they
+    edit themselves. [ws] additionally carries the Dijkstra scratch arrays so
+    repeated solves allocate nothing per shortest-path phase. *)
+
+val warm_create : unit -> warm
+
+val potential_valid : Graph.t -> src:int -> int array -> bool
+(** Whether every residual arc reachable from [src] has nonnegative reduced
+    cost under the given potentials — the precondition for skipping the
+    SPFA bootstrap. Arcs beyond the reachable frontier can never carry
+    flow, so they do not participate. *)
+
+val run : ?warm:warm -> ?max_flow:int -> Graph.t -> src:int -> dst:int -> stats
 (** Push up to [max_flow] units (default: unbounded) at minimum total cost.
-    Flows are recorded in the graph. *)
+    Flows are recorded in the graph.
+
+    With [?warm]: if the carried potentials fit the graph and pass
+    {!potential_valid}, the SPFA bootstrap is skipped entirely (an O(arcs)
+    validation scan replaces an O(vertices * arcs) worst-case labeling);
+    otherwise the solver falls back to SPFA and stores the fresh bootstrap
+    potentials back into [warm] for the next call. Counted under the
+    [mincost.*] {!Obs} counters. *)

@@ -2,6 +2,10 @@
    vertices is pushed forward or, after relabeling past n, drained back to
    the source, so the final flows satisfy conservation. *)
 
+let c_pushes = Obs.counter "push_relabel.pushes"
+let c_relabels = Obs.counter "push_relabel.relabels"
+let c_gap_lifts = Obs.counter "push_relabel.gap_lifts"
+
 let run g ~src ~dst =
   let n = Graph.n_vertices g in
   if src = dst then 0
@@ -25,6 +29,7 @@ let run g ~src ~dst =
       let u = Graph.src g a and v = Graph.dst g a in
       let d = min excess.(u) (Graph.residual g a) in
       if d > 0 then begin
+        Obs.incr c_pushes;
         Graph.push g a d;
         excess.(u) <- excess.(u) - d;
         excess.(v) <- excess.(v) + d;
@@ -42,6 +47,7 @@ let run g ~src ~dst =
           push a
         end);
     let relabel u =
+      Obs.incr c_relabels;
       let old = height.(u) in
       let best = ref ((2 * n) + 1) in
       Graph.iter_out g u (fun a ->
@@ -54,6 +60,7 @@ let run g ~src ~dst =
         if count.(old) = 0 && old < n then
           for v = 0 to n - 1 do
             if v <> src && height.(v) > old && height.(v) <= n then begin
+              Obs.incr c_gap_lifts;
               count.(height.(v)) <- count.(height.(v)) - 1;
               height.(v) <- n + 1;
               count.(n + 1) <- count.(n + 1) + 1

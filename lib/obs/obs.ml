@@ -1,0 +1,154 @@
+type counter = { c_name : string; mutable count : int }
+
+(* 64 power-of-two buckets over nanoseconds: bucket i holds samples with
+   floor(log2 ns) = i. Constant storage, <= 2x percentile error. *)
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable samples : int;
+  mutable sum_ns : float;
+  mutable max_ns : float;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace counters_tbl name c;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+let now_ns () = Monotonic_clock.now ()
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; buckets = Array.make 64 0; samples = 0; sum_ns = 0.; max_ns = 0. }
+      in
+      Hashtbl.replace histograms_tbl name h;
+      h
+
+let bucket_of_ns ns =
+  if ns <= 0L then 0
+  else
+    (* floor(log2 ns): position of the highest set bit *)
+    let rec go i v = if v = 0L then i - 1 else go (i + 1) (Int64.shift_right_logical v 1) in
+    go 0 ns
+
+let observe_ns h ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let b = bucket_of_ns ns in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.samples <- h.samples + 1;
+  let f = Int64.to_float ns in
+  h.sum_ns <- h.sum_ns +. f;
+  if f > h.max_ns then h.max_ns <- f
+
+let time h f =
+  let t0 = now_ns () in
+  let r = f () in
+  observe_ns h (Int64.sub (now_ns ()) t0);
+  r
+
+type histogram_stats = {
+  samples : int;
+  sum_ns : float;
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+(* Percentile from the bucket CDF; a bucket is reported at its geometric
+   midpoint (1.5 * 2^i). *)
+let percentile (h : histogram) q =
+  if h.samples = 0 then 0.
+  else begin
+    let target = Float.max 1. (Float.round (q *. float_of_int h.samples)) in
+    let acc = ref 0. in
+    let result = ref h.max_ns in
+    (try
+       for i = 0 to 63 do
+         acc := !acc +. float_of_int h.buckets.(i);
+         if !acc >= target then begin
+           result := 1.5 *. Float.pow 2. (float_of_int i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !result h.max_ns
+  end
+
+let histogram_stats (h : histogram) =
+  {
+    samples = h.samples;
+    sum_ns = h.sum_ns;
+    mean_ns = (if h.samples = 0 then 0. else h.sum_ns /. float_of_int h.samples);
+    p50_ns = percentile h 0.50;
+    p90_ns = percentile h 0.90;
+    p99_ns = percentile h 0.99;
+    max_ns = h.max_ns;
+  }
+
+let by_name name_of l = List.sort (fun a b -> String.compare (name_of a) (name_of b)) l
+
+let counters () =
+  Hashtbl.fold (fun _ c acc -> (c.c_name, c.count) :: acc) counters_tbl []
+  |> by_name fst
+
+let histograms () =
+  Hashtbl.fold (fun _ h acc -> (h.h_name, histogram_stats h) :: acc) histograms_tbl []
+  |> by_name fst
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 64 0;
+      h.samples <- 0;
+      h.sum_ns <- 0.;
+      h.max_ns <- 0.)
+    histograms_tbl
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (escape name) v))
+    (counters ());
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"samples\":%d,\"sum_ns\":%.0f,\"mean_ns\":%.0f,\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\"max_ns\":%.0f}"
+           (escape name) s.samples s.sum_ns s.mean_ns s.p50_ns s.p90_ns s.p99_ns
+           s.max_ns))
+    (histograms ());
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** Solver and scheduler observability: named counters, monotonic timers and
+    log-bucketed latency histograms.
+
+    Series are registered in a global registry keyed by name, so independent
+    modules can obtain the same series ([counter "x"] is get-or-create) and a
+    harness can snapshot everything at once. Counter increments are a single
+    record-field update — cheap enough for solver inner loops. *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the counter registered under [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC). *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Get or create the latency histogram registered under [name]. Buckets are
+    powers of two of nanoseconds (64 buckets), so percentile estimates carry
+    at most a 2x bucket error while storage stays constant. *)
+
+val observe_ns : histogram -> int64 -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall time in the histogram. *)
+
+type histogram_stats = {
+  samples : int;
+  sum_ns : float;
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+val histogram_stats : histogram -> histogram_stats
+
+val counters : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val histograms : unit -> (string * histogram_stats) list
+(** All registered histograms with their current stats, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered series (registrations are kept). *)
+
+val json : unit -> string
+(** JSON object [{"counters": {...}, "histograms": {...}}] of the current
+    snapshot, for machine-readable bench output. *)

@@ -1,0 +1,224 @@
+(* Differential testing of the flow solvers on seeded random networks:
+   every max-flow solver must agree on the flow value, every min-cost
+   solver must agree on (flow, cost) with a Bellman–Ford-based successive
+   shortest path oracle, and each recorded assignment must be a feasible
+   flow (conservation + capacity respect on every arc). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------- seeded random networks ---------- *)
+
+(* General digraph for max-flow differentials: random arcs plus a few
+   forced source/sink attachments so the flow is usually nonzero. *)
+let random_flow_graph rng ~n ~m ~max_cap =
+  let g = Flownet.Graph.create ~arc_hint:(m + 8) n in
+  let src = 0 and dst = n - 1 in
+  for _ = 1 to m do
+    let s = Rng.int rng n and d = Rng.int rng n in
+    if s <> d then
+      ignore
+        (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng max_cap)
+           ~cost:0)
+  done;
+  for _ = 1 to 4 do
+    let v = 1 + Rng.int rng (n - 2) in
+    ignore
+      (Flownet.Graph.add_arc g ~src ~dst:v ~cap:(1 + Rng.int rng max_cap)
+         ~cost:0);
+    ignore
+      (Flownet.Graph.add_arc g ~src:v ~dst ~cap:(1 + Rng.int rng max_cap)
+         ~cost:0)
+  done;
+  (g, src, dst)
+
+(* DAG (arcs only low → high vertex) for min-cost differentials: negative
+   costs allowed, acyclicity rules out negative cycles. *)
+let random_dag rng ~n ~m ~max_cap ~max_cost =
+  let g = Flownet.Graph.create ~arc_hint:(m + n) n in
+  let src = 0 and dst = n - 1 in
+  for _ = 1 to m do
+    let s = Rng.int rng (n - 1) in
+    let d = s + 1 + Rng.int rng (n - 1 - s) in
+    let cost =
+      if Rng.bool rng 0.25 then -(1 + Rng.int rng (max_cost / 4))
+      else Rng.int rng max_cost
+    in
+    ignore
+      (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng max_cap)
+         ~cost)
+  done;
+  for v = 0 to n - 2 do
+    if Rng.bool rng 0.3 then
+      ignore
+        (Flownet.Graph.add_arc g ~src:v ~dst:(v + 1)
+           ~cap:(1 + Rng.int rng max_cap) ~cost:(Rng.int rng max_cost))
+  done;
+  (g, src, dst)
+
+(* ---------- feasibility oracle ---------- *)
+
+let assert_feasible g ~src ~dst ~value =
+  let n = Flownet.Graph.n_vertices g in
+  for a = 0 to Flownet.Graph.n_arcs g - 1 do
+    if Flownet.Graph.is_forward a then begin
+      let f = Flownet.Graph.flow g a in
+      if f < 0 || f > Flownet.Graph.capacity g a then
+        Alcotest.failf "arc %d: flow %d outside [0, %d]" a f
+          (Flownet.Graph.capacity g a)
+    end;
+    if Flownet.Graph.residual g a < 0 then
+      Alcotest.failf "arc %d: negative residual" a
+  done;
+  for v = 0 to n - 1 do
+    let out = Flownet.Graph.outflow g v in
+    if v = src then check int "source outflow = value" value out
+    else if v = dst then check int "sink outflow = -value" (-value) out
+    else if out <> 0 then Alcotest.failf "vertex %d: conservation broken" v
+  done
+
+(* ---------- Bellman–Ford successive-shortest-path oracle ---------- *)
+
+let ssp_bellman_ford g ~src ~dst =
+  Flownet.Graph.reset_flows g;
+  let flow = ref 0 and cost = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = Flownet.Bellman_ford.run g ~src in
+    if r.Flownet.Bellman_ford.negative_cycle then
+      Alcotest.fail "oracle: negative cycle in residual graph";
+    match
+      Flownet.Path.of_parents g ~parent:r.Flownet.Bellman_ford.parent ~src ~dst
+    with
+    | None -> continue_ := false
+    | Some p ->
+        let d = p.Flownet.Path.bottleneck in
+        let c = Flownet.Path.cost g p in
+        Flownet.Path.augment g p d;
+        flow := !flow + d;
+        cost := !cost + (d * c)
+  done;
+  (!flow, !cost)
+
+(* ---------- max-flow differential ---------- *)
+
+let test_maxflow_differential () =
+  let rng = Rng.create 0xD1FF in
+  for _case = 1 to 30 do
+    let n = 8 + Rng.int rng 24 in
+    let m = n * (2 + Rng.int rng 3) in
+    let g, src, dst = random_flow_graph rng ~n ~m ~max_cap:20 in
+    let f_dinic = Flownet.Dinic.run g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:f_dinic;
+    Flownet.Graph.reset_flows g;
+    let f_pr = Flownet.Push_relabel.run g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:f_pr;
+    Flownet.Graph.reset_flows g;
+    let f_ek = Flownet.Maxflow.run g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:f_ek;
+    check int "dinic = push-relabel" f_dinic f_pr;
+    check int "dinic = edmonds-karp" f_dinic f_ek
+  done
+
+(* ---------- min-cost differential ---------- *)
+
+let test_mincost_differential () =
+  let rng = Rng.create 0xC057 in
+  for _case = 1 to 25 do
+    let n = 6 + Rng.int rng 20 in
+    let m = n * (2 + Rng.int rng 3) in
+    let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
+    let ssp = Flownet.Mincost.run g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:ssp.Flownet.Mincost.flow;
+    Flownet.Graph.reset_flows g;
+    let cs = Flownet.Cost_scaling.run g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:cs.Flownet.Mincost.flow;
+    let bf_flow, bf_cost = ssp_bellman_ford g ~src ~dst in
+    assert_feasible g ~src ~dst ~value:bf_flow;
+    Flownet.Graph.reset_flows g;
+    let max_flow = Flownet.Dinic.run g ~src ~dst in
+    check int "ssp flow is maximal" max_flow ssp.Flownet.Mincost.flow;
+    check int "ssp = cost-scaling (flow)" ssp.Flownet.Mincost.flow
+      cs.Flownet.Mincost.flow;
+    check int "ssp = cost-scaling (cost)" ssp.Flownet.Mincost.cost
+      cs.Flownet.Mincost.cost;
+    check int "ssp = bellman-ford oracle (flow)" ssp.Flownet.Mincost.flow
+      bf_flow;
+    check int "ssp = bellman-ford oracle (cost)" ssp.Flownet.Mincost.cost
+      bf_cost
+  done
+
+(* ---------- warm-start differential ---------- *)
+
+(* A warm re-solve must produce the same (flow, cost) as a cold solve, and
+   must actually take the warm path (validated potentials, no SPFA). *)
+let test_mincost_warm_matches_cold () =
+  let rng = Rng.create 0xAB1E in
+  let hits = Obs.counter "mincost.warm_hits" in
+  for _case = 1 to 15 do
+    let n = 6 + Rng.int rng 20 in
+    let m = n * 3 in
+    let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
+    let warm = Flownet.Mincost.warm_create () in
+    let cold = Flownet.Mincost.run ~warm g ~src ~dst in
+    check bool "bootstrap potentials recorded" true
+      (Array.length warm.Flownet.Mincost.potential
+      = Flownet.Graph.n_vertices g);
+    Flownet.Graph.reset_flows g;
+    check bool "bootstrap potentials valid after reset" true
+      (Flownet.Mincost.potential_valid g ~src warm.Flownet.Mincost.potential);
+    let before = Obs.count hits in
+    let rewarm = Flownet.Mincost.run ~warm g ~src ~dst in
+    check int "warm path taken" (before + 1) (Obs.count hits);
+    check int "warm = cold (flow)" cold.Flownet.Mincost.flow
+      rewarm.Flownet.Mincost.flow;
+    check int "warm = cold (cost)" cold.Flownet.Mincost.cost
+      rewarm.Flownet.Mincost.cost
+  done
+
+(* truncate must restore the adjacency structure exactly: solving after
+   mark/add/truncate equals solving the original graph. *)
+let test_truncate_restores_solver_results () =
+  let rng = Rng.create 0x7070 in
+  for _case = 1 to 15 do
+    let n = 8 + Rng.int rng 16 in
+    let g, src, dst = random_flow_graph rng ~n ~m:(n * 3) ~max_cap:15 in
+    let reference = Flownet.Dinic.run g ~src ~dst in
+    Flownet.Graph.reset_flows g;
+    let mark = Flownet.Graph.mark g in
+    for _ = 1 to 1 + Rng.int rng 8 do
+      let s = Rng.int rng n and d = Rng.int rng n in
+      if s <> d then
+        ignore
+          (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng 15)
+             ~cost:0)
+    done;
+    ignore (Flownet.Dinic.run g ~src ~dst);
+    Flownet.Graph.truncate g mark;
+    Flownet.Graph.reset_flows g;
+    check int "same max flow after truncate" reference
+      (Flownet.Dinic.run g ~src ~dst)
+  done
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "dinic = push-relabel = edmonds-karp" `Quick
+            test_maxflow_differential;
+        ] );
+      ( "mincost",
+        [
+          Alcotest.test_case "ssp = cost-scaling = bellman-ford oracle" `Quick
+            test_mincost_differential;
+          Alcotest.test_case "warm restart matches cold" `Quick
+            test_mincost_warm_matches_cold;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "truncate restores solver results" `Quick
+            test_truncate_restores_solver_results;
+        ] );
+    ]

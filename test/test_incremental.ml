@@ -1,0 +1,221 @@
+(* Warm-start regression suite: the incremental scheduling core must be
+   behaviourally identical to from-scratch — same placements, batch for
+   batch, over a multi-batch replay in every arrival order — and Aladdin
+   placements must never violate a constraint, with or without IL/DL. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let fresh_cluster w ~n_machines =
+  Cluster.create
+    (Workload.topology w ~n_machines)
+    ~constraints:(Workload.constraint_set w)
+
+(* Machines needed to hold the workload's total CPU demand, plus headroom. *)
+let machines_for w ~headroom =
+  let total =
+    (Resource.to_array (Workload.total_demand w)).(Resource.cpu_dim)
+  in
+  let per =
+    (Resource.to_array w.Workload.machine_capacity).(Resource.cpu_dim)
+  in
+  max 4 (int_of_float (ceil (headroom *. float_of_int total /. float_of_int per)))
+
+let waves containers ~n_batches =
+  let n = Array.length containers in
+  let per = max 1 ((n + n_batches - 1) / n_batches) in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min per (n - i) in
+      go (i + len) (Array.sub containers i len :: acc)
+  in
+  go 0 []
+
+let sorted_placements cl =
+  List.sort compare (Cluster.placements cl)
+
+let ids l = List.map (fun (c : Container.t) -> c.Container.id) l
+
+(* ---------- equivalence: warm scheduler == from-scratch scheduler ---------- *)
+
+(* 50-batch replay in all four arrival orders: the warm scheduler (carried
+   Search + equivalence classes) must reproduce the from-scratch placement
+   sequence exactly, batch for batch. *)
+let test_warm_equals_cold_all_orders () =
+  let params = { (Alibaba.scaled 0.005) with Alibaba.seed = 7 } in
+  let base = Alibaba.generate params in
+  let n_machines = machines_for base ~headroom:1.15 in
+  List.iter
+    (fun (abbrev, order) ->
+      if order <> Arrival.As_submitted then begin
+        let w = Arrival.apply order base in
+        let cold = Aladdin.Aladdin_scheduler.make () in
+        let warm = Aladdin.Aladdin_scheduler.make_warm () in
+        let cl_cold = fresh_cluster w ~n_machines in
+        let cl_warm = fresh_cluster w ~n_machines in
+        let batch_no = ref 0 in
+        List.iter
+          (fun wave ->
+            incr batch_no;
+            let o_cold = cold.Scheduler.schedule cl_cold wave in
+            let o_warm = warm.Scheduler.schedule cl_warm wave in
+            let ctx what =
+              Printf.sprintf "%s: batch %d: %s" abbrev !batch_no what
+            in
+            if o_cold.Scheduler.placed <> o_warm.Scheduler.placed then
+              Alcotest.fail (ctx "placements differ");
+            if
+              ids o_cold.Scheduler.undeployed
+              <> ids o_warm.Scheduler.undeployed
+            then Alcotest.fail (ctx "undeployed differ");
+            check int (ctx "migrations") o_cold.Scheduler.migrations
+              o_warm.Scheduler.migrations;
+            check int (ctx "preemptions") o_cold.Scheduler.preemptions
+              o_warm.Scheduler.preemptions;
+            if sorted_placements cl_cold <> sorted_placements cl_warm then
+              Alcotest.fail (ctx "cluster states diverged"))
+          (waves w.Workload.containers ~n_batches:50);
+        check bool (abbrev ^ ": replay ran batches") true (!batch_no >= 2)
+      end)
+    Arrival.all
+
+(* ---------- equivalence: incremental projection == fresh projection ---------- *)
+
+(* Across an evolving cluster, the cached arena's max flow and min cost must
+   equal the from-scratch projection's, and the warm min-cost solve must
+   equal a cold solve on the same arena. *)
+let test_incremental_projection_equals_fresh () =
+  let params = { (Alibaba.scaled 0.003) with Alibaba.seed = 11 } in
+  let w = Alibaba.generate params in
+  let n_machines = machines_for w ~headroom:1.3 in
+  let cl = fresh_cluster w ~n_machines in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let cache =
+    Aladdin.Flow_graph.projection_cache
+      ~machine_cost:(fun m -> 1 + (Machine.id m * 13 mod 97))
+      ()
+  in
+  let warm = Aladdin.Flow_graph.projection_warm cache in
+  let batch_no = ref 0 in
+  List.iter
+    (fun wave ->
+      incr batch_no;
+      let fg = Aladdin.Flow_graph.build cl wave in
+      let g_fresh, s_fresh, t_fresh = Aladdin.Flow_graph.scalar_projection fg in
+      let fresh_flow = Flownet.Dinic.run g_fresh ~src:s_fresh ~dst:t_fresh in
+      let g, src, dst =
+        Aladdin.Flow_graph.scalar_projection_incremental cache fg
+      in
+      let cold = Flownet.Mincost.run g ~src ~dst in
+      Flownet.Graph.reset_flows g;
+      let rewarm = Flownet.Mincost.run ~warm g ~src ~dst in
+      let ctx what = Printf.sprintf "batch %d: %s" !batch_no what in
+      check int (ctx "incremental flow = fresh flow") fresh_flow
+        cold.Flownet.Mincost.flow;
+      check int (ctx "warm flow = cold flow") cold.Flownet.Mincost.flow
+        rewarm.Flownet.Mincost.flow;
+      check int (ctx "warm cost = cold cost") cold.Flownet.Mincost.cost
+        rewarm.Flownet.Mincost.cost;
+      let delta = Aladdin.Flow_graph.projection_delta cache in
+      if !batch_no = 1 then
+        check bool (ctx "first batch rebuilds") true
+          delta.Aladdin.Flow_graph.rebuilt
+      else begin
+        check bool (ctx "later batches reuse the arena") false
+          delta.Aladdin.Flow_graph.rebuilt;
+        check bool (ctx "fixed arcs reused") true
+          (delta.Aladdin.Flow_graph.arcs_reused > 0)
+      end;
+      (* evolve the cluster so the next batch sees changed free vectors *)
+      ignore (sched.Scheduler.schedule cl wave))
+    (waves w.Workload.containers ~n_batches:20)
+
+(* ---------- property: placements never violate constraints ---------- *)
+
+(* Over seeded Alibaba workloads, every deployed placement is free of
+   anti-affinity violations — whatever the IL/DL setting. *)
+let test_no_violations_property () =
+  List.iter
+    (fun seed ->
+      let params = { (Alibaba.scaled 0.002) with Alibaba.seed = seed } in
+      let w = Alibaba.generate params in
+      let n_machines = machines_for w ~headroom:1.1 in
+      List.iter
+        (fun (label, options) ->
+          let sched = Aladdin.Aladdin_scheduler.make ~options () in
+          let r =
+            Replay.run ~batch:16 sched ~cluster:(fresh_cluster w ~n_machines)
+              ~containers:w.Workload.containers
+          in
+          let ctx what = Printf.sprintf "seed %d %s: %s" seed label what in
+          check int (ctx "tolerated violations") 0
+            (List.length r.Replay.outcome.Scheduler.violations);
+          check int (ctx "violations in final placement") 0
+            (List.length (Cluster.current_violations r.Replay.cluster)))
+        [
+          ("plain", Aladdin.Aladdin_scheduler.plain);
+          ("with_il", Aladdin.Aladdin_scheduler.with_il);
+          ("il+dl", Aladdin.Aladdin_scheduler.default_options);
+        ])
+    [ 3; 17; 42 ]
+
+(* ---------- refresh: per-batch state matches a fresh create ---------- *)
+
+let test_refresh_matches_create_stats () =
+  let params = { (Alibaba.scaled 0.002) with Alibaba.seed = 5 } in
+  let w = Alibaba.generate params in
+  let n_machines = machines_for w ~headroom:1.3 in
+  let cl = fresh_cluster w ~n_machines in
+  let wave_list = waves w.Workload.containers ~n_batches:10 in
+  let first = List.hd wave_list in
+  let fg0 = Aladdin.Flow_graph.build cl first in
+  let warm_search = Aladdin.Search.create ~eq:true fg0 in
+  List.iter
+    (fun wave ->
+      let fg = Aladdin.Flow_graph.build cl wave in
+      Aladdin.Search.refresh warm_search fg;
+      let st = Aladdin.Search.stats warm_search in
+      check int "refresh zeroes paths_explored" 0
+        st.Aladdin.Search.paths_explored;
+      check int "refresh zeroes il_skips" 0 st.Aladdin.Search.il_skips;
+      check int "refresh zeroes dl_cuts" 0 st.Aladdin.Search.dl_cuts;
+      check int "refresh zeroes eq_skips" 0 st.Aladdin.Search.eq_skips;
+      let fresh = Aladdin.Search.create fg in
+      (* identical machine choice for every container of the batch, and the
+         same placements applied to the shared cluster *)
+      Array.iter
+        (fun c ->
+          let a = Aladdin.Search.find_machine warm_search c in
+          let b = Aladdin.Search.find_machine fresh c in
+          check bool "same machine choice" true (a = b);
+          match a with
+          | Some mid ->
+              (match Cluster.place cl c mid with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "refresh: inadmissible placement");
+              Aladdin.Search.note_placement warm_search mid;
+              Aladdin.Search.note_placement fresh mid
+          | None -> ())
+        wave)
+    wave_list
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "warm scheduler = from-scratch (CHP/CLP/CLA/CSA)"
+            `Quick test_warm_equals_cold_all_orders;
+          Alcotest.test_case "incremental projection = fresh projection"
+            `Quick test_incremental_projection_equals_fresh;
+          Alcotest.test_case "search refresh = fresh create" `Quick
+            test_refresh_matches_create_stats;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "no violations with and without IL/DL" `Quick
+            test_no_violations_property;
+        ] );
+    ]
