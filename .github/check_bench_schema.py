@@ -68,6 +68,21 @@ def main(path):
     if obs["counters"].get("mincost.warm_hits", 0) <= 0:
         fail("obs.counters['mincost.warm_hits'] should be positive after the bench")
 
+    # Recovery counters must be present (registration proves the error-path
+    # modules are linked) and sane; they are only nonzero under fault
+    # injection, so >= 0 is the invariant here.
+    for key in (
+        "aladdin.fallback_to_cold",
+        "aladdin.rejected_batches",
+        "trace.parse_errors",
+        "fault.injected_solver_failures",
+        "replay.failed_batches",
+        "mincost.errors",
+    ):
+        v = obs["counters"].get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"obs.counters[{key!r}] must be a nonnegative int")
+
     print(f"{path}: schema OK "
           f"({config['batches']} batches, solver speedup {summary['solver_speedup']:.2f}x)")
 

@@ -144,6 +144,42 @@ let getenv_int name default =
   | Some s -> ( try int_of_string (String.trim s) with _ -> default)
   | None -> default
 
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+(* ALADDIN_FAULT_RATE > 0 runs the whole sched bench under the fault
+   harness: arc perturbation on the cold projection, injected solver-step
+   failures in the schedulers, machine revocations in any replay — the
+   recovery counters then land in BENCH_sched.json's obs section. *)
+let fault_rate = getenv_float "ALADDIN_FAULT_RATE" 0.
+
+let install_faults () =
+  if fault_rate > 0. then
+    Fault.install
+      (Fault.make ~arc_cost_flip:fault_rate ~arc_capacity_drop:fault_rate
+         ~solver_step_failure:fault_rate ~machine_revocation:fault_rate
+         ~trace_line_corruption:fault_rate
+         ~seed:(getenv_int "ALADDIN_FAULT_SEED" 1337)
+         ())
+
+(* Re-roll cost/capacity on the forward arcs of a projection (flows are
+   still zero right after the build, so capacities may shrink freely). *)
+let perturb_graph g =
+  if Fault.active () then
+    for a = 0 to Flownet.Graph.n_arcs g - 1 do
+      if Flownet.Graph.is_forward a then begin
+        let cost, cap =
+          Fault.perturb_arc ~cost:(Flownet.Graph.cost g a)
+            ~capacity:(Flownet.Graph.capacity g a)
+        in
+        if cost <> Flownet.Graph.cost g a then Flownet.Graph.set_cost g a cost;
+        if cap <> Flownet.Graph.capacity g a then
+          Flownet.Graph.set_capacity g a cap
+      end
+    done
+
 let ms_of t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e6
 
 let json_float_array a =
@@ -194,6 +230,10 @@ let run_sched_bench () =
   let cache = Aladdin.Flow_graph.projection_cache ~machine_cost () in
   let warm = Aladdin.Flow_graph.projection_warm cache in
   Obs.reset ();
+  install_faults ();
+  if fault_rate > 0. then
+    Format.printf "fault injection active (rate %.3f, seed %d)@." fault_rate
+      (getenv_int "ALADDIN_FAULT_SEED" 1337);
   let solver_cold = Array.make n_waves 0. in
   let solver_warm = Array.make n_waves 0. in
   let sched_cold_ms = Array.make n_waves 0. in
@@ -212,6 +252,7 @@ let run_sched_bench () =
       in
       let t0 = Obs.now_ns () in
       let g, src, dst = Aladdin.Flow_graph.scalar_projection ~machine_cost fg in
+      perturb_graph g;
       let st_cold = Flownet.Mincost.run ~max_flow:demand g ~src ~dst in
       let t1 = Obs.now_ns () in
       let gi, si, ti =
@@ -221,10 +262,20 @@ let run_sched_bench () =
         Flownet.Mincost.run ~warm ~max_flow:demand gi ~src:si ~dst:ti
       in
       let t2 = Obs.now_ns () in
-      if st_cold.Flownet.Mincost.flow <> st_warm.Flownet.Mincost.flow then
-        failwith "sched bench: incremental solver flow diverged";
-      if st_cold.Flownet.Mincost.cost <> st_warm.Flownet.Mincost.cost then
-        failwith "sched bench: incremental solver cost diverged";
+      (match (st_cold, st_warm) with
+      | Ok cold, Ok warm ->
+          (* Perturbed arcs make the two solves incomparable — the
+             equivalence gate only holds on the unfaulted bench. *)
+          if not (Fault.active ()) then begin
+            if cold.Flownet.Mincost.flow <> warm.Flownet.Mincost.flow then
+              failwith "sched bench: incremental solver flow diverged";
+            if cold.Flownet.Mincost.cost <> warm.Flownet.Mincost.cost then
+              failwith "sched bench: incremental solver cost diverged"
+          end
+      | Error e, _ | _, Error e ->
+          if not (Fault.active ()) then
+            failwith
+              ("sched bench: solver failed: " ^ Flownet.Error.to_string e));
       solver_cold.(i) <- ms_of t0 t1;
       solver_warm.(i) <- ms_of t1 t2;
       let t3 = Obs.now_ns () in
@@ -242,6 +293,15 @@ let run_sched_bench () =
   List.iter
     (fun wave -> ignore (firm.Scheduler.schedule cl_firm wave))
     (match waves with a :: b :: _ -> [ a; b ] | rest -> rest);
+  (* Exercise the trace parser (through the fault harness's line
+     corruption when active) so trace.parse_errors is registered and
+     reported alongside the solver/scheduler recovery counters. *)
+  (match
+     Trace_io.to_string w |> String.split_on_char '\n'
+     |> List.map Fault.corrupt_line |> String.concat "\n"
+     |> Trace_io.of_string
+   with
+  | Ok _ | Error _ -> ());
   let solver_speedup = sum solver_cold /. Float.max 1e-9 (sum solver_warm) in
   let sched_speedup =
     sum sched_cold_ms /. Float.max 1e-9 (sum sched_warm_ms)
@@ -266,6 +326,7 @@ let run_sched_bench () =
     (sum solver_cold) (sum solver_warm) solver_speedup (sum sched_cold_ms)
     (sum sched_warm_ms) sched_speedup (Obs.json ());
   close_out oc;
+  Fault.clear ();
   Format.printf "wrote BENCH_sched.json@.@."
 
 let run_full_harness () =

@@ -43,9 +43,16 @@ let medea_weights_arg =
   Arg.(value & opt (t3 ~sep:',' float float float) (1., 1., 0.) & info [ "weights" ] ~docv:"A,B,C" ~doc)
 
 let load_workload trace scale seed =
+  let unwrap path = function
+    | Ok w -> w
+    | Error e ->
+        Format.eprintf "error: %s: %s@." path (Trace_error.to_string e);
+        exit 1
+  in
   match trace with
-  | Some path when Filename.check_suffix path ".csv" -> Alibaba_csv.load path
-  | Some path -> Trace_io.load path
+  | Some path when Filename.check_suffix path ".csv" ->
+      unwrap path (Alibaba_csv.load path)
+  | Some path -> unwrap path (Trace_io.load path)
   | None ->
       Alibaba.generate { (Alibaba.scaled scale) with Alibaba.seed = seed }
 

@@ -1,0 +1,138 @@
+(* Fuzz smoke driver: run the trace parsers, flow solvers, replay loop and
+   both scheduler flavours under an installed fault configuration for a
+   bounded wall-clock budget. Any exception escaping a Result API or the
+   recovery machinery is a bug — the process exits nonzero.
+
+   Knobs:
+     ALADDIN_FAULT_SMOKE_SECS   wall-clock budget (default 5)
+     ALADDIN_FAULT_SMOKE_SEED   base seed (default 1337)
+     ALADDIN_FAULT_RATE         probability for every fault class (default 0.3)
+*)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+      match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let budget_s = float_of_int (getenv_int "ALADDIN_FAULT_SMOKE_SECS" 5)
+let base_seed = getenv_int "ALADDIN_FAULT_SMOKE_SEED" 1337
+let rate = getenv_float "ALADDIN_FAULT_RATE" 0.3
+let now_s () = Int64.to_float (Obs.now_ns ()) *. 1e-9
+
+let fault_config ~seed ~budget =
+  Fault.make ~trace_line_corruption:rate ~arc_cost_flip:rate
+    ~arc_capacity_drop:rate ~machine_revocation:rate ~solver_step_failure:rate
+    ~solver_failure_budget:budget ~seed ()
+
+(* ---- individual exercises (each runs under an installed config) ---- *)
+
+let exercise_parsers rng base_trace base_csv =
+  let mangle s =
+    String.concat "\n"
+      (List.map Fault.corrupt_line (String.split_on_char '\n' s))
+  in
+  for _ = 1 to 50 do
+    (match Trace_io.of_string (mangle base_trace) with Ok _ | Error _ -> ());
+    (match Alibaba_csv.of_string (mangle base_csv) with Ok _ | Error _ -> ());
+    let junk =
+      String.init (Rng.int rng 80) (fun _ -> Char.chr (32 + Rng.int rng 95))
+    in
+    match Trace_io.of_string junk with Ok _ | Error _ -> ()
+  done
+
+let exercise_solver rng =
+  for _ = 1 to 20 do
+    let n = 4 + Rng.int rng 12 in
+    let g = Flownet.Graph.create ~arc_hint:(n * 4) n in
+    for _ = 1 to n * 3 do
+      let s = Rng.int rng n and d = Rng.int rng n in
+      if s <> d then begin
+        let cost, cap =
+          Fault.perturb_arc ~cost:(Rng.int rng 12) ~capacity:(1 + Rng.int rng 9)
+        in
+        ignore (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap ~cost)
+      end
+    done;
+    match Flownet.Mincost.run g ~src:0 ~dst:(n - 1) with
+    | Ok _ | Error _ -> ()
+  done
+
+let exercise_replay w ~n_machines ~warm =
+  let sched =
+    if warm then Aladdin.Aladdin_scheduler.make_warm ()
+    else Aladdin.Aladdin_scheduler.make ()
+  in
+  let r = Replay.run_workload ~batch:32 sched w ~n_machines in
+  ignore r.Replay.elapsed_s
+
+let exercise_baselines w ~n_machines =
+  List.iter
+    (fun sched ->
+      ignore (Replay.run_workload ~batch:32 sched w ~n_machines))
+    [ Gokube.make (); Medea.make () ]
+
+let () =
+  let w =
+    Alibaba.generate { (Alibaba.scaled 0.005) with Alibaba.seed = base_seed }
+  in
+  let total =
+    (Resource.to_array (Workload.total_demand w)).(Resource.cpu_dim)
+  in
+  let per =
+    (Resource.to_array w.Workload.machine_capacity).(Resource.cpu_dim)
+  in
+  let n_machines =
+    max 4 (int_of_float (ceil (1.3 *. float_of_int total /. float_of_int per)))
+  in
+  let base_trace = Trace_io.to_string w in
+  let base_csv =
+    "container_id,machine_id,time_stamp,app_du,status,cpu_request,cpu_limit,mem_size\n\
+     c1,m1,0,app_A,started,400,800,50\n\
+     c2,m2,0,app_B,started,800,800,25\n\
+     c3,m3,0,app_B,started,800,800,25\n"
+  in
+  let deadline = now_s () +. budget_s in
+  let round = ref 0 in
+  (try
+     while now_s () < deadline do
+       incr round;
+       let seed = base_seed + !round in
+       let rng = Rng.create seed in
+       Fault.install (fault_config ~seed ~budget:(-1));
+       exercise_parsers rng base_trace base_csv;
+       exercise_solver rng;
+       exercise_replay w ~n_machines ~warm:(!round mod 2 = 0);
+       if !round mod 3 = 0 then exercise_baselines w ~n_machines;
+       (* finite budgets walk the fallback-to-cold and reject paths *)
+       Fault.install (fault_config ~seed ~budget:(1 + (!round mod 2)));
+       exercise_replay w ~n_machines ~warm:true;
+       Fault.clear ()
+     done
+   with e ->
+     Fault.clear ();
+     Printf.eprintf "fault_smoke: uncaught exception in round %d: %s\n%!"
+       !round (Printexc.to_string e);
+     exit 1);
+  Printf.printf "fault_smoke: %d rounds in %.1fs, no uncaught exceptions\n"
+    !round budget_s;
+  List.iter
+    (fun name -> Printf.printf "  %-32s %d\n" name (Obs.count (Obs.counter name)))
+    [
+      "fault.injected_solver_failures";
+      "fault.corrupted_lines";
+      "fault.flipped_arcs";
+      "fault.revoked_machines";
+      "trace.parse_errors";
+      "mincost.errors";
+      "aladdin.fallback_to_cold";
+      "aladdin.rejected_batches";
+      "aladdin.restore_drops";
+      "replay.machine_revocations";
+      "replay.failed_batches";
+    ]

@@ -16,7 +16,11 @@ let () =
       Format.printf "%a@.@." Workload_stats.pp (Workload_stats.compute w);
 
       (* reload (round-trips exactly) *)
-      let w = Trace_io.load path in
+      let w =
+        match Trace_io.load path with
+        | Ok w -> w
+        | Error e -> failwith (Trace_error.to_string e)
+      in
       let machines = Workload.n_containers w / 10 in
       let total = Workload.n_containers w in
 

@@ -17,6 +17,7 @@ let solve_hist = Obs.histogram "firmament.solve_ns"
 let batch_hist = Obs.histogram "firmament.batch_ns"
 let c_solves = Obs.counter "firmament.solves"
 let c_rounds = Obs.counter "firmament.rounds"
+let c_solver_errors = Obs.counter "firmament.solver_errors"
 
 let slot_size_millis batch =
   if Array.length batch = 0 then 1000
@@ -71,15 +72,26 @@ let solve_round config cluster ~n_pending ~slot ~penalty =
         ~cost:(Cost_model.machine_cost config.cost_model m + (5_000 * penalty.(y)))
   done;
   Obs.incr c_solves;
-  let _stats =
+  let solved =
     Obs.time solve_hist (fun () ->
         match config.solver with
-        | Ssp -> Flownet.Mincost.run g ~src:super ~dst:sink
-        | Cost_scaling -> Flownet.Cost_scaling.run g ~src:super ~dst:sink)
+        | Ssp -> (
+            match Flownet.Mincost.run g ~src:super ~dst:sink with
+            | Ok _ -> true
+            | Error _ ->
+                (* A failed solve yields no quotas for this round; the
+                   outer loop sees no progress and stops cleanly. *)
+                Obs.incr c_solver_errors;
+                false)
+        | Cost_scaling ->
+            ignore (Flownet.Cost_scaling.run g ~src:super ~dst:sink);
+            true)
   in
-  Array.map
-    (fun arc -> if arc < 0 then 0 else Flownet.Graph.flow g arc)
-    machine_arc
+  if not solved then Array.make nn 0
+  else
+    Array.map
+      (fun arc -> if arc < 0 then 0 else Flownet.Graph.flow g arc)
+      machine_arc
 
 let schedule config cluster batch =
   let t0 = Obs.now_ns () in

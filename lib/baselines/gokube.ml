@@ -110,7 +110,11 @@ let schedule config cluster batch =
     | Some mid -> (
         match Cluster.place cluster c mid with
         | Ok () -> ()
-        | Error _ -> assert false)
+        | Error _ ->
+            (* [pick] scored this machine as feasible; if placement is
+               denied anyway, report the container undeployed rather than
+               crash the batch. *)
+            undeployed := c :: !undeployed)
     | None -> (
         let handled =
           if config.preemption && c.Container.priority > 0 then

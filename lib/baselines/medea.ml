@@ -217,10 +217,16 @@ let defragment config cluster =
                 (match Cluster.place cluster c mid with
                 | Ok () -> incr moves
                 | Error _ ->
-                    (* lost the spot to a blacklist we created: put back *)
-                    (match Cluster.place cluster c (Machine.id m) with
+                    (* lost the spot to a blacklist we created: put back.
+                       The container's own slot is still free, so only a
+                       blacklist can object — force past it (recorded as a
+                       violation) rather than lose a deployed container. *)
+                    (match Cluster.place ~force:true cluster c (Machine.id m) with
                     | Ok () -> ()
-                    | Error _ -> assert false))
+                    | Error _ ->
+                        (* No capacity on its own former slot: the cluster
+                           is inconsistent — drop the move, keep running. *)
+                        ()))
             | None -> ())
           (Machine.containers m))
       light

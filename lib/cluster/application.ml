@@ -10,11 +10,27 @@ type t = {
   anti_affinity_across : id list;
 }
 
+(* App names end up as fields in the space-separated trace format
+   (Trace_io); whitespace in a name would shift every later field on the
+   line, so it is normalised away here — at the single point every app is
+   built through — rather than quoted at serialisation time. *)
+let sanitize_name ~id name =
+  let name = String.trim name in
+  if name = "" then Printf.sprintf "app-%d" id
+  else
+    String.map
+      (fun ch -> if ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r' then '_' else ch)
+      name
+
 let make ~id ?name ~n_containers ~demand ?(priority = 0)
     ?(anti_affinity_within = false) ?(anti_affinity_across = []) () =
   if n_containers <= 0 then invalid_arg "Application.make: no containers";
   if priority < 0 then invalid_arg "Application.make: negative priority";
-  let name = match name with Some n -> n | None -> Printf.sprintf "app-%d" id in
+  let name =
+    match name with
+    | Some n -> sanitize_name ~id n
+    | None -> Printf.sprintf "app-%d" id
+  in
   {
     id;
     name;

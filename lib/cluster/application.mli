@@ -25,6 +25,11 @@ val make :
   ?anti_affinity_across:id list ->
   unit ->
   t
+(** Names are normalised: surrounding whitespace is trimmed, inner
+    whitespace becomes ['_'], and an empty name falls back to ["app-<id>"]
+    — so a name can always stand as a single field in the space-separated
+    trace format. @raise Invalid_argument on [n_containers <= 0] or a
+    negative [priority]. *)
 
 val has_anti_affinity : t -> bool
 val has_priority : t -> bool

@@ -65,6 +65,9 @@ let c_creates = Obs.counter "aladdin.search_creates"
 let c_refreshes = Obs.counter "aladdin.search_refreshes"
 let c_placed = Obs.counter "aladdin.containers_placed"
 let c_undeployed = Obs.counter "aladdin.containers_undeployed"
+let c_fallback = Obs.counter "aladdin.fallback_to_cold"
+let c_rejected = Obs.counter "aladdin.rejected_batches"
+let c_restore_drops = Obs.counter "aladdin.restore_drops"
 
 let search_for ?warm options fg cluster =
   match warm with
@@ -87,7 +90,7 @@ let search_for ?warm options fg cluster =
       Obs.incr c_creates;
       Search.create ~il:options.il ~dl:options.dl fg
 
-let schedule ?warm options cluster batch =
+let schedule_batch ?warm options cluster batch =
   Obs.incr c_batches;
   let t0 = Obs.now_ns () in
   let fg = Flow_graph.build cluster batch in
@@ -119,10 +122,21 @@ let schedule ?warm options cluster batch =
   while not (Queue.is_empty queue) do
     incr rounds;
     let c = Queue.pop queue in
+    (* Fault-harness probe: a solver-step failure mid-batch, after some
+       containers have already been placed — exactly the state the
+       batch-level restore has to unwind. No-op unless a Fault config is
+       installed. *)
+    Fault.trip_solver_step "aladdin.schedule_batch";
     let place_on mid =
       (match Cluster.place cluster c mid with
       | Ok () -> ()
-      | Error _ -> assert false);
+      | Error _ ->
+          (* The search said this machine admits [c]; a denial means the
+             cluster diverged from the search state — typed error, the
+             batch wrapper restores and retries cold. *)
+          Aladdin_error.raise_error
+            (Aladdin_error.Placement_failed
+               { container = c.Container.id; machine = mid }));
       Search.note_placement search mid
     in
     match Search.find_machine search c with
@@ -212,6 +226,74 @@ let schedule ?warm options cluster batch =
   Obs.add c_undeployed (List.length outcome.Scheduler.undeployed);
   Obs.observe_ns batch_hist (Int64.sub (Obs.now_ns ()) t0);
   outcome
+
+(* ---- Batch-level recovery -------------------------------------------- *)
+
+(* Pre-batch placements, as (container, machine) so they can be replayed. *)
+let snapshot cluster =
+  List.filter_map
+    (fun (cid, mid) ->
+      Option.map (fun c -> (c, mid)) (Cluster.container cluster cid))
+    (Cluster.placements cluster)
+
+let restore cluster snap =
+  Cluster.reset cluster;
+  List.iter
+    (fun (c, mid) ->
+      match Cluster.place ~force:true cluster c mid with
+      | Ok () -> ()
+      | Error _ ->
+          (* Only possible if the machine itself vanished or shrank since
+             the snapshot (e.g. a revocation landing mid-restore); the
+             container is genuinely displaced. Count it, keep restoring. *)
+          Obs.incr c_restore_drops)
+    snap
+
+let warm_invalidate w =
+  w.w_search <- None;
+  w.w_cluster <- None;
+  Flow_graph.projection_invalidate w.w_projection
+
+(* Everything the scheduler can recover from travels as one of these two
+   exceptions; anything else (Out_of_memory, a genuine bug) propagates. *)
+let recoverable = function
+  | Aladdin_error.E _ | Fault.Injected _ -> true
+  | _ -> false
+
+let reject_outcome batch =
+  {
+    Scheduler.placed = [];
+    undeployed = Array.to_list batch;
+    violations = [];
+    migrations = 0;
+    preemptions = 0;
+    rounds = 0;
+  }
+
+let schedule ?warm options cluster batch =
+  let snap = snapshot cluster in
+  let reject () =
+    Obs.incr c_rejected;
+    restore cluster snap;
+    reject_outcome batch
+  in
+  match schedule_batch ?warm options cluster batch with
+  | outcome -> outcome
+  | exception e when recoverable e -> (
+      restore cluster snap;
+      match warm with
+      | None -> reject ()
+      | Some w ->
+          (* Warm state is suspect after a failed batch: drop the carried
+             search, cluster binding and projection potentials, then retry
+             the batch cold. The cold retry re-derives everything from the
+             (restored) cluster, so its placements match a never-warmed
+             scheduler batch for batch. *)
+          Obs.incr c_fallback;
+          warm_invalidate w;
+          (match schedule_batch options cluster batch with
+          | outcome -> outcome
+          | exception e when recoverable e -> reject ()))
 
 let make ?(options = default_options) () =
   {

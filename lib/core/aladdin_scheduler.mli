@@ -3,7 +3,14 @@
     capacity function, and the migration / preemption mechanisms.
 
     Aladdin never tolerates a constraint violation: a container is either
-    placed on a machine that fully admits it, or reported undeployed. *)
+    placed on a machine that fully admits it, or reported undeployed.
+
+    Batches are transactional: pre-batch placements are snapshotted, and a
+    recoverable mid-batch failure ({!Aladdin_error.E} or {!Fault.Injected})
+    restores them. A warm scheduler then invalidates its carried state and
+    retries the batch cold ([aladdin.fallback_to_cold]); if even the cold
+    attempt fails, the whole batch is reported undeployed
+    ([aladdin.rejected_batches]) and the process keeps running. *)
 
 type options = {
   il : bool;  (** isomorphism limiting (§IV.A) *)

@@ -189,6 +189,12 @@ let projection_cache ?(machine_cost = fun _ -> 0) () =
 let projection_warm cache = cache.p_warm
 let projection_delta cache = cache.p_delta
 
+let projection_invalidate cache =
+  cache.p_graph <- None;
+  cache.p_cluster <- None;
+  cache.p_warm.Flownet.Mincost.potential <- [||];
+  cache.p_warm.Flownet.Mincost.prevalidated <- false
+
 let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
   let nt, na, ng, nr, nn = tiers t in
   let topo = Cluster.topology t.cluster in

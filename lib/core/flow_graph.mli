@@ -76,6 +76,12 @@ val projection_warm : projection_cache -> Flownet.Mincost.warm
 val projection_delta : projection_cache -> projection_delta
 (** What the last {!scalar_projection_incremental} call reused vs rebuilt. *)
 
+val projection_invalidate : projection_cache -> unit
+(** Drop the cache's arena binding and carried potentials so the next
+    {!scalar_projection_incremental} rebuilds from scratch. Used when a
+    batch fails mid-solve and the arena/potentials can no longer be
+    trusted (the cold-fallback path of the warm scheduler). *)
+
 val to_dot : t -> string
 (** Graphviz rendering of the tiered network (containers collapsed into
     their application vertices for readability) — for docs and debugging. *)

@@ -21,21 +21,27 @@ let relocate cluster (b : Container.t) ~forbidden =
   let n = Cluster.n_machines cluster in
   let rec scan mid =
     if mid >= n then None
-    else if mid <> forbidden && Cluster.admissible cluster b mid = Ok () then begin
-      (match Cluster.place cluster b mid with
-      | Ok () -> ()
-      | Error _ -> assert false);
-      Some mid
-    end
+    else if mid <> forbidden && Cluster.admissible cluster b mid = Ok () then
+      match Cluster.place cluster b mid with
+      | Ok () -> Some mid
+      | Error _ ->
+          (* Admissible but denied: the machine changed between the check
+             and the placement — keep scanning, another machine may do. *)
+          scan (mid + 1)
     else scan (mid + 1)
   in
   match scan 0 with
   | Some mid -> Some mid
   | None ->
-      (* Roll back: put it where it was. *)
-      (match Cluster.place cluster b forbidden with
+      (* Roll back: put it where it was. The spot was just vacated, so only
+         a cluster corrupted under our feet can deny this — typed error so
+         the batch driver can reject and restore. *)
+      (match Cluster.place ~force:true cluster b forbidden with
       | Ok () -> ()
-      | Error _ -> assert false);
+      | Error _ ->
+          Aladdin_error.raise_error
+            (Aladdin_error.Placement_failed
+               { container = b.Container.id; machine = forbidden }));
       None
 
 (* Victims whose departure makes [c] admissible on [mid]: every deployed
@@ -100,9 +106,18 @@ let rollback cluster moves =
   List.iter
     (fun mv ->
       Cluster.remove cluster mv.container.Container.id;
-      match Cluster.place cluster mv.container mv.from_machine with
+      match Cluster.place ~force:true cluster mv.container mv.from_machine with
       | Ok () -> ()
-      | Error _ -> assert false)
+      | Error _ ->
+          (* The move's source slot was freed by the move itself, so a
+             denial here means the cluster is inconsistent — typed error,
+             handled by the batch-level restore. *)
+          Aladdin_error.raise_error
+            (Aladdin_error.Placement_failed
+               {
+                 container = mv.container.Container.id;
+                 machine = mv.from_machine;
+               }))
     moves
 
 let try_machine cluster (c : Container.t) mid ~max_moves =
@@ -219,6 +234,18 @@ let find_and_apply_preemption cluster weights (c : Container.t) =
   | Some (mid, evicted) ->
       List.iter (fun (b : Container.t) -> Cluster.remove cluster b.Container.id) evicted;
       (match Cluster.admissible cluster c mid with
-      | Ok () -> ()
-      | Error _ -> assert false);
-      Some { target_machine = mid; evicted }
+      | Ok () -> Some { target_machine = mid; evicted }
+      | Error _ ->
+          (* The victim-set arithmetic said the evictions would make [c]
+             admissible; if the cluster disagrees, undo the evictions and
+             report no plan rather than crash mid-batch. *)
+          List.iter
+            (fun (b : Container.t) ->
+              match Cluster.place ~force:true cluster b mid with
+              | Ok () -> ()
+              | Error _ ->
+                  Aladdin_error.raise_error
+                    (Aladdin_error.Placement_failed
+                       { container = b.Container.id; machine = mid }))
+            evicted;
+          None)

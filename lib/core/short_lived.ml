@@ -71,13 +71,16 @@ let run ?(backfill = true) ?max_queue ~cluster ~task_app ~lla_scheduler
     let c = container_of_task ~task_app t in
     match try_place cluster c with
     | None -> false
-    | Some mid ->
-        (match Cluster.place cluster c mid with
-        | Ok () -> ()
-        | Error _ -> assert false);
-        waits := (now -. t.arrival) :: !waits;
-        Des.after des ~delay:t.duration (Task_done (t, c.Container.id));
-        true
+    | Some mid -> (
+        match Cluster.place cluster c mid with
+        | Error _ ->
+            (* [try_place] said admissible; if the cluster now disagrees the
+               task simply stays queued for the next drain. *)
+            false
+        | Ok () ->
+            waits := (now -. t.arrival) :: !waits;
+            Des.after des ~delay:t.duration (Task_done (t, c.Container.id));
+            true)
     in
   (* Drain the queue head-first; with backfill, later tasks may jump a
      stuck head. *)

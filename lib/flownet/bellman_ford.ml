@@ -16,7 +16,7 @@ let run g ~src =
         let u = Graph.src g a in
         if dist.(u) <> max_int then begin
           let v = Graph.dst g a in
-          let nd = dist.(u) + Graph.cost g a in
+          let nd = Inf.add dist.(u) (Graph.cost g a) in
           if nd < dist.(v) then begin
             dist.(v) <- nd;
             parent.(v) <- a;
@@ -31,7 +31,8 @@ let run g ~src =
   for a = 0 to m - 1 do
     if Graph.residual g a > 0 then begin
       let u = Graph.src g a in
-      if dist.(u) <> max_int && dist.(u) + Graph.cost g a < dist.(Graph.dst g a)
+      if dist.(u) <> max_int
+         && Inf.add dist.(u) (Graph.cost g a) < dist.(Graph.dst g a)
       then negative_cycle := true
     end
   done;

@@ -73,11 +73,12 @@ let run ?ws ?(stop_at = -1) g ~src ~potential =
                   let v = Graph.dst g a in
                   if not settled.(v) then begin
                     let rc =
-                      Graph.cost g a + potential.(u) - potential.(v)
+                      Inf.add (Inf.add (Graph.cost g a) potential.(u))
+                        (-potential.(v))
                     in
                     if rc < 0 then
                       invalid_arg "Dijkstra.run: negative reduced cost";
-                    let nd = d + rc in
+                    let nd = Inf.add d rc in
                     if nd < dist.(v) then begin
                       if dist.(v) = max_int then touch ws v;
                       dist.(v) <- nd;

@@ -1,0 +1,12 @@
+type t =
+  | Negative_cycle of int list
+  | Invalid_potential of string
+  | Solver_fault of string
+
+let to_string = function
+  | Negative_cycle arcs ->
+      Printf.sprintf "negative cycle in residual graph (%d arcs: %s)"
+        (List.length arcs)
+        (String.concat "," (List.map string_of_int arcs))
+  | Invalid_potential msg -> "invalid potentials: " ^ msg
+  | Solver_fault msg -> "solver fault: " ^ msg

@@ -1,0 +1,20 @@
+(** Typed error channel for the flow solvers.
+
+    Solvers that can fail on malformed input or an unexpected solver state
+    return [(_, Error.t) result] instead of raising, so callers (the
+    schedulers, the bench harness) can degrade gracefully — reject the
+    batch, fall back to a cold solve — rather than crash the process. *)
+
+type t =
+  | Negative_cycle of int list
+      (** A negative-cost cycle is reachable in the residual graph; the
+          payload is the cycle's arc ids (in path order, possibly empty if
+          the cycle could not be reconstructed). *)
+  | Invalid_potential of string
+      (** Carried Johnson potentials violated the nonnegative-reduced-cost
+          precondition mid-solve (e.g. the graph was mutated, or a
+          prevalidation promise was wrong). *)
+  | Solver_fault of string
+      (** An injected or otherwise unexpected solver-step failure. *)
+
+val to_string : t -> string

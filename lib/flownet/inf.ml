@@ -1,0 +1,13 @@
+let infinite = max_int
+let is_inf d = d = max_int
+
+let add a b =
+  if a = max_int || b = max_int then max_int
+  else if b >= 0 then begin
+    let s = a + b in
+    if s < a then max_int else s
+  end
+  else begin
+    let s = a + b in
+    if s > a then min_int else s
+  end

@@ -1,0 +1,19 @@
+(** Saturating sentinel arithmetic for shortest-path labels.
+
+    Distance labels use [max_int] as the "unreachable" sentinel. A plain
+    [dist + cost] relaxation silently wraps around once labels or costs get
+    near [max_int] — a wrapped (negative) label then looks *shorter* than
+    every real path and corrupts the whole labeling, or spuriously triggers
+    negative-cycle detection. Every relaxation in this library goes through
+    {!add} instead. *)
+
+val infinite : int
+(** The unreachable sentinel, [max_int]. *)
+
+val is_inf : int -> bool
+(** [is_inf d] is [d = max_int]. *)
+
+val add : int -> int -> int
+(** [add a b] is [a + b] with saturation: [infinite] absorbs ([add] of it
+    with anything is [infinite]), positive overflow clamps to [max_int] and
+    negative overflow clamps to [min_int] instead of wrapping. *)

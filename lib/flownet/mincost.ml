@@ -14,6 +14,7 @@ let c_warm_hits = Obs.counter "mincost.warm_hits"
 let c_warm_misses = Obs.counter "mincost.warm_misses"
 let c_paths = Obs.counter "mincost.augmenting_paths"
 let c_dijkstra = Obs.counter "mincost.dijkstra_runs"
+let c_errors = Obs.counter "mincost.errors"
 
 (* The Dijkstra phases only ever explore the residual subgraph reachable
    from [src], and pushing flow can only shrink that region (reverse arcs
@@ -37,8 +38,11 @@ let potential_valid g ~src potential =
           Graph.iter_out g u (fun a ->
               if !ok && Graph.residual g a > 0 then begin
                 let v = Graph.dst g a in
-                if Graph.cost g a + potential.(u) - potential.(v) < 0 then
-                  ok := false
+                if
+                  Inf.add (Inf.add (Graph.cost g a) potential.(u))
+                    (-potential.(v))
+                  < 0
+                then ok := false
                 else if not seen.(v) then begin
                   seen.(v) <- true;
                   stack := v :: !stack
@@ -61,6 +65,7 @@ let run ?warm ?(max_flow = max_int) g ~src ~dst =
   let total_cost = ref 0 in
   let iterations = ref 0 in
   let continue = ref (max_flow > 0) in
+  let error = ref None in
   let warm_ok =
     match warm with
     | Some w
@@ -82,66 +87,81 @@ let run ?warm ?(max_flow = max_int) g ~src ~dst =
   else begin
     (* Initial potentials via SPFA, valid with negative arc costs. *)
     Obs.incr c_bootstraps;
-    let first = Spfa.run g ~src in
-    Array.blit first.Spfa.dist 0 potential 0 n;
-    (* Unreachable vertices never sit on an augmenting path, so any finite
-       potential works for the solve itself. Using the largest finite
-       distance (rather than 0) additionally makes every arc *out of* the
-       unreachable region keep a nonnegative reduced cost when arc costs
-       are themselves nonnegative — no residual arc enters that region, so
-       with this fill the carried potentials stay valid arc-by-arc, which
-       is what lets the incremental projection revalidate in O(changed). *)
-    let dmax = ref 0 in
-    for v = 0 to n - 1 do
-      if potential.(v) <> max_int && potential.(v) > !dmax then
-        dmax := potential.(v)
-    done;
-    for v = 0 to n - 1 do
-      if potential.(v) = max_int then potential.(v) <- !dmax
-    done;
-    (* Carry the bootstrap potentials — not the post-augmentation ones —
-       into the warm state: once flows are reset for the next solve,
-       saturated arcs become residual again and only the all-flows-zero
-       potentials are sure to keep their reduced costs nonnegative. *)
-    (match warm with Some w -> w.potential <- Array.copy potential | None -> ());
-    continue := !continue && first.Spfa.dist.(dst) <> max_int;
-    (* The first augmentation reuses the SPFA tree directly. *)
-    if !continue then
-      match Path.of_parents g ~parent:first.Spfa.parent ~src ~dst with
-      | None -> continue := false
-      | Some p ->
-          let d = min p.Path.bottleneck (max_flow - !total_flow) in
-          Path.augment g p d;
-          total_flow := !total_flow + d;
-          total_cost := !total_cost + (d * Path.cost g p);
-          incr iterations
+    match Spfa.run g ~src with
+    | Error e ->
+        error := Some e;
+        continue := false
+    | Ok first ->
+        Array.blit first.Spfa.dist 0 potential 0 n;
+        (* Unreachable vertices never sit on an augmenting path, so any finite
+           potential works for the solve itself. Using the largest finite
+           distance (rather than 0) additionally makes every arc *out of* the
+           unreachable region keep a nonnegative reduced cost when arc costs
+           are themselves nonnegative — no residual arc enters that region, so
+           with this fill the carried potentials stay valid arc-by-arc, which
+           is what lets the incremental projection revalidate in O(changed). *)
+        let dmax = ref 0 in
+        for v = 0 to n - 1 do
+          if potential.(v) <> max_int && potential.(v) > !dmax then
+            dmax := potential.(v)
+        done;
+        for v = 0 to n - 1 do
+          if potential.(v) = max_int then potential.(v) <- !dmax
+        done;
+        (* Carry the bootstrap potentials — not the post-augmentation ones —
+           into the warm state: once flows are reset for the next solve,
+           saturated arcs become residual again and only the all-flows-zero
+           potentials are sure to keep their reduced costs nonnegative. *)
+        (match warm with
+        | Some w -> w.potential <- Array.copy potential
+        | None -> ());
+        continue := !continue && first.Spfa.dist.(dst) <> max_int;
+        (* The first augmentation reuses the SPFA tree directly. *)
+        if !continue then
+          match Path.of_parents g ~parent:first.Spfa.parent ~src ~dst with
+          | None -> continue := false
+          | Some p ->
+              let d = min p.Path.bottleneck (max_flow - !total_flow) in
+              Path.augment g p d;
+              total_flow := !total_flow + d;
+              total_cost := !total_cost + (d * Path.cost g p);
+              incr iterations
   end;
   while !continue && !total_flow < max_flow do
     Obs.incr c_dijkstra;
-    let { Dijkstra.dist; parent } =
-      Dijkstra.run ~ws ~stop_at:dst g ~src ~potential
-    in
-    if dist.(dst) = max_int then continue := false
-    else begin
-      (* The search stops once [dst] settles, so unsettled vertices carry a
-         tentative label >= dist(dst) (or max_int). Capping the update at
-         dist(dst) keeps every residual reduced cost nonnegative — the
-         LEMON-style bound: settled->unsettled arcs gain dist(u) - dist(dst)
-         <= 0 slack on top of the triangle inequality, unsettled pairs are
-         shifted uniformly — while sparing the full-graph scan. *)
-      let d_dst = dist.(dst) in
-      for v = 0 to n - 1 do
-        potential.(v) <- potential.(v) + min dist.(v) d_dst
-      done;
-      match Path.of_parents g ~parent ~src ~dst with
-      | None -> continue := false
-      | Some p ->
-          let d = min p.Path.bottleneck (max_flow - !total_flow) in
-          Path.augment g p d;
-          total_flow := !total_flow + d;
-          total_cost := !total_cost + (d * Path.cost g p);
-          incr iterations
-    end
+    match Dijkstra.run ~ws ~stop_at:dst g ~src ~potential with
+    | exception Invalid_argument msg ->
+        (* Carried potentials turned out stale mid-solve (a bad
+           [prevalidated] promise or a mutated graph). Surface it as a
+           typed error; the scheduler layer falls back to a cold solve. *)
+        error := Some (Error.Invalid_potential msg);
+        continue := false
+    | { Dijkstra.dist; parent } ->
+        if dist.(dst) = max_int then continue := false
+        else begin
+          (* The search stops once [dst] settles, so unsettled vertices carry a
+             tentative label >= dist(dst) (or max_int). Capping the update at
+             dist(dst) keeps every residual reduced cost nonnegative — the
+             LEMON-style bound: settled->unsettled arcs gain dist(u) - dist(dst)
+             <= 0 slack on top of the triangle inequality, unsettled pairs are
+             shifted uniformly — while sparing the full-graph scan. *)
+          let d_dst = dist.(dst) in
+          for v = 0 to n - 1 do
+            potential.(v) <- Inf.add potential.(v) (min dist.(v) d_dst)
+          done;
+          match Path.of_parents g ~parent ~src ~dst with
+          | None -> continue := false
+          | Some p ->
+              let d = min p.Path.bottleneck (max_flow - !total_flow) in
+              Path.augment g p d;
+              total_flow := !total_flow + d;
+              total_cost := !total_cost + (d * Path.cost g p);
+              incr iterations
+        end
   done;
   Obs.add c_paths !iterations;
-  { flow = !total_flow; cost = !total_cost; iterations = !iterations }
+  match !error with
+  | Some e ->
+      Obs.incr c_errors;
+      Error e
+  | None -> Ok { flow = !total_flow; cost = !total_cost; iterations = !iterations }

@@ -31,9 +31,21 @@ val potential_valid : Graph.t -> src:int -> int array -> bool
     SPFA bootstrap. Arcs beyond the reachable frontier can never carry
     flow, so they do not participate. *)
 
-val run : ?warm:warm -> ?max_flow:int -> Graph.t -> src:int -> dst:int -> stats
+val run :
+  ?warm:warm ->
+  ?max_flow:int ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  (stats, Error.t) result
 (** Push up to [max_flow] units (default: unbounded) at minimum total cost.
     Flows are recorded in the graph.
+
+    Returns [Error] — never raises — when the SPFA bootstrap finds a
+    negative cycle or carried potentials turn out invalid mid-solve
+    (counted under [mincost.errors]). Flow pushed before the failure
+    remains recorded in the graph; callers recovering from an error should
+    [Graph.reset_flows] (or rebuild) before retrying.
 
     With [?warm]: if the carried potentials fit the graph and pass
     {!potential_valid}, the SPFA bootstrap is skipped entirely (an O(arcs)

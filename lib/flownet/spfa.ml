@@ -1,37 +1,84 @@
 type result = { dist : int array; parent : int array }
 
+exception Cycle_at of int
+
+(* [v] was enqueued >= n times, which proves a negative cycle somewhere on
+   its parent chain. Walk n parent steps to land on a vertex that is
+   certainly *inside* the cycle, then collect the arcs once around it. *)
+let extract_cycle g parent v =
+  let n = Array.length parent in
+  let u = ref v in
+  (try
+     for _ = 1 to n do
+       let a = parent.(!u) in
+       if a < 0 then raise Exit;
+       u := Graph.src g a
+     done
+   with Exit -> ());
+  let start = !u in
+  let arcs = ref [] in
+  (try
+     let w = ref start in
+     let steps = ref 0 in
+     let continue = ref true in
+     while !continue do
+       let a = parent.(!w) in
+       if a < 0 then raise Exit;
+       arcs := a :: !arcs;
+       w := Graph.src g a;
+       incr steps;
+       if !w = start then continue := false
+       else if !steps > n then raise Exit
+     done;
+     !arcs
+   with Exit ->
+     (* Defensive: the parent chain was broken or did not close — report the
+        cycle without arc detail rather than loop or crash. *)
+     [])
+
 let run ?(admit = fun _ -> true) g ~src =
   let n = Graph.n_vertices g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
   let in_queue = Array.make n false in
-  let relaxations = Array.make n 0 in
+  let enqueues = Array.make n 0 in
   let q = Queue.create () in
   dist.(src) <- 0;
   Queue.push src q;
   in_queue.(src) <- true;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    in_queue.(u) <- false;
-    let du = dist.(u) in
-    Graph.iter_out g u (fun a ->
-        if Graph.residual g a > 0 && admit a then begin
-          let v = Graph.dst g a in
-          let nd = du + Graph.cost g a in
-          if nd < dist.(v) then begin
-            dist.(v) <- nd;
-            parent.(v) <- a;
-            if not in_queue.(v) then begin
-              relaxations.(v) <- relaxations.(v) + 1;
-              if relaxations.(v) > n then failwith "Spfa.run: negative cycle";
-              Queue.push v q;
-              in_queue.(v) <- true
+  enqueues.(src) <- 1;
+  match
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      in_queue.(u) <- false;
+      let du = dist.(u) in
+      Graph.iter_out g u (fun a ->
+          if Graph.residual g a > 0 && admit a then begin
+            let v = Graph.dst g a in
+            let nd = Inf.add du (Graph.cost g a) in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- a;
+              if not in_queue.(v) then begin
+                enqueues.(v) <- enqueues.(v) + 1;
+                (* A vertex re-entering the queue for the n-th time has had
+                   its label improved along paths of >= n arcs — only a
+                   negative cycle produces those. ([> n] here would let one
+                   extra full relaxation round run before detection.) *)
+                if enqueues.(v) >= n then raise (Cycle_at v);
+                Queue.push v q;
+                in_queue.(v) <- true
+              end
             end
-          end
-        end)
-  done;
-  { dist; parent }
+          end)
+    done
+  with
+  | () -> Ok { dist; parent }
+  | exception Cycle_at v -> Error (Error.Negative_cycle (extract_cycle g parent v))
 
 let shortest_path ?admit g ~src ~dst =
-  let { parent; dist } = run ?admit g ~src in
-  if dist.(dst) = max_int then None else Path.of_parents g ~parent ~src ~dst
+  match run ?admit g ~src with
+  | Error _ as e -> e
+  | Ok { parent; dist } ->
+      if dist.(dst) = max_int then Ok None
+      else Ok (Path.of_parents g ~parent ~src ~dst)

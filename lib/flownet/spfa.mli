@@ -12,15 +12,20 @@ val run :
   ?admit:(int -> bool) ->
   Graph.t ->
   src:int ->
-  result
+  (result, Error.t) Stdlib.result
 (** Shortest distances from [src] over arcs with positive residual capacity.
     [admit] filters arcs (default: all); an arc is relaxed only when it has
-    residual capacity and [admit arc] holds.
-    @raise Failure on a negative cycle reachable from [src]. *)
+    residual capacity and [admit arc] holds. Relaxations saturate via
+    {!Inf.add}, so near-[max_int] costs cannot wrap.
+
+    Returns [Error (Negative_cycle arcs)] when a negative-cost cycle is
+    reachable from [src]; [arcs] traces the cycle (possibly [[]] if it
+    could not be reconstructed). Never raises. *)
 
 val shortest_path :
   ?admit:(int -> bool) ->
   Graph.t ->
   src:int ->
   dst:int ->
-  Path.t option
+  (Path.t option, Error.t) Stdlib.result
+(** [Ok None] when [dst] is unreachable. *)

@@ -18,7 +18,24 @@ let empty_report =
 
 let sync t =
   let changes = Ehc.drain t.ehc in
-  Model_adaptor.apply t.ma changes;
+  match Model_adaptor.apply t.ma changes with
+  | Error e ->
+      (* The mirror rejected the change set (inventory grew after pods were
+         bound). The pods that rode in with it stay pending — marked with
+         the reason — rather than crashing the control loop. *)
+      let reason = Aladdin.Aladdin_error.to_string e in
+      List.iter
+        (fun (p : Kube_objects.pod) ->
+          Kube_api.mark_unschedulable t.api ~pod:p.Kube_objects.pod_name ~reason)
+        changes.Ehc.pending_pods;
+      {
+        empty_report with
+        Resolver.unschedulable =
+          List.map
+            (fun (p : Kube_objects.pod) -> p.Kube_objects.pod_name)
+            changes.Ehc.pending_pods;
+      }
+  | Ok () -> (
   match (Model_adaptor.cluster t.ma, changes.Ehc.pending_pods) with
   | None, [] -> empty_report
   | None, pending ->
@@ -40,7 +57,7 @@ let sync t =
           (List.map (fun pod -> Model_adaptor.container_of_pod t.ma pod) pending)
       in
       let outcome = t.scheduler.Scheduler.schedule cluster batch in
-      Resolver.resolve t.api t.ma ~pods:pending outcome
+      Resolver.resolve t.api t.ma ~pods:pending outcome)
 
 let cluster t = Model_adaptor.cluster t.ma
 let pending t = Ehc.pending_count t.ehc

@@ -36,25 +36,33 @@ let rebuild t =
 
 let apply t (c : Ehc.changes) =
   if (c.Ehc.new_nodes <> [] || c.Ehc.new_profiles <> []) && t.sealed then
-    failwith "Model_adaptor.apply: inventory changed after pods were bound";
-  if c.Ehc.new_nodes <> [] || c.Ehc.new_profiles <> [] then begin
-    t.nodes <- Array.append t.nodes (Array.of_list c.Ehc.new_nodes);
-    t.profiles <- t.profiles @ c.Ehc.new_profiles;
-    List.iter
-      (fun (p : Kube_objects.app_profile) ->
-        Hashtbl.replace t.profile_by_name p.Kube_objects.profile_name p)
-      c.Ehc.new_profiles;
-    rebuild t
-  end;
-  match t.cluster with
-  | None -> ()
-  | Some cluster ->
+    Error
+      (Aladdin.Aladdin_error.Inventory_changed
+         (Printf.sprintf
+            "%d nodes / %d profiles arrived after pods were bound"
+            (List.length c.Ehc.new_nodes)
+            (List.length c.Ehc.new_profiles)))
+  else begin
+    if c.Ehc.new_nodes <> [] || c.Ehc.new_profiles <> [] then begin
+      t.nodes <- Array.append t.nodes (Array.of_list c.Ehc.new_nodes);
+      t.profiles <- t.profiles @ c.Ehc.new_profiles;
       List.iter
-        (fun (pod : Kube_objects.pod) ->
-          (* deleted bound pod: free its capacity in the mirror *)
-          if Cluster.container cluster pod.Kube_objects.uid <> None then
-            Cluster.remove cluster pod.Kube_objects.uid)
-        c.Ehc.deleted_pods
+        (fun (p : Kube_objects.app_profile) ->
+          Hashtbl.replace t.profile_by_name p.Kube_objects.profile_name p)
+        c.Ehc.new_profiles;
+      rebuild t
+    end;
+    (match t.cluster with
+    | None -> ()
+    | Some cluster ->
+        List.iter
+          (fun (pod : Kube_objects.pod) ->
+            (* deleted bound pod: free its capacity in the mirror *)
+            if Cluster.container cluster pod.Kube_objects.uid <> None then
+              Cluster.remove cluster pod.Kube_objects.uid)
+          c.Ehc.deleted_pods);
+    Ok ()
+  end
 
 let cluster t = t.cluster
 

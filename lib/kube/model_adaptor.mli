@@ -11,10 +11,10 @@ type t
 
 val create : unit -> t
 
-val apply : t -> Ehc.changes -> unit
+val apply : t -> Ehc.changes -> (unit, Aladdin.Aladdin_error.t) result
 (** Fold a change set into the model: extend inventories, remove bound
-    containers of deleted pods.
-    @raise Failure when nodes or profiles arrive after pods were bound
+    containers of deleted pods. [Error (Inventory_changed _)] — with the
+    model untouched — when nodes or profiles arrive after pods were bound
     (dynamic inventory growth is not supported by the mirror). *)
 
 val cluster : t -> Cluster.t option

@@ -1,0 +1,117 @@
+type t = {
+  seed : int;
+  trace_line_corruption : float;
+  arc_cost_flip : float;
+  arc_capacity_drop : float;
+  machine_revocation : float;
+  solver_step_failure : float;
+  solver_failure_budget : int;
+}
+
+exception Injected of string
+
+type state = { cfg : t; rng : Random.State.t; mutable failures_left : int }
+
+let installed : state option ref = ref None
+
+let c_solver = Obs.counter "fault.injected_solver_failures"
+let c_lines = Obs.counter "fault.corrupted_lines"
+let c_arcs = Obs.counter "fault.flipped_arcs"
+let c_revoked = Obs.counter "fault.revoked_machines"
+
+let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
+    ?(arc_capacity_drop = 0.) ?(machine_revocation = 0.)
+    ?(solver_step_failure = 0.) ?(solver_failure_budget = -1) ~seed () =
+  {
+    seed;
+    trace_line_corruption;
+    arc_cost_flip;
+    arc_capacity_drop;
+    machine_revocation;
+    solver_step_failure;
+    solver_failure_budget;
+  }
+
+let install cfg =
+  installed :=
+    Some
+      {
+        cfg;
+        rng = Random.State.make [| cfg.seed |];
+        failures_left = cfg.solver_failure_budget;
+      }
+
+let clear () = installed := None
+let active () = !installed <> None
+
+let draw st p = p > 0. && Random.State.float st.rng 1.0 < p
+
+let trip_solver_step site =
+  match !installed with
+  | None -> ()
+  | Some st ->
+      if
+        st.failures_left <> 0
+        && draw st st.cfg.solver_step_failure
+      then begin
+        if st.failures_left > 0 then st.failures_left <- st.failures_left - 1;
+        Obs.incr c_solver;
+        raise (Injected site)
+      end
+
+let corrupt_line line =
+  match !installed with
+  | None -> line
+  | Some st ->
+      if not (draw st st.cfg.trace_line_corruption) then line
+      else begin
+        Obs.incr c_lines;
+        let len = String.length line in
+        match Random.State.int st.rng 4 with
+        | 0 ->
+            (* Truncate mid-line. *)
+            if len = 0 then "?" else String.sub line 0 (Random.State.int st.rng len)
+        | 1 ->
+            (* Garble one character. *)
+            if len = 0 then "?"
+            else begin
+              let b = Bytes.of_string line in
+              Bytes.set b (Random.State.int st.rng len) '?';
+              Bytes.to_string b
+            end
+        | 2 -> ""
+        | _ ->
+            (* Splice a non-numeric token into a field position. *)
+            let cut = if len = 0 then 0 else Random.State.int st.rng len in
+            String.sub line 0 cut ^ " NaN " ^ String.sub line cut (len - cut)
+      end
+
+let perturb_arc ~cost ~capacity =
+  match !installed with
+  | None -> (cost, capacity)
+  | Some st ->
+      let cost =
+        if draw st st.cfg.arc_cost_flip then begin
+          Obs.incr c_arcs;
+          -cost - 1
+        end
+        else cost
+      in
+      let capacity =
+        if draw st st.cfg.arc_capacity_drop then begin
+          Obs.incr c_arcs;
+          0
+        end
+        else capacity
+      in
+      (cost, capacity)
+
+let pick_revocation ~n_machines =
+  match !installed with
+  | None -> None
+  | Some st ->
+      if n_machines > 0 && draw st st.cfg.machine_revocation then begin
+        Obs.incr c_revoked;
+        Some (Random.State.int st.rng n_machines)
+      end
+      else None

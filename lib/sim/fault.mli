@@ -1,0 +1,68 @@
+(** Seeded fault-injection harness.
+
+    A single process-wide configuration (installed with {!install}) drives
+    every injection point: trace-line corruption, arc cost/capacity
+    perturbation in the solver projections, machine revocation between
+    replay waves, and outright solver-step failures. All draws come from
+    one [Random.State] seeded at {!install}, so a given seed reproduces
+    the exact same fault schedule.
+
+    With no configuration installed every probe is a no-op, so the hooks
+    cost nothing on production paths. Injection events are counted under
+    the [fault.*] {!Obs} counters. *)
+
+type t = {
+  seed : int;
+  trace_line_corruption : float;  (** per-line probability of mangling *)
+  arc_cost_flip : float;          (** per-arc probability of a cost flip *)
+  arc_capacity_drop : float;      (** per-arc probability of a capacity drop *)
+  machine_revocation : float;     (** per-wave probability of losing a machine *)
+  solver_step_failure : float;    (** per-step probability of {!Injected} *)
+  solver_failure_budget : int;
+      (** Maximum number of solver-step failures actually raised; [-1] is
+          unlimited. A finite budget makes recovery tests deterministic:
+          budget 1 with rate 1.0 fails the warm attempt and lets the cold
+          retry through. *)
+}
+
+exception Injected of string
+(** Raised by {!trip_solver_step} when an injection fires. The scheduler
+    treats it like any other typed batch failure: restore and degrade. *)
+
+val make :
+  ?trace_line_corruption:float ->
+  ?arc_cost_flip:float ->
+  ?arc_capacity_drop:float ->
+  ?machine_revocation:float ->
+  ?solver_step_failure:float ->
+  ?solver_failure_budget:int ->
+  seed:int ->
+  unit ->
+  t
+(** All probabilities default to [0.]; budget defaults to [-1]. *)
+
+val install : t -> unit
+(** Make [t] the active configuration (re-seeding the draw stream). *)
+
+val clear : unit -> unit
+(** Remove the active configuration; every probe becomes a no-op. *)
+
+val active : unit -> bool
+
+val trip_solver_step : string -> unit
+(** [trip_solver_step site] raises [Injected site] with probability
+    [solver_step_failure] while the failure budget lasts; otherwise
+    returns. *)
+
+val corrupt_line : string -> string
+(** Mangle a trace line (truncate, garble a char, blank it, or splice in a
+    non-numeric token) with probability [trace_line_corruption]; returns
+    the line unchanged otherwise. *)
+
+val perturb_arc : cost:int -> capacity:int -> int * int
+(** Possibly flipped [(cost, capacity)] for one arc: the cost is negated
+    (minus one, so 0 flips too) with probability [arc_cost_flip], the
+    capacity dropped to 0 with probability [arc_capacity_drop]. *)
+
+val pick_revocation : n_machines:int -> int option
+(** With probability [machine_revocation], a machine id to revoke. *)

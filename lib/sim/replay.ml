@@ -6,6 +6,27 @@ type run = {
   cluster : Cluster.t;
 }
 
+let c_revocations = Obs.counter "replay.machine_revocations"
+let c_failed_batches = Obs.counter "replay.failed_batches"
+
+(* Monotonic wall-clock for the measured region: gettimeofday is subject to
+   NTP steps, which can make a wave appear to take negative (or wildly
+   long) time and skew the per-container latency. *)
+let now_s () = Int64.to_float (Obs.now_ns ()) *. 1e-9
+
+(* Between waves, the fault harness may revoke a machine: it goes offline
+   and its containers are drained back into the incoming wave, like a
+   hardware failure landing between scheduling rounds. *)
+let apply_revocation cluster wave =
+  match Fault.pick_revocation ~n_machines:(Cluster.n_machines cluster) with
+  | None -> wave
+  | Some mid ->
+      Obs.incr c_revocations;
+      Cluster.set_offline cluster mid true;
+      let displaced = Cluster.drain cluster mid in
+      if displaced = [] then wave
+      else Array.append wave (Array.of_list displaced)
+
 let run ?batch (sched : Scheduler.t) ~cluster ~containers =
   let n = Array.length containers in
   let batch = match batch with Some b when b > 0 -> b | _ -> max n 1 in
@@ -15,9 +36,19 @@ let run ?batch (sched : Scheduler.t) ~cluster ~containers =
   while !pos < n do
     let len = min batch (n - !pos) in
     let wave = Array.sub containers !pos len in
-    let t0 = Unix.gettimeofday () in
-    let o = sched.Scheduler.schedule cluster wave in
-    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    let wave = if Fault.active () then apply_revocation cluster wave else wave in
+    let t0 = now_s () in
+    let o =
+      match sched.Scheduler.schedule cluster wave with
+      | o -> o
+      | exception Fault.Injected _ when Fault.active () ->
+          (* A scheduler without its own recovery layer let an injected
+             failure escape: report the whole wave undeployed and keep the
+             replay going — the driver must outlive its schedulers. *)
+          Obs.incr c_failed_batches;
+          { Scheduler.empty_outcome with undeployed = Array.to_list wave }
+    in
+    elapsed := !elapsed +. (now_s () -. t0);
     outcome := Scheduler.merge !outcome o;
     pos := !pos + len
   done;

@@ -18,7 +18,14 @@ val run :
   containers:Container.t array ->
   run
 (** [batch] splits the submission into waves of that size (default: one
-    wave with everything, the paper's simultaneous-arrival setting). *)
+    wave with everything, the paper's simultaneous-arrival setting).
+    Timing uses a monotonic clock, so NTP steps cannot skew [elapsed_s].
+
+    When a {!Fault} configuration is installed, each wave may be preceded
+    by a machine revocation (the machine goes offline and its containers
+    rejoin the wave, counted under [replay.machine_revocations]), and an
+    injected failure escaping the scheduler marks the wave undeployed
+    ([replay.failed_batches]) instead of aborting the replay. *)
 
 val run_workload :
   ?batch:int ->

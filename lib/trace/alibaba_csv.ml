@@ -21,6 +21,13 @@ type row = {
   mem_norm : float;   (* 0..100 *)
 }
 
+exception Parse of Trace_error.t
+
+let fail ~line ~field fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse { Trace_error.line; field; message }))
+    fmt
+
 let parse_row ~line_no line =
   match String.split_on_char ',' line with
   | _container :: _machine :: _ts :: app_du :: status :: cpu_request
@@ -28,39 +35,42 @@ let parse_row ~line_no line =
       let status = String.lowercase_ascii (String.trim status) in
       if status <> "started" && status <> "allocated" then None
       else begin
-        let fail what =
-          failwith (Printf.sprintf "Alibaba_csv: line %d: bad %s" line_no what)
-        in
         let cpu_request =
           match int_of_string_opt (String.trim cpu_request) with
           | Some c when c > 0 -> c
-          | _ -> fail "cpu_request"
+          | _ ->
+              fail ~line:line_no ~field:"cpu_request"
+                "expected a positive integer, got %S" (String.trim cpu_request)
         in
         let mem_norm =
           match float_of_string_opt (String.trim mem_size) with
           | Some m when m >= 0. -> Float.min 100. m
-          | _ -> fail "mem_size"
+          | _ ->
+              fail ~line:line_no ~field:"mem_size"
+                "expected a nonnegative number, got %S" (String.trim mem_size)
         in
         Some { app_du = String.trim app_du; cpu_request; mem_norm }
       end
-  | _ -> failwith (Printf.sprintf "Alibaba_csv: line %d: bad row" line_no)
+  | _ ->
+      fail ~line:line_no ~field:"row" "expected >= 8 comma-separated columns"
 
 let looks_like_header line =
   let l = String.lowercase_ascii line in
   String.length l >= 12 && String.sub l 0 12 = "container_id"
 
 let of_string ?(options = default_options) content =
-  let rows = ref [] in
-  List.iteri
-    (fun i line ->
-      let line = String.trim line in
-      if line <> "" && not (i = 0 && looks_like_header line) then
-        match parse_row ~line_no:(i + 1) line with
-        | Some r -> rows := r :: !rows
-        | None -> ())
-    (String.split_on_char '\n' content);
-  let rows = List.rev !rows in
-  if rows = [] then failwith "Alibaba_csv: no usable rows";
+  try
+    let rows = ref [] in
+    List.iteri
+      (fun i line ->
+        let line = String.trim line in
+        if line <> "" && not (i = 0 && looks_like_header line) then
+          match parse_row ~line_no:(i + 1) line with
+          | Some r -> rows := r :: !rows
+          | None -> ())
+      (String.split_on_char '\n' content);
+    let rows = List.rev !rows in
+    if rows = [] then fail ~line:1 ~field:"rows" "no usable rows";
   (* group by app_du, preserving first-seen order *)
   let order = ref [] in
   let groups : (string, row list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -128,7 +138,8 @@ let of_string ?(options = default_options) content =
     if options.cpu_only then Resource.cpu_only options.machine_cpu
     else Resource.make ~cpu:options.machine_cpu ~mem_gb:options.machine_mem_gb
   in
-  Workload.make ~apps:(Array.of_list apps) ~containers ~machine_capacity
+    Ok (Workload.make ~apps:(Array.of_list apps) ~containers ~machine_capacity)
+  with Parse e -> Error (Trace_error.record e)
 
 let load ?options path =
   let ic = open_in path in

@@ -31,9 +31,11 @@ val default_options : options
 (** 32 CPU / 64 GB machines, CPU-only, anti-within for multi-container
     apps, top 16% priority — the paper's setting. *)
 
-val of_string : ?options:options -> string -> Workload.t
-(** Parse CSV content. Lines that fail to parse raise [Failure] with the
-    line number; a header line is skipped automatically. *)
+val of_string :
+  ?options:options -> string -> (Workload.t, Trace_error.t) result
+(** Parse CSV content. A line that fails to parse yields [Error] naming the
+    line and column — never an exception; a header line is skipped
+    automatically. *)
 
-val load : ?options:options -> string -> Workload.t
-(** Read a file. *)
+val load : ?options:options -> string -> (Workload.t, Trace_error.t) result
+(** Read a file. @raise Sys_error on IO failure. *)

@@ -17,6 +17,9 @@ let all =
 let abbrev o =
   match List.find_opt (fun (_, o') -> o' = o) all with
   | Some (s, _) -> s
+  (* true invariant: [all] enumerates every constructor of [order], so the
+     lookup cannot miss; a new constructor without an [all] entry is a
+     compile-time-adjacent bug we want loud, not a recoverable condition. *)
   | None -> assert false
 
 let of_string s =

@@ -1,0 +1,10 @@
+type t = { line : int; field : string; message : string }
+
+let c_parse_errors = Obs.counter "trace.parse_errors"
+
+let record e =
+  Obs.incr c_parse_errors;
+  e
+
+let to_string e =
+  Printf.sprintf "line %d, field %s: %s" e.line e.field e.message

@@ -1,0 +1,12 @@
+(** Structured parse errors for the trace loaders ({!Trace_io},
+    {!Alibaba_csv}): the 1-based source line, the field that failed, and a
+    human-readable message. Every error returned by a loader is tallied
+    under the [trace.parse_errors] {!Obs} counter. *)
+
+type t = { line : int; field : string; message : string }
+
+val record : t -> t
+(** Tally the error under [trace.parse_errors] and return it unchanged —
+    call exactly once per [Error] a loader returns. *)
+
+val to_string : t -> string

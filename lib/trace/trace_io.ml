@@ -1,19 +1,35 @@
 let header = "# aladdin-trace v1"
 
+exception Parse of Trace_error.t
+
+let fail ~line ~field fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse { Trace_error.line; field; message }))
+    fmt
+
+let int_field ~line ~field s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> fail ~line ~field "not an integer: %S" s
+
 let vec_to_string v =
   String.concat "," (List.map string_of_int (Array.to_list (Resource.to_array v)))
 
-let vec_of_string s =
-  Resource.of_array
-    (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+let vec_of_string ~line ~field s =
+  let units =
+    Array.of_list (List.map (int_field ~line ~field) (String.split_on_char ',' s))
+  in
+  match Resource.of_array units with
+  | v -> v
+  | exception Invalid_argument msg -> fail ~line ~field "%s" msg
 
 let ids_to_string = function
   | [] -> "-"
   | l -> String.concat "," (List.map string_of_int l)
 
-let ids_of_string = function
+let ids_of_string ~line ~field = function
   | "-" -> []
-  | s -> List.map int_of_string (String.split_on_char ',' s)
+  | s -> List.map (int_field ~line ~field) (String.split_on_char ',' s)
 
 let to_string (w : Workload.t) =
   let buf = Buffer.create (1 lsl 16) in
@@ -38,57 +54,100 @@ let to_string (w : Workload.t) =
   Buffer.contents buf
 
 let of_string s =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  (match lines with
-  | h :: _ when String.trim h = header -> ()
-  | _ -> failwith "Trace_io: missing header");
   let machine = ref None in
+  let machine_line = ref 0 in
   let apps = ref [] in
   let containers = ref [] in
   let app_by_id = Hashtbl.create 64 in
-  List.iter
-    (fun line ->
-      match String.split_on_char ' ' (String.trim line) with
-      | "#" :: _ -> ()
-      | [ "machine"; v ] -> machine := Some (vec_of_string v)
-      | [ "app"; id; name; n; prio; within; demand; across ] ->
-          let a =
-            Application.make ~id:(int_of_string id) ~name
-              ~n_containers:(int_of_string n) ~demand:(vec_of_string demand)
-              ~priority:(int_of_string prio)
-              ~anti_affinity_within:(int_of_string within = 1)
-              ~anti_affinity_across:(ids_of_string across) ()
-          in
-          Hashtbl.replace app_by_id a.Application.id a;
-          apps := a :: !apps
-      | [ "container"; id; app ] ->
-          let app = int_of_string app in
-          let a =
-            match Hashtbl.find_opt app_by_id app with
-            | Some a -> a
-            | None -> failwith "Trace_io: container before its app"
-          in
-          containers :=
-            Container.make ~id:(int_of_string id) ~app
-              ~demand:a.Application.demand ~priority:a.Application.priority
-              ~arrival:(List.length !containers)
-            :: !containers
-      | l when List.hd l = header -> ()
-      | _ when String.trim line = header -> ()
-      | _ -> failwith (Printf.sprintf "Trace_io: bad line %S" line))
-    lines;
-  let machine_capacity =
-    match !machine with
-    | Some m -> m
-    | None -> failwith "Trace_io: missing machine line"
-  in
-  Workload.make
-    ~apps:(Array.of_list (List.rev !apps))
-    ~containers:(Array.of_list (List.rev !containers))
-    ~machine_capacity
+  let header_seen = ref false in
+  let last_line = ref 0 in
+  try
+    List.iteri
+      (fun i raw ->
+        let line = i + 1 in
+        last_line := line;
+        let text = String.trim raw in
+        if text = "" then ()
+        else if not !header_seen then begin
+          (* The first non-blank line must be the version header. *)
+          if text = header then header_seen := true
+          else fail ~line ~field:"header" "missing %S header" header
+        end
+        else
+          match String.split_on_char ' ' text with
+          | "#" :: _ -> () (* comment *)
+          | [ "machine"; v ] ->
+              if !machine <> None then
+                fail ~line ~field:"machine" "duplicate machine line (first at line %d)"
+                  !machine_line;
+              machine := Some (vec_of_string ~line ~field:"machine" v);
+              machine_line := line
+          | "machine" :: rest ->
+              fail ~line ~field:"machine" "expected 1 field, got %d"
+                (List.length rest)
+          | [ "app"; id; name; n; prio; within; demand; across ] -> (
+              let within =
+                match int_field ~line ~field:"within" within with
+                | 0 -> false
+                | 1 -> true
+                | v -> fail ~line ~field:"within" "expected 0 or 1, got %d" v
+              in
+              match
+                Application.make
+                  ~id:(int_field ~line ~field:"id" id)
+                  ~name
+                  ~n_containers:(int_field ~line ~field:"n" n)
+                  ~demand:(vec_of_string ~line ~field:"demand" demand)
+                  ~priority:(int_field ~line ~field:"priority" prio)
+                  ~anti_affinity_within:within
+                  ~anti_affinity_across:(ids_of_string ~line ~field:"across" across)
+                  ()
+              with
+              | a ->
+                  Hashtbl.replace app_by_id a.Application.id a;
+                  apps := a :: !apps
+              | exception Invalid_argument msg -> fail ~line ~field:"app" "%s" msg)
+          | "app" :: rest ->
+              fail ~line ~field:"app" "expected 7 fields, got %d" (List.length rest)
+          | [ "container"; id; app ] ->
+              let app = int_field ~line ~field:"app" app in
+              let a =
+                match Hashtbl.find_opt app_by_id app with
+                | Some a -> a
+                | None ->
+                    fail ~line ~field:"app"
+                      "container references app %d before its app line" app
+              in
+              containers :=
+                Container.make
+                  ~id:(int_field ~line ~field:"id" id)
+                  ~app ~demand:a.Application.demand
+                  ~priority:a.Application.priority
+                  ~arrival:(List.length !containers)
+                :: !containers
+          | "container" :: rest ->
+              fail ~line ~field:"container" "expected 2 fields, got %d"
+                (List.length rest)
+          | kw :: _ -> fail ~line ~field:kw "unknown record type"
+          | [] -> ())
+      (String.split_on_char '\n' s);
+    if not !header_seen then
+      fail ~line:1 ~field:"header" "empty trace: missing %S header" header;
+    let machine_capacity =
+      match !machine with
+      | Some m -> m
+      | None -> fail ~line:!last_line ~field:"machine" "missing machine line"
+    in
+    match
+      Workload.make
+        ~apps:(Array.of_list (List.rev !apps))
+        ~containers:(Array.of_list (List.rev !containers))
+        ~machine_capacity
+    with
+    | w -> Ok w
+    | exception Invalid_argument msg ->
+        fail ~line:!last_line ~field:"workload" "%s" msg
+  with Parse e -> Error (Trace_error.record e)
 
 let save w path =
   let oc = open_out path in

@@ -8,13 +8,16 @@
     app <id> <name> <n> <priority> <within:0|1> <demand units> <across ids|->
     container <id> <app-id>
     v}
-    Containers appear in submission order. *)
+    Containers appear in submission order. [Application.make] normalises
+    whitespace out of app names, so [to_string] output always round-trips
+    through {!of_string} (the field separator cannot appear in a name). *)
 
 val save : Workload.t -> string -> unit
 (** @raise Sys_error on IO failure. *)
 
-val load : string -> Workload.t
-(** @raise Failure on malformed input; @raise Sys_error on IO failure. *)
+val load : string -> (Workload.t, Trace_error.t) result
+(** Malformed input yields [Error] naming the offending line and field —
+    never an exception. @raise Sys_error on IO failure. *)
 
 val to_string : Workload.t -> string
-val of_string : string -> Workload.t
+val of_string : string -> (Workload.t, Trace_error.t) result

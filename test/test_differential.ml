@@ -8,6 +8,11 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
+let mincost_exn ?warm ?max_flow g ~src ~dst =
+  match Flownet.Mincost.run ?warm ?max_flow g ~src ~dst with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "mincost error: %s" (Flownet.Error.to_string e)
+
 (* ---------- seeded random networks ---------- *)
 
 (* General digraph for max-flow differentials: random arcs plus a few
@@ -129,7 +134,7 @@ let test_mincost_differential () =
     let n = 6 + Rng.int rng 20 in
     let m = n * (2 + Rng.int rng 3) in
     let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
-    let ssp = Flownet.Mincost.run g ~src ~dst in
+    let ssp = mincost_exn g ~src ~dst in
     assert_feasible g ~src ~dst ~value:ssp.Flownet.Mincost.flow;
     Flownet.Graph.reset_flows g;
     let cs = Flownet.Cost_scaling.run g ~src ~dst in
@@ -161,7 +166,7 @@ let test_mincost_warm_matches_cold () =
     let m = n * 3 in
     let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
     let warm = Flownet.Mincost.warm_create () in
-    let cold = Flownet.Mincost.run ~warm g ~src ~dst in
+    let cold = mincost_exn ~warm g ~src ~dst in
     check bool "bootstrap potentials recorded" true
       (Array.length warm.Flownet.Mincost.potential
       = Flownet.Graph.n_vertices g);
@@ -169,7 +174,7 @@ let test_mincost_warm_matches_cold () =
     check bool "bootstrap potentials valid after reset" true
       (Flownet.Mincost.potential_valid g ~src warm.Flownet.Mincost.potential);
     let before = Obs.count hits in
-    let rewarm = Flownet.Mincost.run ~warm g ~src ~dst in
+    let rewarm = mincost_exn ~warm g ~src ~dst in
     check int "warm path taken" (before + 1) (Obs.count hits);
     check int "warm = cold (flow)" cold.Flownet.Mincost.flow
       rewarm.Flownet.Mincost.flow;

@@ -8,6 +8,22 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
+(* Unwrap the solvers' Result APIs where a test expects success. *)
+let spfa_exn ?admit g ~src =
+  match Flownet.Spfa.run ?admit g ~src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "spfa error: %s" (Flownet.Error.to_string e)
+
+let sp_exn ?admit g ~src ~dst =
+  match Flownet.Spfa.shortest_path ?admit g ~src ~dst with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "spfa error: %s" (Flownet.Error.to_string e)
+
+let mincost_exn ?warm ?max_flow g ~src ~dst =
+  match Flownet.Mincost.run ?warm ?max_flow g ~src ~dst with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "mincost error: %s" (Flownet.Error.to_string e)
+
 (* ---------- graph arena ---------- *)
 
 let test_graph_basics () =
@@ -97,13 +113,13 @@ let diamond () =
 
 let test_spfa_negative_costs () =
   let g = diamond () in
-  let r = Flownet.Spfa.run g ~src:0 in
+  let r = spfa_exn g ~src:0 in
   check int "dist to 3 via negative arc" 0 r.Flownet.Spfa.dist.(3);
   check int "dist to 2" (-1) r.Flownet.Spfa.dist.(2)
 
 let test_spfa_matches_bellman_ford () =
   let g = diamond () in
-  let s = Flownet.Spfa.run g ~src:0 in
+  let s = spfa_exn g ~src:0 in
   let b = Flownet.Bellman_ford.run g ~src:0 in
   check bool "no negative cycle" false b.Flownet.Bellman_ford.negative_cycle;
   Alcotest.(check (array int)) "distances agree" b.Flownet.Bellman_ford.dist
@@ -112,7 +128,7 @@ let test_spfa_matches_bellman_ford () =
 let test_spfa_admit_filter () =
   let g = diamond () in
   (* Forbid the negative shortcut (arc id 4 = third add_arc's forward). *)
-  let p = Flownet.Spfa.shortest_path ~admit:(fun a -> a <> 4) g ~src:0 ~dst:3 in
+  let p = sp_exn ~admit:(fun a -> a <> 4) g ~src:0 ~dst:3 in
   match p with
   | None -> Alcotest.fail "path expected"
   | Some p -> check int "cost without shortcut" 5 (Path.cost g p)
@@ -120,10 +136,50 @@ let test_spfa_admit_filter () =
 let test_spfa_unreachable () =
   let g = G.create 3 in
   let _ = G.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0 in
-  let r = Flownet.Spfa.run g ~src:0 in
+  let r = spfa_exn g ~src:0 in
   check int "unreachable is max_int" max_int r.Flownet.Spfa.dist.(2);
-  check bool "no path" true
-    (Flownet.Spfa.shortest_path g ~src:0 ~dst:2 = None)
+  check bool "no path" true (sp_exn g ~src:0 ~dst:2 = None)
+
+let test_spfa_negative_cycle () =
+  let g = G.create 3 in
+  let _ = G.add_arc g ~src:0 ~dst:1 ~cap:5 ~cost:1 in
+  let _ = G.add_arc g ~src:1 ~dst:2 ~cap:5 ~cost:(-3) in
+  let _ = G.add_arc g ~src:2 ~dst:1 ~cap:5 ~cost:1 in
+  match Flownet.Spfa.run g ~src:0 with
+  | Ok _ -> Alcotest.fail "negative cycle not reported"
+  | Error (Flownet.Error.Negative_cycle arcs) ->
+      check bool "cycle reconstructed" true (arcs <> []);
+      let total = List.fold_left (fun acc a -> acc + G.cost g a) 0 arcs in
+      check bool "cycle cost is negative" true (total < 0);
+      (* consecutive arcs chain head-to-tail and the walk closes *)
+      let rec chained = function
+        | x :: (y :: _ as rest) -> G.dst g x = G.src g y && chained rest
+        | [ last ] -> G.dst g last = G.src g (List.hd arcs)
+        | [] -> true
+      in
+      check bool "arcs close a cycle" true (chained arcs)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Flownet.Error.to_string e)
+
+(* Regression: near-max_int costs used to wrap around in the dist + cost
+   relaxations, producing negative labels (or phantom negative cycles).
+   With saturating adds the label clamps at the unreachable sentinel. *)
+let test_near_max_int_costs_saturate () =
+  let big = max_int - 10 in
+  let g = G.create 3 in
+  let _ = G.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:big in
+  let _ = G.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:big in
+  let r = spfa_exn g ~src:0 in
+  check int "one hop is exact" big r.Flownet.Spfa.dist.(1);
+  check int "two hops saturate at max_int" max_int r.Flownet.Spfa.dist.(2);
+  let b = Flownet.Bellman_ford.run g ~src:0 in
+  check bool "no phantom negative cycle" false
+    b.Flownet.Bellman_ford.negative_cycle;
+  Alcotest.(check (array int)) "bellman-ford agrees" r.Flownet.Spfa.dist
+    b.Flownet.Bellman_ford.dist;
+  (* the min-cost solver must survive the same graph (dst label saturates
+     to "unreachable", so it pushes nothing rather than crash or loop) *)
+  let s = mincost_exn g ~src:0 ~dst:2 in
+  check int "no flow pushed" 0 s.Flownet.Mincost.flow
 
 let test_dijkstra_rejects_negative () =
   let g = diamond () in
@@ -134,7 +190,7 @@ let test_dijkstra_rejects_negative () =
 
 let test_dijkstra_with_potentials () =
   let g = diamond () in
-  let s = Flownet.Spfa.run g ~src:0 in
+  let s = spfa_exn g ~src:0 in
   let r = Flownet.Dijkstra.run g ~src:0 ~potential:s.Flownet.Spfa.dist in
   (* with exact potentials all reduced distances are 0 on shortest paths *)
   check int "reduced dist 3" 0 r.Flownet.Dijkstra.dist.(3)
@@ -205,7 +261,7 @@ let test_mincost_prefers_cheap_path () =
   let _ = G.add_arc g ~src:0 ~dst:2 ~cap:10 ~cost:5 in
   let _ = G.add_arc g ~src:1 ~dst:3 ~cap:4 ~cost:1 in
   let _ = G.add_arc g ~src:2 ~dst:3 ~cap:10 ~cost:1 in
-  let s = Flownet.Mincost.run g ~src:0 ~dst:3 in
+  let s = mincost_exn g ~src:0 ~dst:3 in
   check int "full flow" 14 s.Flownet.Mincost.flow;
   (* 4 units at cost 2, 10 units at cost 6 *)
   check int "optimal cost" 68 s.Flownet.Mincost.cost
@@ -214,13 +270,13 @@ let test_mincost_max_flow_bound () =
   let g = G.create 4 in
   let _ = G.add_arc g ~src:0 ~dst:1 ~cap:10 ~cost:1 in
   let _ = G.add_arc g ~src:1 ~dst:3 ~cap:10 ~cost:1 in
-  let s = Flownet.Mincost.run ~max_flow:3 g ~src:0 ~dst:3 in
+  let s = mincost_exn ~max_flow:3 g ~src:0 ~dst:3 in
   check int "bounded flow" 3 s.Flownet.Mincost.flow;
   check int "bounded cost" 6 s.Flownet.Mincost.cost
 
 let test_mincost_negative_arc () =
   let g = diamond () in
-  let s = Flownet.Mincost.run ~max_flow:1 g ~src:0 ~dst:3 in
+  let s = mincost_exn ~max_flow:1 g ~src:0 ~dst:3 in
   check int "flow" 1 s.Flownet.Mincost.flow;
   check int "uses negative shortcut" 0 s.Flownet.Mincost.cost
 
@@ -337,7 +393,7 @@ let prop_cost_scaling_equals_ssp =
     (QCheck.make random_cost_graph_gen) (fun spec ->
       let n = fst spec in
       let g1 = build_cost spec and g2 = build_cost spec in
-      let a = Flownet.Mincost.run g1 ~src:0 ~dst:(n - 1) in
+      let a = mincost_exn g1 ~src:0 ~dst:(n - 1) in
       let b = Flownet.Cost_scaling.run g2 ~src:0 ~dst:(n - 1) in
       a.Flownet.Mincost.flow = b.Flownet.Mincost.flow
       && a.Flownet.Mincost.cost = b.Flownet.Mincost.cost)
@@ -395,15 +451,14 @@ let test_mdim_nonlinear () =
 
 let test_path_ops () =
   let g = diamond () in
-  match Flownet.Spfa.shortest_path g ~src:0 ~dst:3 with
+  match sp_exn g ~src:0 ~dst:3 with
   | None -> Alcotest.fail "path expected"
   | Some p ->
       check int "bottleneck" 10 p.Path.bottleneck;
       Alcotest.(check (list int)) "vertices" [ 0; 1; 2; 3 ] (Path.vertices g p);
       Path.augment g p 10;
       check bool "second search avoids saturated arcs" true
-        (match Flownet.Spfa.shortest_path g ~src:0 ~dst:3 with
-        | Some _ | None -> true)
+        (match sp_exn g ~src:0 ~dst:3 with Some _ | None -> true)
 
 let qtests =
   List.map QCheck_alcotest.to_alcotest
@@ -438,6 +493,10 @@ let () =
             test_spfa_matches_bellman_ford;
           Alcotest.test_case "admit filter" `Quick test_spfa_admit_filter;
           Alcotest.test_case "unreachable" `Quick test_spfa_unreachable;
+          Alcotest.test_case "negative cycle reported" `Quick
+            test_spfa_negative_cycle;
+          Alcotest.test_case "near-max_int costs saturate" `Quick
+            test_near_max_int_costs_saturate;
           Alcotest.test_case "dijkstra rejects negative" `Quick
             test_dijkstra_rejects_negative;
           Alcotest.test_case "dijkstra with potentials" `Quick

@@ -7,6 +7,11 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
+let mincost_exn ?warm g ~src ~dst =
+  match Flownet.Mincost.run ?warm g ~src ~dst with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "mincost error: %s" (Flownet.Error.to_string e)
+
 let fresh_cluster w ~n_machines =
   Cluster.create
     (Workload.topology w ~n_machines)
@@ -108,9 +113,9 @@ let test_incremental_projection_equals_fresh () =
       let g, src, dst =
         Aladdin.Flow_graph.scalar_projection_incremental cache fg
       in
-      let cold = Flownet.Mincost.run g ~src ~dst in
+      let cold = mincost_exn g ~src ~dst in
       Flownet.Graph.reset_flows g;
-      let rewarm = Flownet.Mincost.run ~warm g ~src ~dst in
+      let rewarm = mincost_exn ~warm g ~src ~dst in
       let ctx what = Printf.sprintf "batch %d: %s" !batch_no what in
       check int (ctx "incremental flow = fresh flow") fresh_flow
         cold.Flownet.Mincost.flow;

@@ -5,6 +5,15 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
+(* unwrap a trace-parsing result, failing the test with the typed error *)
+let ok_exn = function
+  | Ok w -> w
+  | Error e -> Alcotest.failf "parse error: %s" (Trace_error.to_string e)
+
+let err_exn = function
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error (e : Trace_error.t) -> e
+
 (* ---------- rng ---------- *)
 
 let test_rng_deterministic () =
@@ -257,9 +266,41 @@ let test_arrival_names () =
 let test_io_roundtrip () =
   let w = Alibaba.generate small_params in
   let s = Trace_io.to_string w in
-  let w' = Trace_io.of_string s in
+  let w' = ok_exn (Trace_io.of_string s) in
   check bool "roundtrip identical" true (Trace_io.to_string w' = s);
   check int "containers preserved" (Workload.n_containers w) (Workload.n_containers w')
+
+let test_io_roundtrip_spaced_names () =
+  (* names with whitespace are sanitised at Application.make, so the
+     space-separated trace format still round-trips *)
+  let apps =
+    [|
+      Application.make ~id:0 ~name:"web frontend v2" ~n_containers:2
+        ~demand:(Resource.cpu_only 1.) ();
+      Application.make ~id:1 ~name:"  " ~n_containers:1
+        ~demand:(Resource.cpu_only 2.) ();
+    |]
+  in
+  check bool "spaces replaced" true
+    (apps.(0).Application.name = "web_frontend_v2");
+  check bool "blank name falls back to id" true
+    (apps.(1).Application.name = "app-1");
+  let containers =
+    Array.of_list
+      (List.concat_map
+         (fun (a : Application.t) ->
+           Application.containers a ~first_id:(10 * a.Application.id)
+             ~first_arrival:0)
+         (Array.to_list apps))
+  in
+  let w =
+    Workload.make ~apps ~containers ~machine_capacity:(Resource.cpu_only 32.)
+  in
+  let s = Trace_io.to_string w in
+  let w' = ok_exn (Trace_io.of_string s) in
+  check bool "roundtrip identical" true (Trace_io.to_string w' = s);
+  check bool "name survives" true
+    (w'.Workload.apps.(0).Application.name = "web_frontend_v2")
 
 let test_io_file_roundtrip () =
   let w = mini_workload () in
@@ -268,12 +309,38 @@ let test_io_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Trace_io.save w path;
-      let w' = Trace_io.load path in
+      let w' = ok_exn (Trace_io.load path) in
       check bool "file roundtrip" true (Trace_io.to_string w = Trace_io.to_string w'))
 
 let test_io_rejects_garbage () =
-  Alcotest.check_raises "missing header" (Failure "Trace_io: missing header")
-    (fun () -> ignore (Trace_io.of_string "nope"))
+  let e = err_exn (Trace_io.of_string "nope") in
+  check int "header error on line 1" 1 e.Trace_error.line;
+  check Alcotest.string "header field" "header" e.Trace_error.field
+
+let test_io_error_positions () =
+  let w = mini_workload () in
+  let lines = String.split_on_char '\n' (Trace_io.to_string w) in
+  (* mangle the first machine line: drop a field *)
+  let mangled =
+    List.mapi
+      (fun i l ->
+        if i = 1 then
+          match String.rindex_opt l ' ' with
+          | Some j -> String.sub l 0 j
+          | None -> l
+        else l)
+      lines
+  in
+  let e = err_exn (Trace_io.of_string (String.concat "\n" mangled)) in
+  check int "error names the mangled line" 2 e.Trace_error.line;
+  check bool "field recorded" true (e.Trace_error.field <> "");
+  (* a non-numeric field deeper in the trace *)
+  let mangled2 =
+    List.mapi (fun i l -> if i = 3 then l ^ " not-an-int" else l) lines
+  in
+  match Trace_io.of_string (String.concat "\n" mangled2) with
+  | Ok _ -> () (* extra token may land in an ignored position *)
+  | Error e -> check int "line number is 1-based" 4 e.Trace_error.line
 
 (* ---------- stats / cdf ---------- *)
 
@@ -297,7 +364,7 @@ let sample_csv =
    c5,m5,0,app_C,allocated,100,200,10\n"
 
 let test_csv_parses () =
-  let w = Alibaba_csv.of_string sample_csv in
+  let w = ok_exn (Alibaba_csv.of_string sample_csv) in
   check int "apps" 3 (Workload.n_apps w);
   (* the terminated row is skipped *)
   check int "containers" 4 (Workload.n_containers w);
@@ -317,9 +384,10 @@ let test_csv_parses () =
 
 let test_csv_priority_centile () =
   let w =
-    Alibaba_csv.of_string
-      ~options:{ Alibaba_csv.default_options with priority_centile = 0.34 }
-      sample_csv
+    ok_exn
+      (Alibaba_csv.of_string
+         ~options:{ Alibaba_csv.default_options with priority_centile = 0.34 }
+         sample_csv)
   in
   (* top 34% of 3 apps = 1 app; app_A has the largest total cpu (800) and
      ties with app_B — one of them is priority *)
@@ -332,9 +400,10 @@ let test_csv_priority_centile () =
 
 let test_csv_multidim () =
   let w =
-    Alibaba_csv.of_string
-      ~options:{ Alibaba_csv.default_options with cpu_only = false }
-      sample_csv
+    ok_exn
+      (Alibaba_csv.of_string
+         ~options:{ Alibaba_csv.default_options with cpu_only = false }
+         sample_csv)
   in
   check int "two dims" 2 (Resource.dims w.Workload.machine_capacity);
   let a =
@@ -345,13 +414,21 @@ let test_csv_multidim () =
   check (Alcotest.float 1e-6) "mem scaling" 32. (Resource.mem_gb a.Application.demand)
 
 let test_csv_rejects_garbage () =
-  Alcotest.check_raises "empty" (Failure "Alibaba_csv: no usable rows")
-    (fun () -> ignore (Alibaba_csv.of_string ""));
-  Alcotest.check_raises "bad row" (Failure "Alibaba_csv: line 1: bad row")
-    (fun () -> ignore (Alibaba_csv.of_string "just,three,columns"))
+  let e = err_exn (Alibaba_csv.of_string "") in
+  check Alcotest.string "empty input field" "rows" e.Trace_error.field;
+  let e = err_exn (Alibaba_csv.of_string "just,three,columns") in
+  check int "bad row line" 1 e.Trace_error.line;
+  check Alcotest.string "bad row field" "row" e.Trace_error.field;
+  let bad_cpu =
+    "container_id,machine_id,time_stamp,app_du,status,cpu_request,cpu_limit,mem_size\n\
+     c1,m1,0,app_A,started,banana,800,50\n"
+  in
+  let e = err_exn (Alibaba_csv.of_string bad_cpu) in
+  check int "bad cpu line" 2 e.Trace_error.line;
+  check Alcotest.string "bad cpu field" "cpu_request" e.Trace_error.field
 
 let test_csv_replayable () =
-  let w = Alibaba_csv.of_string sample_csv in
+  let w = ok_exn (Alibaba_csv.of_string sample_csv) in
   let sched = Aladdin.Aladdin_scheduler.make () in
   let r = Replay.run_workload sched w ~n_machines:4 in
   check int "all placed" 4 (List.length r.Replay.outcome.Scheduler.placed)
@@ -440,8 +517,11 @@ let () =
       ( "io",
         [
           Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "spaced names roundtrip" `Quick
+            test_io_roundtrip_spaced_names;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+          Alcotest.test_case "error positions" `Quick test_io_error_positions;
         ] );
       ("stats", [ Alcotest.test_case "cdf" `Quick test_stats_cdf ]);
       ( "alibaba-csv",
