@@ -21,9 +21,17 @@ def main(path):
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
 
-    for section in ("config", "per_batch", "summary", "obs"):
+    for section in ("config", "solver", "per_batch", "summary", "obs"):
         if section not in doc:
             fail(f"missing section {section!r}")
+
+    solver = doc["solver"]
+    backend = solver.get("backend")
+    if not isinstance(backend, str) or not backend:
+        fail("solver.backend must be a non-empty string")
+    for key in ("min_cost", "supports_max_flow", "warm_start"):
+        if not isinstance(solver.get(key), bool):
+            fail(f"solver.{key} must be a bool")
 
     config = doc["config"]
     for key in ("machines", "batches", "containers", "seed"):
@@ -65,7 +73,15 @@ def main(path):
     for key in ("counters", "histograms"):
         if not isinstance(obs.get(key), dict):
             fail(f"obs.{key} must be an object")
-    if obs["counters"].get("mincost.warm_hits", 0) <= 0:
+    # The registry instruments every backend; the one the bench ran must
+    # have recorded solves. Warm-hit accounting only exists for the
+    # warm-start-capable mincost backend.
+    if obs["counters"].get(f"solver.{backend}.solves", 0) <= 0:
+        fail(f"obs.counters['solver.{backend}.solves'] should be positive after the bench")
+    errs = obs["counters"].get(f"solver.{backend}.errors")
+    if not isinstance(errs, int) or errs < 0:
+        fail(f"obs.counters['solver.{backend}.errors'] must be a nonnegative int")
+    if backend == "mincost" and obs["counters"].get("mincost.warm_hits", 0) <= 0:
         fail("obs.counters['mincost.warm_hits'] should be positive after the bench")
 
     # Recovery counters must be present (registration proves the error-path

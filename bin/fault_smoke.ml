@@ -46,6 +46,10 @@ let exercise_parsers rng base_trace base_csv =
     match Trace_io.of_string junk with Ok _ | Error _ -> ()
   done
 
+(* The backend under test comes from ALADDIN_SOLVER (CI runs this smoke
+   once per registered backend). *)
+let solver_backend = Flownet.Registry.of_env ()
+
 let exercise_solver rng =
   for _ = 1 to 20 do
     let n = 4 + Rng.int rng 12 in
@@ -59,7 +63,7 @@ let exercise_solver rng =
         ignore (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap ~cost)
       end
     done;
-    match Flownet.Mincost.run g ~src:0 ~dst:(n - 1) with
+    match Flownet.Registry.solve solver_backend g ~src:0 ~dst:(n - 1) with
     | Ok _ | Error _ -> ()
   done
 
@@ -75,7 +79,7 @@ let exercise_baselines w ~n_machines =
   List.iter
     (fun sched ->
       ignore (Replay.run_workload ~batch:32 sched w ~n_machines))
-    [ Gokube.make (); Medea.make () ]
+    [ Gokube.make (); Medea.make (); Firmament.make () ]
 
 let () =
   let w =
@@ -130,6 +134,8 @@ let () =
       "fault.revoked_machines";
       "trace.parse_errors";
       "mincost.errors";
+      Printf.sprintf "solver.%s.solves" (Flownet.Registry.name solver_backend);
+      Printf.sprintf "solver.%s.errors" (Flownet.Registry.name solver_backend);
       "aladdin.fallback_to_cold";
       "aladdin.rejected_batches";
       "aladdin.restore_drops";

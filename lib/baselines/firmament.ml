@@ -1,23 +1,33 @@
-type solver = Ssp | Cost_scaling
-
 type config = {
   cost_model : Cost_model.t;
   reschd : int;
   max_rounds : int;
-  solver : solver;
+  solver : string;
 }
 
 let default =
-  { cost_model = Cost_model.Quincy; reschd = 4; max_rounds = 8; solver = Ssp }
+  {
+    cost_model = Cost_model.Quincy;
+    reschd = 4;
+    max_rounds = 8;
+    solver = Flownet.Registry.env_name ();
+  }
 
 let name c =
   Printf.sprintf "Firmament-%s(%d)" (Cost_model.name c.cost_model) c.reschd
 
 let solve_hist = Obs.histogram "firmament.solve_ns"
-let batch_hist = Obs.histogram "firmament.batch_ns"
 let c_solves = Obs.counter "firmament.solves"
 let c_rounds = Obs.counter "firmament.rounds"
 let c_solver_errors = Obs.counter "firmament.solver_errors"
+
+let backend config =
+  match Flownet.Registry.find config.solver with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Firmament: unknown solver %S (known: %s)" config.solver
+           (String.concat ", " (Flownet.Registry.names ())))
 
 let slot_size_millis batch =
   if Array.length batch = 0 then 1000
@@ -74,18 +84,13 @@ let solve_round config cluster ~n_pending ~slot ~penalty =
   Obs.incr c_solves;
   let solved =
     Obs.time solve_hist (fun () ->
-        match config.solver with
-        | Ssp -> (
-            match Flownet.Mincost.run g ~src:super ~dst:sink with
-            | Ok _ -> true
-            | Error _ ->
-                (* A failed solve yields no quotas for this round; the
-                   outer loop sees no progress and stops cleanly. *)
-                Obs.incr c_solver_errors;
-                false)
-        | Cost_scaling ->
-            ignore (Flownet.Cost_scaling.run g ~src:super ~dst:sink);
-            true)
+        match Flownet.Registry.solve (backend config) g ~src:super ~dst:sink with
+        | Ok _ -> true
+        | Error _ ->
+            (* A failed solve yields no quotas for this round; the
+               outer loop sees no progress and stops cleanly. *)
+            Obs.incr c_solver_errors;
+            false)
   in
   if not solved then Array.make nn 0
   else
@@ -94,7 +99,6 @@ let solve_round config cluster ~n_pending ~slot ~penalty =
       machine_arc
 
 let schedule config cluster batch =
-  let t0 = Obs.now_ns () in
   let pending = ref (Array.to_list batch) in
   let terminal = ref [] in
   let round = ref 0 in
@@ -194,7 +198,6 @@ let schedule config cluster batch =
     pending := List.rev_append !requeued !unrouted
   done;
   Obs.add c_rounds !round;
-  Obs.observe_ns batch_hist (Int64.sub (Obs.now_ns ()) t0);
   let undeployed = !terminal @ !pending in
   let placed =
     Array.to_list batch
@@ -217,3 +220,7 @@ let make ?(config = default) () =
     Scheduler.name = name config;
     schedule = (fun cluster batch -> schedule config cluster batch);
   }
+  |> Scheduler.with_faults ~label:"firmament.schedule"
+  |> Scheduler.with_transaction ~prefix:"firmament"
+       ~recoverable:Scheduler.faults_recoverable
+  |> Scheduler.with_obs ~prefix:"firmament"

@@ -10,20 +10,20 @@
     retried for up to [reschd] containers per machine per round (a timeout
     bounds the rounds). *)
 
-type solver = Ssp | Cost_scaling
-(** Successive shortest paths (default) or Goldberg–Tarjan cost scaling —
-    the algorithm family the real Firmament uses. Both are exact, so
-    placement quality is identical; only solve latency differs. *)
-
 type config = {
   cost_model : Cost_model.t;
   reschd : int;      (** rescheduling budget per machine per round *)
   max_rounds : int;  (** round timeout *)
-  solver : solver;
+  solver : string;
+      (** {!Flownet.Registry} backend name. ["mincost"] and
+          ["cost-scaling"] are both exact, so placement quality is
+          identical and only solve latency differs; the pure max-flow
+          backends are selectable too but ignore arc costs. *)
 }
 
 val default : config
-(** QUINCY, reschd 4, 8 rounds, SSP solver. *)
+(** QUINCY, reschd 4, 8 rounds; solver from [ALADDIN_SOLVER]
+    (["mincost"] when unset). *)
 
 val name : config -> string
 (** e.g. ["Firmament-QUINCY(4)"]. *)

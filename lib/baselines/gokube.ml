@@ -164,3 +164,7 @@ let make ?(config = default) () =
     Scheduler.name = "Go-Kube";
     schedule = (fun cluster batch -> schedule config cluster batch);
   }
+  |> Scheduler.with_faults ~label:"gokube.schedule"
+  |> Scheduler.with_transaction ~prefix:"gokube"
+       ~recoverable:Scheduler.faults_recoverable
+  |> Scheduler.with_obs ~prefix:"gokube"

@@ -318,3 +318,7 @@ let make ?(config = default) () =
     Scheduler.name = name config;
     schedule = (fun cluster batch -> schedule config cluster batch);
   }
+  |> Scheduler.with_faults ~label:"medea.schedule"
+  |> Scheduler.with_transaction ~prefix:"medea"
+       ~recoverable:Scheduler.faults_recoverable
+  |> Scheduler.with_obs ~prefix:"medea"

@@ -59,15 +59,8 @@ let warm_create () =
 
 let warm_projection w = w.w_projection
 
-let batch_hist = Obs.histogram "aladdin.batch_ns"
-let c_batches = Obs.counter "aladdin.batches"
 let c_creates = Obs.counter "aladdin.search_creates"
 let c_refreshes = Obs.counter "aladdin.search_refreshes"
-let c_placed = Obs.counter "aladdin.containers_placed"
-let c_undeployed = Obs.counter "aladdin.containers_undeployed"
-let c_fallback = Obs.counter "aladdin.fallback_to_cold"
-let c_rejected = Obs.counter "aladdin.rejected_batches"
-let c_restore_drops = Obs.counter "aladdin.restore_drops"
 
 let search_for ?warm options fg cluster =
   match warm with
@@ -91,8 +84,6 @@ let search_for ?warm options fg cluster =
       Search.create ~il:options.il ~dl:options.dl fg
 
 let schedule_batch ?warm options cluster batch =
-  Obs.incr c_batches;
-  let t0 = Obs.now_ns () in
   let fg = Flow_graph.build cluster batch in
   let search = search_for ?warm options fg cluster in
   let capacity = Topology.capacity (Cluster.topology cluster) 0 in
@@ -212,42 +203,16 @@ let schedule_batch ?warm options cluster batch =
            | Some mid -> Some (c.Container.id, mid)
            | None -> None)
   in
-  let outcome =
-    {
-      Scheduler.placed;
-      undeployed = List.rev !undeployed;
-      violations = [];
-      migrations = !migrations;
-      preemptions = !preemptions;
-      rounds = !rounds;
-    }
-  in
-  Obs.add c_placed (List.length placed);
-  Obs.add c_undeployed (List.length outcome.Scheduler.undeployed);
-  Obs.observe_ns batch_hist (Int64.sub (Obs.now_ns ()) t0);
-  outcome
+  {
+    Scheduler.placed;
+    undeployed = List.rev !undeployed;
+    violations = [];
+    migrations = !migrations;
+    preemptions = !preemptions;
+    rounds = !rounds;
+  }
 
 (* ---- Batch-level recovery -------------------------------------------- *)
-
-(* Pre-batch placements, as (container, machine) so they can be replayed. *)
-let snapshot cluster =
-  List.filter_map
-    (fun (cid, mid) ->
-      Option.map (fun c -> (c, mid)) (Cluster.container cluster cid))
-    (Cluster.placements cluster)
-
-let restore cluster snap =
-  Cluster.reset cluster;
-  List.iter
-    (fun (c, mid) ->
-      match Cluster.place ~force:true cluster c mid with
-      | Ok () -> ()
-      | Error _ ->
-          (* Only possible if the machine itself vanished or shrank since
-             the snapshot (e.g. a revocation landing mid-restore); the
-             container is genuinely displaced. Count it, keep restoring. *)
-          Obs.incr c_restore_drops)
-    snap
 
 let warm_invalidate w =
   w.w_search <- None;
@@ -257,53 +222,35 @@ let warm_invalidate w =
 (* Everything the scheduler can recover from travels as one of these two
    exceptions; anything else (Out_of_memory, a genuine bug) propagates. *)
 let recoverable = function
-  | Aladdin_error.E _ | Fault.Injected _ -> true
-  | _ -> false
+  | Aladdin_error.E _ -> true
+  | e -> Scheduler.faults_recoverable e
 
-let reject_outcome batch =
-  {
-    Scheduler.placed = [];
-    undeployed = Array.to_list batch;
-    violations = [];
-    migrations = 0;
-    preemptions = 0;
-    rounds = 0;
-  }
-
-let schedule ?warm options cluster batch =
-  let snap = snapshot cluster in
-  let reject () =
-    Obs.incr c_rejected;
-    restore cluster snap;
-    reject_outcome batch
-  in
-  match schedule_batch ?warm options cluster batch with
-  | outcome -> outcome
-  | exception e when recoverable e -> (
-      restore cluster snap;
-      match warm with
-      | None -> reject ()
-      | Some w ->
-          (* Warm state is suspect after a failed batch: drop the carried
-             search, cluster binding and projection potentials, then retry
-             the batch cold. The cold retry re-derives everything from the
-             (restored) cluster, so its placements match a never-warmed
-             scheduler batch for batch. *)
-          Obs.incr c_fallback;
-          warm_invalidate w;
-          (match schedule_batch options cluster batch with
-          | outcome -> outcome
-          | exception e when recoverable e -> reject ()))
+(* Snapshot/restore, fallback-to-cold, rejection and batch obs all come
+   from the scheduler middleware; this layer only decides what a "cold
+   retry" means (drop the warm state, rerun without it). *)
+let stack ?fallback name schedule =
+  { Scheduler.name; schedule }
+  |> Scheduler.with_transaction ~prefix:"aladdin" ~recoverable ?fallback
+  |> Scheduler.with_obs ~prefix:"aladdin"
 
 let make ?(options = default_options) () =
-  {
-    Scheduler.name = name_of_options options;
-    schedule = (fun cluster batch -> schedule options cluster batch);
-  }
+  stack (name_of_options options) (fun cluster batch ->
+      schedule_batch options cluster batch)
 
 let make_warm ?(options = default_options) () =
   let warm = warm_create () in
-  {
-    Scheduler.name = name_of_options options ^ "~warm";
-    schedule = (fun cluster batch -> schedule ~warm options cluster batch);
-  }
+  let cold () =
+    (* Warm state is suspect after a failed batch: drop the carried
+       search, cluster binding and projection potentials, then retry
+       the batch cold. The cold retry re-derives everything from the
+       (restored) cluster, so its placements match a never-warmed
+       scheduler batch for batch. *)
+    warm_invalidate warm;
+    {
+      Scheduler.name = name_of_options options;
+      schedule = (fun cluster batch -> schedule_batch options cluster batch);
+    }
+  in
+  stack ~fallback:cold
+    (name_of_options options ^ "~warm")
+    (fun cluster batch -> schedule_batch ~warm options cluster batch)

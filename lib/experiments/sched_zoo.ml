@@ -1,7 +1,10 @@
 let gokube () = Gokube.make ()
 
-let firmament cost_model ~reschd =
-  Firmament.make ~config:{ Firmament.default with cost_model; reschd } ()
+let firmament ?solver cost_model ~reschd =
+  let solver =
+    match solver with Some s -> s | None -> Firmament.default.Firmament.solver
+  in
+  Firmament.make ~config:{ Firmament.default with cost_model; reschd; solver } ()
 
 let medea ~a ~b ~c =
   Medea.make ~config:{ Medea.default with weights = { Medea.a; b; c } } ()

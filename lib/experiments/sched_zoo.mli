@@ -2,7 +2,11 @@
     the parameter sweeps of Fig. 9). *)
 
 val gokube : unit -> Scheduler.t
-val firmament : Cost_model.t -> reschd:int -> Scheduler.t
+
+val firmament : ?solver:string -> Cost_model.t -> reschd:int -> Scheduler.t
+(** [?solver] pins a {!Flownet.Registry} backend by name; the default
+    follows [ALADDIN_SOLVER] (falling back to ["mincost"]). *)
+
 val medea : a:float -> b:float -> c:float -> Scheduler.t
 val aladdin : ?base:int -> ?il:bool -> ?dl:bool -> unit -> Scheduler.t
 

@@ -9,10 +9,14 @@ let c_phases = Obs.counter "cost_scaling.refine_phases"
 let c_saturations = Obs.counter "cost_scaling.arc_saturations"
 let c_relabels = Obs.counter "cost_scaling.price_updates"
 
-let run g ~src ~dst =
+let run ?max_flow g ~src ~dst =
   let n = Graph.n_vertices g in
   let m = Graph.n_arcs g in
-  let flow_value = Dinic.run g ~src ~dst in
+  (* Capping the initial max flow keeps the result min-cost for that value:
+     cost scaling removes every negative-cost residual cycle, and a flow of
+     value F is F-optimal iff no such cycle remains. *)
+  let flow_value = Dinic.run ?max_flow g ~src ~dst in
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   (* scaled arc cost, valid for residual twins through Graph.cost *)
   let scale = n + 1 in
   let cost a = scale * Graph.cost g a in
@@ -55,24 +59,28 @@ let run g ~src ~dst =
       let progress = ref true in
       while excess.(v) > 0 && !progress do
         (* push along admissible arcs *)
-        Graph.iter_out g v (fun a ->
-            if excess.(v) > 0 && Graph.residual g a > 0 && reduced a < 0 then begin
-              let d = min excess.(v) (Graph.residual g a) in
-              Graph.push g a d;
-              excess.(v) <- excess.(v) - d;
-              let w = Graph.dst g a in
-              excess.(w) <- excess.(w) + d;
-              if excess.(w) > 0 && (not in_q.(w)) && w <> v then begin
-                Queue.push w q;
-                in_q.(w) <- true
-              end
-            end);
+        for i = first.(v) to first.(v + 1) - 1 do
+          let a = arcs.(i) in
+          if excess.(v) > 0 && Graph.residual g a > 0 && reduced a < 0 then begin
+            let d = min excess.(v) (Graph.residual g a) in
+            Graph.push g a d;
+            excess.(v) <- excess.(v) - d;
+            let w = Graph.dst g a in
+            excess.(w) <- excess.(w) + d;
+            if excess.(w) > 0 && (not in_q.(w)) && w <> v then begin
+              Queue.push w q;
+              in_q.(w) <- true
+            end
+          end
+        done;
         if excess.(v) > 0 then begin
           (* relabel: lower the price just enough to open an arc *)
           let best = ref min_int in
-          Graph.iter_out g v (fun a ->
-              if Graph.residual g a > 0 then
-                best := max !best (price.(Graph.dst g a) - cost a - !eps));
+          for i = first.(v) to first.(v + 1) - 1 do
+            let a = arcs.(i) in
+            if Graph.residual g a > 0 then
+              best := max !best (price.(Graph.dst g a) - cost a - !eps)
+          done;
           if !best = min_int then progress := false
             (* isolated excess cannot happen in a connected residual; stop
                defensively rather than loop *)

@@ -7,6 +7,10 @@
     are exact, so total costs agree. Asymptotically O(V²·E·log(V·C)),
     which beats SSP when many augmenting paths would be needed. *)
 
-val run : Graph.t -> src:int -> dst:int -> Mincost.stats
+val run : ?max_flow:int -> Graph.t -> src:int -> dst:int -> Mincost.stats
 (** Returns flow value, optimal total cost, and the number of refine
-    phases in [iterations]. Flows are recorded in the graph. *)
+    phases in [iterations]. Flows are recorded in the graph. With
+    [max_flow] the initial Dinic run is capped at that value and the
+    scaling phases then optimise the cost of that smaller flow — still
+    exact, since a flow of value F is min-cost iff no negative-cost
+    residual cycle remains. *)

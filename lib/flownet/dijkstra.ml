@@ -53,6 +53,8 @@ let prepare ws n =
 let run ?ws ?(stop_at = -1) g ~src ~potential =
   let n = Graph.n_vertices g in
   let ws = match ws with Some w -> w | None -> workspace () in
+  Graph.freeze g;
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   prepare ws n;
   let dist = ws.dist and parent = ws.parent and settled = ws.settled in
   let heap = ws.heap in
@@ -68,25 +70,27 @@ let run ?ws ?(stop_at = -1) g ~src ~potential =
           settled.(u) <- true;
           if u = stop_at then continue := false
           else
-            Graph.iter_out g u (fun a ->
-                if Graph.residual g a > 0 then begin
-                  let v = Graph.dst g a in
-                  if not settled.(v) then begin
-                    let rc =
-                      Inf.add (Inf.add (Graph.cost g a) potential.(u))
-                        (-potential.(v))
-                    in
-                    if rc < 0 then
-                      invalid_arg "Dijkstra.run: negative reduced cost";
-                    let nd = Inf.add d rc in
-                    if nd < dist.(v) then begin
-                      if dist.(v) = max_int then touch ws v;
-                      dist.(v) <- nd;
-                      parent.(v) <- a;
-                      Heap.push heap ~key:nd ~value:v
-                    end
+            for i = first.(u) to first.(u + 1) - 1 do
+              let a = arcs.(i) in
+              if Graph.residual g a > 0 then begin
+                let v = Graph.dst g a in
+                if not settled.(v) then begin
+                  let rc =
+                    Inf.add (Inf.add (Graph.cost g a) potential.(u))
+                      (-potential.(v))
+                  in
+                  if rc < 0 then
+                    invalid_arg "Dijkstra.run: negative reduced cost";
+                  let nd = Inf.add d rc in
+                  if nd < dist.(v) then begin
+                    if dist.(v) = max_int then touch ws v;
+                    dist.(v) <- nd;
+                    parent.(v) <- a;
+                    Heap.push heap ~key:nd ~value:v
                   end
-                end)
+                end
+              end
+            done
         end
   done;
   { dist; parent }

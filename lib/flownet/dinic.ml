@@ -2,65 +2,72 @@ let c_phases = Obs.counter "dinic.phases"
 let c_arcs = Obs.counter "dinic.arcs_touched"
 let c_augmented = Obs.counter "dinic.units_augmented"
 
-let build_levels g ~src ~dst level =
+let build_levels g ~src ~dst level first arcs =
   Array.fill level 0 (Array.length level) (-1);
   let q = Queue.create () in
   level.(src) <- 0;
   Queue.push src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Graph.iter_out g u (fun a ->
-        Obs.incr c_arcs;
-        if Graph.residual g a > 0 then begin
-          let v = Graph.dst g a in
-          if level.(v) < 0 then begin
-            level.(v) <- level.(u) + 1;
-            Queue.push v q
-          end
-        end)
+    for i = first.(u) to first.(u + 1) - 1 do
+      let a = arcs.(i) in
+      Obs.incr c_arcs;
+      if Graph.residual g a > 0 then begin
+        let v = Graph.dst g a in
+        if level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.push v q
+        end
+      end
+    done
   done;
   level.(dst) >= 0
 
-(* Blocking flow by DFS with per-vertex arc cursors. The cursor array holds,
-   for each vertex, the remaining out-arc list still worth scanning. *)
-let blocking_flow g ~src ~dst level cursor =
+(* Blocking flow by DFS with per-vertex arc cursors. [cursor.(u)] indexes
+   into the frozen CSR [arcs] array; arcs below it are saturated or lead
+   away from the level graph and are never rescanned this phase. *)
+let blocking_flow g ~src ~dst level cursor first arcs budget =
   let rec dfs u pushed =
     if u = dst then pushed
     else begin
       let sent = ref 0 in
       let continue = ref true in
       while !continue do
-        match cursor.(u) with
-        | [] -> continue := false
-        | a :: rest ->
-            let v = Graph.dst g a in
-            let r = Graph.residual g a in
-            if r > 0 && level.(v) = level.(u) + 1 then begin
-              let d = dfs v (min (pushed - !sent) r) in
-              if d > 0 then begin
-                Graph.push g a d;
-                sent := !sent + d;
-                if !sent = pushed then continue := false
-              end
-              else cursor.(u) <- rest
+        if cursor.(u) >= first.(u + 1) then continue := false
+        else begin
+          let a = arcs.(cursor.(u)) in
+          let v = Graph.dst g a in
+          let r = Graph.residual g a in
+          if r > 0 && level.(v) = level.(u) + 1 then begin
+            let d = dfs v (min (pushed - !sent) r) in
+            if d > 0 then begin
+              Graph.push g a d;
+              sent := !sent + d;
+              if !sent = pushed then continue := false
             end
-            else cursor.(u) <- rest
+            else cursor.(u) <- cursor.(u) + 1
+          end
+          else cursor.(u) <- cursor.(u) + 1
+        end
       done;
       !sent
     end
   in
-  dfs src max_int
+  dfs src budget
 
-let run g ~src ~dst =
+let run ?(max_flow = max_int) g ~src ~dst =
+  Graph.freeze g;
   let n = Graph.n_vertices g in
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   let level = Array.make n (-1) in
+  let cursor = Array.make n 0 in
   let total = ref 0 in
-  while build_levels g ~src ~dst level do
+  while !total < max_flow && build_levels g ~src ~dst level first arcs do
     Obs.incr c_phases;
-    let cursor =
-      Array.init n (fun v -> List.rev (Graph.fold_out g v (fun l a -> a :: l) []))
+    Array.blit first 0 cursor 0 n;
+    let pushed =
+      blocking_flow g ~src ~dst level cursor first arcs (max_flow - !total)
     in
-    let pushed = blocking_flow g ~src ~dst level cursor in
     total := !total + pushed
   done;
   Obs.add c_augmented !total;

@@ -1,5 +1,6 @@
 (** Dinic's maximum-flow algorithm (level graph + blocking flow), O(V²·E);
     the solver used at trace scale. *)
 
-val run : Graph.t -> src:int -> dst:int -> int
-(** Returns the max flow; flows are recorded in the graph. *)
+val run : ?max_flow:int -> Graph.t -> src:int -> dst:int -> int
+(** Returns the max flow (capped at [max_flow] when given); flows are
+    recorded in the graph. Freezes the graph's CSR view at entry. *)

@@ -1,6 +1,13 @@
 (* Flat arc arena with per-vertex singly-linked adjacency (head/next arrays),
    the classic competitive-programming layout: arc i and arc (i lxor 1) are
-   residual twins. Dynamic arrays grow by doubling. *)
+   residual twins. Dynamic arrays grow by doubling.
+
+   On top of the linked lists sits an optional *frozen CSR view*: contiguous
+   [first_out]/[arc_of] arrays built by one counting sort over the arena.
+   Solvers freeze the graph once per batch and then walk adjacency as a
+   dense index range instead of chasing [next_] pointers — the hot loops
+   become sequential array reads. Any topology change (adding or truncating
+   arcs) invalidates the view; flow, capacity and cost updates keep it. *)
 
 type t = {
   n : int;
@@ -12,7 +19,12 @@ type t = {
   mutable next_ : int array;  (* next arc out of same vertex, -1 ends *)
   head : int array;           (* first arc out of vertex, -1 if none *)
   mutable src_ : int array;
+  mutable csr_m : int;        (* arc count the CSR view was built at; -1 = never *)
+  mutable csr_first : int array;  (* n+1 prefix offsets into csr_arcs *)
+  mutable csr_arcs : int array;   (* arc ids grouped by source vertex *)
 }
+
+let c_freezes = Obs.counter "graph.freezes"
 
 let create ?(arc_hint = 16) n =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
@@ -27,6 +39,9 @@ let create ?(arc_hint = 16) n =
     next_ = Array.make cap (-1);
     head = Array.make (max n 1) (-1);
     src_ = Array.make cap 0;
+    csr_m = -1;
+    csr_first = [||];
+    csr_arcs = [||];
   }
 
 let n_vertices g = g.n
@@ -58,6 +73,7 @@ let push_raw g ~src ~dst ~cap ~cost =
   g.src_.(id) <- src;
   g.head.(src) <- id;
   g.m <- id + 1;
+  g.csr_m <- -1;
   id
 
 let add_arc g ~src ~dst ~cap ~cost =
@@ -67,6 +83,41 @@ let add_arc g ~src ~dst ~cap ~cost =
   let id = push_raw g ~src ~dst ~cap ~cost in
   let _twin = push_raw g ~src:dst ~dst:src ~cap:0 ~cost:(-cost) in
   id
+
+let frozen g = g.csr_m = g.m
+
+let freeze g =
+  if not (frozen g) then begin
+    Obs.incr c_freezes;
+    let n = g.n and m = g.m in
+    let first = Array.make (n + 1) 0 in
+    for a = 0 to m - 1 do
+      let s = g.src_.(a) in
+      first.(s + 1) <- first.(s + 1) + 1
+    done;
+    for v = 1 to n do
+      first.(v) <- first.(v) + first.(v - 1)
+    done;
+    let arcs = Array.make (max 1 m) 0 in
+    (* second pass fills each vertex's slice in insertion (arc-id) order *)
+    let cursor = Array.copy first in
+    for a = 0 to m - 1 do
+      let s = g.src_.(a) in
+      arcs.(cursor.(s)) <- a;
+      cursor.(s) <- cursor.(s) + 1
+    done;
+    g.csr_first <- first;
+    g.csr_arcs <- arcs;
+    g.csr_m <- m
+  end
+
+let first_out g =
+  if not (frozen g) then invalid_arg "Graph.first_out: graph not frozen";
+  g.csr_first
+
+let arc_of g =
+  if not (frozen g) then invalid_arg "Graph.arc_of: graph not frozen";
+  g.csr_arcs
 
 let check_arc g a =
   if a < 0 || a >= g.m then invalid_arg "Graph: arc id out of range"
@@ -111,15 +162,26 @@ let truncate g mark =
   for a = g.m - 1 downto mark do
     g.head.(g.src_.(a)) <- g.next_.(a)
   done;
-  g.m <- mark
+  g.m <- mark;
+  (* A frozen view built at a higher water mark would hand out dead arc
+     ids; drop it unconditionally rather than track which mark it matches. *)
+  g.csr_m <- -1
 
 let iter_out g v f =
-  let a = ref g.head.(v) in
-  while !a >= 0 do
-    let cur = !a in
-    a := g.next_.(cur);
-    f cur
-  done
+  if frozen g then begin
+    let first = g.csr_first and arcs = g.csr_arcs in
+    for i = first.(v) to first.(v + 1) - 1 do
+      f arcs.(i)
+    done
+  end
+  else begin
+    let a = ref g.head.(v) in
+    while !a >= 0 do
+      let cur = !a in
+      a := g.next_.(cur);
+      f cur
+    done
+  end
 
 let fold_out g v f init =
   let acc = ref init in
@@ -132,7 +194,8 @@ let outflow g v =
   fold_out g v (fun acc a -> if is_forward a then acc + g.flow_.(a) else acc - g.flow_.(rev a)) 0
 
 let pp ppf g =
-  Format.fprintf ppf "@[<v>graph %d vertices, %d arcs" g.n (g.m / 2);
+  Format.fprintf ppf "@[<v>graph %d vertices, %d arcs (%s)" g.n (g.m / 2)
+    (if frozen g then "frozen" else "dirty");
   for a = 0 to g.m - 1 do
     if is_forward a then
       Format.fprintf ppf "@,%d -> %d  cap=%d cost=%d flow=%d" g.src_.(a)

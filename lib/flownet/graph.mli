@@ -3,7 +3,14 @@
     Every call to {!add_arc} creates a forward arc and its residual twin
     (capacity 0, negated cost) at consecutive ids, so [arc_id lxor 1] is
     always the reverse arc. All max-flow / min-cost solvers in this library
-    operate on this representation. *)
+    operate on this representation.
+
+    Adjacency is a per-vertex singly-linked list by default; {!freeze}
+    additionally builds a contiguous CSR view ({!first_out}/{!arc_of})
+    that solver hot loops iterate instead, trading one O(V+E) counting
+    sort per batch for cache-local adjacency scans across every solve
+    round. Topology changes ({!add_arc}, {!truncate}) invalidate the
+    view; flow/capacity/cost updates preserve it. *)
 
 type t
 
@@ -52,8 +59,35 @@ val truncate : t -> int -> unit
 (** [truncate g m] removes every arc added after the {!mark} [m], restoring
     the adjacency lists exactly. Flows on the removed arcs are discarded;
     flows on surviving arcs are untouched. Used by incremental schedulers to
-    reuse the static tier of a network across batches.
+    reuse the static tier of a network across batches. Invalidates any
+    frozen CSR view (it may reference the removed arcs).
     @raise Invalid_argument if [m] is not a twin-aligned mark in range. *)
+
+(** {2 Frozen CSR view} *)
+
+val freeze : t -> unit
+(** Build (or refresh) the contiguous CSR adjacency view: one counting
+    sort over the arc arena. Idempotent — a no-op when the view is already
+    current — so solvers call it unconditionally at entry and only the
+    first solve after a topology change pays. While frozen, {!iter_out}
+    and {!fold_out} walk the CSR arrays; per-vertex arc order becomes
+    insertion order (oldest arc first) instead of the linked list's
+    newest-first. *)
+
+val frozen : t -> bool
+(** Whether the CSR view is current (built and not invalidated since). *)
+
+val first_out : t -> int array
+(** Frozen view: [n_vertices + 1] prefix offsets into {!arc_of}; vertex
+    [v]'s out-arcs occupy indices [first_out.(v) .. first_out.(v+1) - 1].
+    The returned array is live and must not be mutated; it is only valid
+    until the next topology change.
+    @raise Invalid_argument if the graph is not frozen. *)
+
+val arc_of : t -> int array
+(** Frozen view: arc ids grouped by source vertex (see {!first_out}).
+    Same aliasing and validity caveats.
+    @raise Invalid_argument if the graph is not frozen. *)
 
 val rev : int -> int
 (** Residual twin id of an arc. *)
@@ -72,3 +106,5 @@ val outflow : t -> int -> int
 (** Net flow leaving a vertex on forward arcs minus flow entering it. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable dump: header (vertex/arc counts and frozen/dirty state
+    of the CSR view) followed by one line per forward arc. *)

@@ -1,5 +1,7 @@
 let bfs_parents ?(admit = fun _ -> true) g ~src ~dst =
+  Graph.freeze g;
   let n = Graph.n_vertices g in
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   let parent = Array.make n (-1) in
   let seen = Array.make n false in
   let q = Queue.create () in
@@ -8,15 +10,17 @@ let bfs_parents ?(admit = fun _ -> true) g ~src ~dst =
   let found = ref (src = dst) in
   while (not !found) && not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Graph.iter_out g u (fun a ->
-        if (not !found) && Graph.residual g a > 0 && admit a then begin
-          let v = Graph.dst g a in
-          if not seen.(v) then begin
-            seen.(v) <- true;
-            parent.(v) <- a;
-            if v = dst then found := true else Queue.push v q
-          end
-        end)
+    for i = first.(u) to first.(u + 1) - 1 do
+      let a = arcs.(i) in
+      if (not !found) && Graph.residual g a > 0 && admit a then begin
+        let v = Graph.dst g a in
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- a;
+          if v = dst then found := true else Queue.push v q
+        end
+      end
+    done
   done;
   if !found then Some parent else None
 
@@ -25,33 +29,39 @@ let bfs_path ?admit g ~src ~dst =
   | None -> None
   | Some parent -> Path.of_parents g ~parent ~src ~dst
 
-let run ?admit g ~src ~dst =
+let run ?admit ?(max_flow = max_int) g ~src ~dst =
   let total = ref 0 in
-  let continue = ref true in
+  let continue = ref (max_flow > 0) in
   while !continue do
     match bfs_path ?admit g ~src ~dst with
     | None -> continue := false
     | Some p ->
-        Path.augment g p p.Path.bottleneck;
-        total := !total + p.Path.bottleneck
+        let d = min p.Path.bottleneck (max_flow - !total) in
+        Path.augment g p d;
+        total := !total + d;
+        if !total >= max_flow then continue := false
   done;
   !total
 
 let min_cut g ~src =
+  Graph.freeze g;
   let n = Graph.n_vertices g in
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   let seen = Array.make n false in
   let q = Queue.create () in
   seen.(src) <- true;
   Queue.push src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Graph.iter_out g u (fun a ->
-        if Graph.residual g a > 0 then begin
-          let v = Graph.dst g a in
-          if not seen.(v) then begin
-            seen.(v) <- true;
-            Queue.push v q
-          end
-        end)
+    for i = first.(u) to first.(u + 1) - 1 do
+      let a = arcs.(i) in
+      if Graph.residual g a > 0 then begin
+        let v = Graph.dst g a in
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end
+      end
+    done
   done;
   seen

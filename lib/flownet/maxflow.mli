@@ -6,9 +6,10 @@ val bfs_path :
   ?admit:(int -> bool) -> Graph.t -> src:int -> dst:int -> Path.t option
 (** One BFS over positive-residual arcs; [admit] filters arcs. *)
 
-val run : ?admit:(int -> bool) -> Graph.t -> src:int -> dst:int -> int
-(** Augments until no path remains; returns the total flow pushed. Flows are
-    recorded in the graph. *)
+val run :
+  ?admit:(int -> bool) -> ?max_flow:int -> Graph.t -> src:int -> dst:int -> int
+(** Augments until no path remains (or the [max_flow] cap is reached);
+    returns the total flow pushed. Flows are recorded in the graph. *)
 
 val min_cut : Graph.t -> src:int -> bool array
 (** After a max-flow run: vertices reachable from [src] in the residual

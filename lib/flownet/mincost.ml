@@ -26,6 +26,7 @@ let potential_valid g ~src potential =
   let n = Graph.n_vertices g in
   if Array.length potential <> n then false
   else begin
+    let first = Graph.first_out g and arcs = Graph.arc_of g in
     let seen = Array.make n false in
     seen.(src) <- true;
     let stack = ref [ src ] in
@@ -35,25 +36,28 @@ let potential_valid g ~src potential =
       | [] -> ()
       | u :: rest ->
           stack := rest;
-          Graph.iter_out g u (fun a ->
-              if !ok && Graph.residual g a > 0 then begin
-                let v = Graph.dst g a in
-                if
-                  Inf.add (Inf.add (Graph.cost g a) potential.(u))
-                    (-potential.(v))
-                  < 0
-                then ok := false
-                else if not seen.(v) then begin
-                  seen.(v) <- true;
-                  stack := v :: !stack
-                end
-              end)
+          for i = first.(u) to first.(u + 1) - 1 do
+            let a = arcs.(i) in
+            if !ok && Graph.residual g a > 0 then begin
+              let v = Graph.dst g a in
+              if
+                Inf.add (Inf.add (Graph.cost g a) potential.(u))
+                  (-potential.(v))
+                < 0
+              then ok := false
+              else if not seen.(v) then begin
+                seen.(v) <- true;
+                stack := v :: !stack
+              end
+            end
+          done
     done;
     !ok
   end
 
 let run ?warm ?(max_flow = max_int) g ~src ~dst =
   let n = Graph.n_vertices g in
+  Graph.freeze g;
   (* One Dijkstra workspace for the whole augmentation loop (carried across
      solves when warm), so each phase pays for the region it explores
      rather than O(vertices) of allocation and initialisation. *)

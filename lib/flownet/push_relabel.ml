@@ -10,6 +10,8 @@ let run g ~src ~dst =
   let n = Graph.n_vertices g in
   if src = dst then 0
   else begin
+    Graph.freeze g;
+    let first = Graph.first_out g and arcs = Graph.arc_of g in
     let height = Array.make n 0 in
     let excess = Array.make n 0 in
     (* buckets of active vertices per height, for the highest-label rule *)
@@ -40,19 +42,23 @@ let run g ~src ~dst =
     count.(0) <- n - 1;
     count.(n) <- 1;
     (* saturate all source arcs *)
-    Graph.iter_out g src (fun a ->
-        let d = Graph.residual g a in
-        if d > 0 then begin
-          excess.(src) <- excess.(src) + d;
-          push a
-        end);
+    for i = first.(src) to first.(src + 1) - 1 do
+      let a = arcs.(i) in
+      let d = Graph.residual g a in
+      if d > 0 then begin
+        excess.(src) <- excess.(src) + d;
+        push a
+      end
+    done;
     let relabel u =
       Obs.incr c_relabels;
       let old = height.(u) in
       let best = ref ((2 * n) + 1) in
-      Graph.iter_out g u (fun a ->
-          if Graph.residual g a > 0 then
-            best := min !best (height.(Graph.dst g a) + 1));
+      for i = first.(u) to first.(u + 1) - 1 do
+        let a = arcs.(i) in
+        if Graph.residual g a > 0 then
+          best := min !best (height.(Graph.dst g a) + 1)
+      done;
       if !best <= 2 * n then begin
         count.(old) <- count.(old) - 1;
         (* gap heuristic: no vertex left at [old] → lift everything above
@@ -78,15 +84,17 @@ let run g ~src ~dst =
       let continue = ref true in
       while !continue && excess.(u) > 0 do
         let pushed = ref false in
-        Graph.iter_out g u (fun a ->
-            if
-              excess.(u) > 0
-              && Graph.residual g a > 0
-              && height.(u) = height.(Graph.dst g a) + 1
-            then begin
-              push a;
-              pushed := true
-            end);
+        for i = first.(u) to first.(u + 1) - 1 do
+          let a = arcs.(i) in
+          if
+            excess.(u) > 0
+            && Graph.residual g a > 0
+            && height.(u) = height.(Graph.dst g a) + 1
+          then begin
+            push a;
+            pushed := true
+          end
+        done;
         if excess.(u) > 0 then begin
           if not !pushed then begin
             let before = height.(u) in

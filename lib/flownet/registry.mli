@@ -1,0 +1,41 @@
+(** Name → solver backend registry.
+
+    The four built-in backends register themselves at load time:
+    ["mincost"] (successive shortest paths, warm-startable),
+    ["cost-scaling"], ["dinic"] and ["push-relabel"]. Each registered
+    backend is wrapped with per-backend obs series
+    ([solver.<name>.solves], [solver.<name>.errors],
+    [solver.<name>.solve_ns]) at registration, so selection and
+    instrumentation stay in one place. *)
+
+val register : (module Solver_intf.S) -> unit
+(** Add (or replace) a backend under its [name]; it is instrumented on
+    the way in. *)
+
+val find : string -> (module Solver_intf.S) option
+val names : unit -> string list
+
+val default : string
+(** ["mincost"] — the backend schedulers use unless told otherwise. *)
+
+val env_name : unit -> string
+(** The backend name [ALADDIN_SOLVER] requests (default {!default}),
+    without validating it — lookup happens at first use, so an unknown
+    name fails at the call site rather than at module load. *)
+
+val of_env : unit -> (module Solver_intf.S)
+(** Backend named by [ALADDIN_SOLVER] (default {!default}).
+    @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val name : (module Solver_intf.S) -> string
+val caps : (module Solver_intf.S) -> Solver_intf.caps
+
+val solve :
+  (module Solver_intf.S) ->
+  ?warm:Mincost.warm ->
+  ?max_flow:int ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  (Mincost.stats, Error.t) result
+(** [solve backend] — convenience unpacking of the first-class module. *)

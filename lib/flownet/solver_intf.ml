@@ -1,0 +1,41 @@
+(** Common interface every registered flow-solver backend implements.
+
+    All backends speak the {!Mincost.stats} vocabulary (flow value, total
+    cost, iteration count) behind a Result so callers handle solver faults
+    uniformly; {!caps} declares which parts of the contract a backend
+    actually honours, letting generic harnesses (differential tests, the
+    bench, schedulers) pick comparisons that are valid for that backend. *)
+
+type caps = {
+  min_cost : bool;
+      (** The reported [cost] is optimal for the flow value found. Pure
+          max-flow backends instead report the cost of whatever flow they
+          happened to route. *)
+  supports_max_flow : bool;
+      (** The [?max_flow] cap is honoured. Push-relabel cannot cap safely —
+          excess drained back to the source may still have been deliverable
+          along other source arcs — so it ignores the cap and this is
+          [false]. *)
+  warm_start : bool;
+      (** [?warm] state (carried potentials + Dijkstra workspace) is
+          consumed and refilled; other backends ignore it. *)
+}
+
+module type S = sig
+  val name : string
+  (** Registry key, e.g. ["mincost"]; also the [ALADDIN_SOLVER] value. *)
+
+  val caps : caps
+
+  val solve :
+    ?warm:Mincost.warm ->
+    ?max_flow:int ->
+    Graph.t ->
+    src:int ->
+    dst:int ->
+    (Mincost.stats, Error.t) result
+  (** Route flow from [src] to [dst]; flows are recorded in the graph.
+      Freezes the graph's CSR view at entry. [iterations] is a
+      backend-specific progress measure (augmenting paths, refine phases;
+      0 when the backend does not track one). *)
+end

@@ -38,6 +38,8 @@ let extract_cycle g parent v =
 
 let run ?(admit = fun _ -> true) g ~src =
   let n = Graph.n_vertices g in
+  Graph.freeze g;
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
   let in_queue = Array.make n false in
@@ -52,25 +54,27 @@ let run ?(admit = fun _ -> true) g ~src =
       let u = Queue.pop q in
       in_queue.(u) <- false;
       let du = dist.(u) in
-      Graph.iter_out g u (fun a ->
-          if Graph.residual g a > 0 && admit a then begin
-            let v = Graph.dst g a in
-            let nd = Inf.add du (Graph.cost g a) in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              parent.(v) <- a;
-              if not in_queue.(v) then begin
-                enqueues.(v) <- enqueues.(v) + 1;
-                (* A vertex re-entering the queue for the n-th time has had
-                   its label improved along paths of >= n arcs — only a
-                   negative cycle produces those. ([> n] here would let one
-                   extra full relaxation round run before detection.) *)
-                if enqueues.(v) >= n then raise (Cycle_at v);
-                Queue.push v q;
-                in_queue.(v) <- true
-              end
+      for i = first.(u) to first.(u + 1) - 1 do
+        let a = arcs.(i) in
+        if Graph.residual g a > 0 && admit a then begin
+          let v = Graph.dst g a in
+          let nd = Inf.add du (Graph.cost g a) in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            parent.(v) <- a;
+            if not in_queue.(v) then begin
+              enqueues.(v) <- enqueues.(v) + 1;
+              (* A vertex re-entering the queue for the n-th time has had
+                 its label improved along paths of >= n arcs — only a
+                 negative cycle produces those. ([> n] here would let one
+                 extra full relaxation round run before detection.) *)
+              if enqueues.(v) >= n then raise (Cycle_at v);
+              Queue.push v q;
+              in_queue.(v) <- true
             end
-          end)
+          end
+        end
+      done
     done
   with
   | () -> Ok { dist; parent }

@@ -34,6 +34,93 @@ let merge a b =
 
 let undeployed_count o = List.length o.undeployed
 
+let reject_outcome batch = { empty_outcome with undeployed = Array.to_list batch }
+
+(* ---- Middleware ------------------------------------------------------- *)
+(* Combinators [t -> t] layering the cross-cutting concerns every scheduler
+   wants — obs timing, fault-injection probes, transactional batches — so
+   the schedulers themselves only implement placement. Conventional stack,
+   innermost first: with_faults (probe inside the transaction, so a tripped
+   batch is rejected, not crashed), with_transaction, with_obs. *)
+
+let with_obs ~prefix t =
+  let h_batch = Obs.histogram (prefix ^ ".batch_ns") in
+  let c_batches = Obs.counter (prefix ^ ".batches") in
+  let c_placed = Obs.counter (prefix ^ ".containers_placed") in
+  let c_undeployed = Obs.counter (prefix ^ ".containers_undeployed") in
+  let schedule cluster batch =
+    Obs.incr c_batches;
+    let t0 = Obs.now_ns () in
+    let o = t.schedule cluster batch in
+    Obs.observe_ns h_batch (Int64.sub (Obs.now_ns ()) t0);
+    Obs.add c_placed (List.length o.placed);
+    Obs.add c_undeployed (List.length o.undeployed);
+    o
+  in
+  { t with schedule }
+
+let with_faults ~label t =
+  {
+    t with
+    schedule =
+      (fun cluster batch ->
+        Fault.trip_solver_step label;
+        t.schedule cluster batch);
+  }
+
+let faults_recoverable = function Fault.Injected _ -> true | _ -> false
+
+(* Pre-batch placements, as (container, machine) so they can be replayed. *)
+let snapshot cluster =
+  List.filter_map
+    (fun (cid, mid) ->
+      Option.map (fun c -> (c, mid)) (Cluster.container cluster cid))
+    (Cluster.placements cluster)
+
+let restore ~on_drop cluster snap =
+  Cluster.reset cluster;
+  List.iter
+    (fun (c, mid) ->
+      match Cluster.place ~force:true cluster c mid with
+      | Ok () -> ()
+      | Error _ ->
+          (* Only possible if the machine itself vanished or shrank since
+             the snapshot (e.g. a revocation landing mid-restore); the
+             container is genuinely displaced. Count it, keep restoring. *)
+          on_drop ())
+    snap
+
+let with_transaction ~prefix ~recoverable ?fallback t =
+  let c_fallback = Obs.counter (prefix ^ ".fallback_to_cold") in
+  let c_rejected = Obs.counter (prefix ^ ".rejected_batches") in
+  let c_drops = Obs.counter (prefix ^ ".restore_drops") in
+  let schedule cluster batch =
+    let snap = snapshot cluster in
+    let restore () = restore ~on_drop:(fun () -> Obs.incr c_drops) cluster snap in
+    let reject () =
+      Obs.incr c_rejected;
+      restore ();
+      reject_outcome batch
+    in
+    match t.schedule cluster batch with
+    | outcome -> outcome
+    | exception e when recoverable e -> (
+        restore ();
+        match fallback with
+        | None ->
+            Obs.incr c_rejected;
+            reject_outcome batch
+        | Some mk -> (
+            (* The fallback builds a replacement scheduler for the retry —
+               typically the same algorithm with suspect warm state dropped —
+               and the batch runs once more on the restored cluster. *)
+            Obs.incr c_fallback;
+            match (mk ()).schedule cluster batch with
+            | outcome -> outcome
+            | exception e when recoverable e -> reject ()))
+  in
+  { t with schedule }
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "placed=%d undeployed=%d violations=%d (anti=%d) migrations=%d \

@@ -28,3 +28,41 @@ val merge : outcome -> outcome -> outcome
 
 val undeployed_count : outcome -> int
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val reject_outcome : Container.t array -> outcome
+(** The whole batch reported undeployed, nothing else touched. *)
+
+(** {2 Middleware}
+
+    Combinators layering the concerns every scheduler shares, so the
+    schedulers themselves only implement placement. Conventional stack,
+    innermost first:
+    {[
+      base |> with_faults ~label |> with_transaction ~prefix ~recoverable
+           |> with_obs ~prefix
+    ]}
+    — the fault probe sits inside the transaction so a tripped batch is
+    restored and rejected instead of crashing the run. *)
+
+val with_obs : prefix:string -> t -> t
+(** Per-batch observability: [<prefix>.batches] / [.containers_placed] /
+    [.containers_undeployed] counters and a [<prefix>.batch_ns] latency
+    histogram around each [schedule] call. *)
+
+val with_faults : label:string -> t -> t
+(** Fault-harness probe at batch entry ({!Fault.trip_solver_step} under
+    [label]); a no-op unless a fault config is installed. *)
+
+val faults_recoverable : exn -> bool
+(** True exactly for {!Fault.Injected} — the [recoverable] predicate for
+    schedulers with no typed error channel of their own. *)
+
+val with_transaction :
+  prefix:string -> recoverable:(exn -> bool) -> ?fallback:(unit -> t) -> t -> t
+(** Transactional batches: placements are snapshotted before the inner
+    scheduler runs; a [recoverable] exception restores them and either
+    retries once on the scheduler built by [fallback] (counted in
+    [<prefix>.fallback_to_cold]) or rejects the batch wholesale
+    ([<prefix>.rejected_batches], all containers undeployed). Containers
+    whose machine vanished mid-restore are counted in
+    [<prefix>.restore_drops]. Anything non-recoverable propagates. *)

@@ -353,6 +353,47 @@ let test_scheduler_deploys_all_at_paper_ratio () =
   check int "zero undeployed" 0
     (List.length r.Replay.outcome.Scheduler.undeployed)
 
+(* Golden placement fingerprint on the seed-42 scaled trace. The solver
+   engine refactor (CSR views, registry, middleware) must not change a
+   single placement decision of the default Aladdin stack: this hash was
+   captured before the refactor and replayed identically after it. If an
+   intentional algorithm change moves it, re-capture and update. *)
+let test_placement_identity_seed42 () =
+  let w = Alibaba.generate { (Alibaba.scaled 0.005) with Alibaba.seed = 42 } in
+  let total =
+    (Resource.to_array (Workload.total_demand w)).(Resource.cpu_dim)
+  in
+  let per =
+    (Resource.to_array w.Workload.machine_capacity).(Resource.cpu_dim)
+  in
+  let n_machines =
+    max 4 (int_of_float (ceil (1.2 *. float_of_int total /. float_of_int per)))
+  in
+  let cl =
+    Cluster.create
+      (Workload.topology w ~n_machines)
+      ~constraints:(Workload.constraint_set w)
+  in
+  let sched = Aladdin.Aladdin_scheduler.make () in
+  let containers = w.Workload.containers in
+  let n = Array.length containers in
+  let per_batch = max 1 ((n + 9) / 10) in
+  let i = ref 0 in
+  while !i < n do
+    let len = min per_batch (n - !i) in
+    ignore (sched.Scheduler.schedule cl (Array.sub containers !i len));
+    i := !i + len
+  done;
+  let fingerprint =
+    List.fold_left
+      (fun acc (cid, mid) -> (acc * 1_000_003) + (cid * 8191) + mid)
+      17
+      (List.sort compare (Cluster.placements cl))
+  in
+  check int "every container placed" n
+    (List.length (Cluster.placements cl));
+  check int "placement fingerprint" (-4400591963670697737) fingerprint
+
 let test_scheduler_names () =
   check bool "plain" true
     (Aladdin.Aladdin_scheduler.name_of_options Aladdin.Aladdin_scheduler.plain
@@ -579,6 +620,8 @@ let () =
           Alcotest.test_case "deploys all at paper ratio" `Quick
             test_scheduler_deploys_all_at_paper_ratio;
           Alcotest.test_case "policy names" `Quick test_scheduler_names;
+          Alcotest.test_case "placement identity (seed 42)" `Quick
+            test_placement_identity_seed42;
           Alcotest.test_case "priority under CLP" `Quick
             test_priority_respected_under_clp;
           Alcotest.test_case "cross-batch preemption safety" `Quick

@@ -114,8 +114,8 @@ let test_firmament_cost_scaling_solver () =
     let r = Replay.run_workload sched w ~n_machines:machines in
     List.length r.Replay.outcome.Scheduler.undeployed
   in
-  let ssp = undeployed Firmament.Ssp in
-  let cs = undeployed Firmament.Cost_scaling in
+  let ssp = undeployed "mincost" in
+  let cs = undeployed "cost-scaling" in
   check bool "both solvers schedule comparably" true (abs (ssp - cs) <= 20)
 
 let test_firmament_name () =

@@ -182,6 +182,119 @@ let test_mincost_warm_matches_cold () =
       rewarm.Flownet.Mincost.cost
   done
 
+(* ---------- registry differential ---------- *)
+
+let solve_exn backend ?max_flow g ~src ~dst =
+  match Flownet.Registry.solve backend ?max_flow g ~src ~dst with
+  | Ok s -> s
+  | Error e ->
+      Alcotest.failf "%s error: %s"
+        (Flownet.Registry.name backend)
+        (Flownet.Error.to_string e)
+
+let registered () =
+  List.map
+    (fun n ->
+      match Flownet.Registry.find n with
+      | Some b -> b
+      | None -> Alcotest.failf "registry lost backend %s" n)
+    (Flownet.Registry.names ())
+
+let test_registry_lists_all_backends () =
+  Alcotest.(check (list string))
+    "four built-in backends"
+    [ "cost-scaling"; "dinic"; "mincost"; "push-relabel" ]
+    (Flownet.Registry.names ());
+  check bool "unknown name" true (Flownet.Registry.find "simplex" = None);
+  check bool "default registered" true
+    (Flownet.Registry.find Flownet.Registry.default <> None)
+
+(* Every registered backend, on the same random negative-cost DAGs: flows
+   are maximal and feasible; backends claiming min-cost also match the
+   Bellman–Ford successive-shortest-path oracle on cost. *)
+let test_registry_differential () =
+  let backends = registered () in
+  let rng = Rng.create 0x4E61 in
+  for _case = 1 to 20 do
+    let n = 6 + Rng.int rng 20 in
+    let m = n * (2 + Rng.int rng 3) in
+    let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
+    let bf_flow, bf_cost = ssp_bellman_ford g ~src ~dst in
+    List.iter
+      (fun backend ->
+        let name = Flownet.Registry.name backend in
+        let caps = Flownet.Registry.caps backend in
+        Flownet.Graph.reset_flows g;
+        let s = solve_exn backend g ~src ~dst in
+        assert_feasible g ~src ~dst ~value:s.Flownet.Mincost.flow;
+        check int (name ^ " flow is maximal") bf_flow s.Flownet.Mincost.flow;
+        if caps.Flownet.Solver_intf.min_cost then
+          check int (name ^ " cost is optimal") bf_cost s.Flownet.Mincost.cost)
+      backends
+  done
+
+(* The near-max_int regression case from the error-path PR, across the
+   whole registry. Saturating adds make a two-big-hop label equal max_int =
+   "unreachable", so path-based min-cost solvers push nothing; pure
+   max-flow backends ignore costs entirely and push the single unit. This
+   divergence is semantics, not a bug — pin it for every backend. *)
+let test_registry_near_max_int () =
+  let big = max_int - 10 in
+  List.iter
+    (fun backend ->
+      let name = Flownet.Registry.name backend in
+      let g = Flownet.Graph.create 3 in
+      ignore (Flownet.Graph.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:big);
+      ignore (Flownet.Graph.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:big);
+      let s = solve_exn backend g ~src:0 ~dst:2 in
+      (* cost-scaling multiplies costs by (n+1), so its near-max_int cost
+         wraps — only the flow value is meaningful there. *)
+      let expected = if name = "mincost" then 0 else 1 in
+      check int (name ^ " near-max_int flow") expected s.Flownet.Mincost.flow)
+    (registered ())
+
+(* Deterministic negative-cost-arc case: the diamond where the cheap route
+   uses a negative shortcut. *)
+let test_registry_negative_arc () =
+  List.iter
+    (fun backend ->
+      let caps = Flownet.Registry.caps backend in
+      let name = Flownet.Registry.name backend in
+      let g = Flownet.Graph.create 4 in
+      ignore (Flownet.Graph.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:1);
+      ignore (Flownet.Graph.add_arc g ~src:0 ~dst:2 ~cap:2 ~cost:4);
+      ignore (Flownet.Graph.add_arc g ~src:1 ~dst:2 ~cap:2 ~cost:(-2));
+      ignore (Flownet.Graph.add_arc g ~src:2 ~dst:3 ~cap:3 ~cost:1);
+      let s = solve_exn backend g ~src:0 ~dst:3 in
+      check int (name ^ " flow") 3 s.Flownet.Mincost.flow;
+      if caps.Flownet.Solver_intf.min_cost then
+        (* 2 units via 0→1→2→3 at cost 0 each, 1 unit via 0→2→3 at cost 5 *)
+        check int (name ^ " cost") 5 s.Flownet.Mincost.cost)
+    (registered ())
+
+(* The max_flow cap, for backends that claim it: capped flow = min(cap,
+   max-flow), still feasible, still min-cost for that value. *)
+let test_registry_max_flow_cap () =
+  let rng = Rng.create 0xCA9 in
+  for _case = 1 to 10 do
+    let n = 6 + Rng.int rng 16 in
+    let g, src, dst = random_dag rng ~n ~m:(n * 3) ~max_cap:8 ~max_cost:30 in
+    let full = ssp_bellman_ford g ~src ~dst in
+    let cap = 1 + Rng.int rng (max 1 (fst full)) in
+    List.iter
+      (fun backend ->
+        let caps = Flownet.Registry.caps backend in
+        if caps.Flownet.Solver_intf.supports_max_flow then begin
+          let name = Flownet.Registry.name backend in
+          Flownet.Graph.reset_flows g;
+          let s = solve_exn backend ~max_flow:cap g ~src ~dst in
+          check int (name ^ " capped flow") (min cap (fst full))
+            s.Flownet.Mincost.flow;
+          assert_feasible g ~src ~dst ~value:s.Flownet.Mincost.flow
+        end)
+      (registered ())
+  done
+
 (* truncate must restore the adjacency structure exactly: solving after
    mark/add/truncate equals solving the original graph. *)
 let test_truncate_restores_solver_results () =
@@ -220,6 +333,19 @@ let () =
             test_mincost_differential;
           Alcotest.test_case "warm restart matches cold" `Quick
             test_mincost_warm_matches_cold;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "lists all backends" `Quick
+            test_registry_lists_all_backends;
+          Alcotest.test_case "all backends agree on random DAGs" `Quick
+            test_registry_differential;
+          Alcotest.test_case "near-max_int case per backend" `Quick
+            test_registry_near_max_int;
+          Alcotest.test_case "negative-cost-arc case per backend" `Quick
+            test_registry_negative_arc;
+          Alcotest.test_case "max_flow cap honoured where claimed" `Quick
+            test_registry_max_flow_cap;
         ] );
       ( "arena",
         [

@@ -81,6 +81,52 @@ let test_reset_flows () =
   check int "flow reset" 0 (G.flow g a);
   check int "residual restored" 4 (G.residual g a)
 
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+(* The CSR view must be invalidated by topology changes (add_arc, truncate)
+   and survive flow pushes. Regression test for the freeze lifecycle. *)
+let test_freeze_lifecycle () =
+  let g = G.create 3 in
+  let a = G.add_arc g ~src:0 ~dst:1 ~cap:4 ~cost:0 in
+  check bool "new graph not frozen" false (G.frozen g);
+  Alcotest.check_raises "first_out before freeze"
+    (Invalid_argument "Graph.first_out: graph not frozen") (fun () ->
+      ignore (G.first_out g));
+  G.freeze g;
+  check bool "frozen after freeze" true (G.frozen g);
+  let first = G.first_out g and arcs = G.arc_of g in
+  check int "offsets length" (G.n_vertices g + 1) (Array.length first);
+  check int "vertex 0 out-degree" 1 (first.(1) - first.(0));
+  check int "vertex 0 first arc" a arcs.(first.(0));
+  (* flow updates keep the view valid *)
+  G.push g a 2;
+  check bool "push keeps frozen" true (G.frozen g);
+  (* topology changes invalidate it *)
+  let m = G.mark g in
+  ignore (G.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:0);
+  check bool "add_arc dirties" false (G.frozen g);
+  G.freeze g;
+  check bool "refrozen" true (G.frozen g);
+  G.truncate g m;
+  check bool "truncate dirties" false (G.frozen g);
+  Alcotest.check_raises "arc_of after truncate"
+    (Invalid_argument "Graph.arc_of: graph not frozen") (fun () ->
+      ignore (G.arc_of g));
+  G.freeze g;
+  check int "view rebuilt to truncated arena" 2
+    (G.first_out g).(G.n_vertices g)
+
+let test_pp_frozen_tag () =
+  let g = G.create 2 in
+  ignore (G.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0);
+  let dump () = Format.asprintf "%a" G.pp g in
+  check bool "dirty before freeze" true (contains ~sub:"(dirty)" (dump ()));
+  G.freeze g;
+  check bool "frozen after freeze" true (contains ~sub:"(frozen)" (dump ()))
+
 (* ---------- heap ---------- *)
 
 let test_heap_sorts () =
@@ -483,6 +529,8 @@ let () =
           Alcotest.test_case "bad args" `Quick test_graph_bad_args;
           Alcotest.test_case "arena grows" `Quick test_graph_grows;
           Alcotest.test_case "reset flows" `Quick test_reset_flows;
+          Alcotest.test_case "freeze lifecycle" `Quick test_freeze_lifecycle;
+          Alcotest.test_case "pp frozen/dirty tag" `Quick test_pp_frozen_tag;
         ] );
       ("heap", [ Alcotest.test_case "sorts" `Quick test_heap_sorts ]);
       ( "shortest-path",
