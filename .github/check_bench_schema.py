@@ -14,7 +14,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(path):
+def main(path, chaos=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -39,6 +39,14 @@ def main(path):
             fail(f"config.{key} must be an int")
     if config["machines"] <= 0 or config["batches"] <= 0:
         fail("config.machines and config.batches must be positive")
+    deadline_ms = config.get("deadline_ms")
+    if not isinstance(deadline_ms, (int, float)) or deadline_ms < 0:
+        fail("config.deadline_ms must be a nonnegative number")
+    ladder = config.get("ladder")
+    if not isinstance(ladder, str):
+        fail("config.ladder must be a string")
+    if (deadline_ms > 0) != bool(ladder):
+        fail("config.ladder must be set exactly when config.deadline_ms > 0")
 
     per_batch = doc["per_batch"]
     series = ("solver_cold_ms", "solver_warm_ms", "sched_cold_ms", "sched_warm_ms")
@@ -94,14 +102,53 @@ def main(path):
         "fault.injected_solver_failures",
         "replay.failed_batches",
         "mincost.errors",
+        # graceful-degradation families: registered whenever the deadline /
+        # ladder / auditor / journal modules are linked, nonzero only when
+        # the corresponding mechanism actually fired.
+        "deadline.exceeded",
+        "ladder.escalations",
+        "ladder.shed_containers",
+        "audit.batches",
+        "audit.violations",
+        "audit.repairs",
+        "audit.unrepaired",
+        "journal.commits",
+        "journal.resumes",
+        "journal.resume_drops",
+        "fault.process_kills",
     ):
         v = obs["counters"].get(key)
         if not isinstance(v, int) or v < 0:
             fail(f"obs.counters[{key!r}] must be a nonnegative int")
+
+    counters = obs["counters"]
+    if deadline_ms > 0:
+        # A deadline-bounded bench schedules every batch through the
+        # ladder: some rung must have won each attempt, the auditor must
+        # have run, and nothing may be left unrepaired.
+        rung_total = sum(v for k, v in counters.items()
+                         if k.startswith("ladder.rung."))
+        if rung_total <= 0:
+            fail("deadline active but no ladder.rung.* counter is positive")
+        if counters.get("audit.batches", 0) <= 0:
+            fail("deadline active but the auditor never ran")
+        if counters.get("audit.unrepaired", 0) != 0:
+            fail("auditor left violations unrepaired")
+
+    if chaos:
+        if deadline_ms <= 0:
+            fail("--chaos requires a deadline-bounded bench run")
+        if counters.get("deadline.exceeded", 0) <= 0:
+            fail("chaos run recorded no deadline.exceeded")
+        if counters.get("ladder.escalations", 0) < 1:
+            fail("chaos run recorded no ladder escalation")
 
     print(f"{path}: schema OK "
           f"({config['batches']} batches, solver speedup {summary['solver_speedup']:.2f}x)")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_sched.json")
+    args = sys.argv[1:]
+    chaos_flag = "--chaos" in args
+    args = [a for a in args if a != "--chaos"]
+    main(args[0] if args else "BENCH_sched.json", chaos=chaos_flag)

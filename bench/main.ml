@@ -155,6 +155,15 @@ let getenv_float name default =
    recovery counters then land in BENCH_sched.json's obs section. *)
 let fault_rate = getenv_float "ALADDIN_FAULT_RATE" 0.
 
+(* ALADDIN_DEADLINE_MS > 0 runs the sched bench deadline-bounded: the
+   solver columns go through the registry degradation ladder
+   (ALADDIN_LADDER picks the rungs) and the scheduler columns through the
+   scheduler-level ladder with the Aladdin stack as first rung, the
+   invariant auditor wrapped outermost. The deadline/ladder/audit
+   counters then land in BENCH_sched.json's obs section. *)
+let deadline_ms = getenv_float "ALADDIN_DEADLINE_MS" 0.
+let ladder_active = deadline_ms > 0.
+
 let install_faults () =
   if fault_rate > 0. then
     Fault.install
@@ -229,8 +238,19 @@ let run_sched_bench () =
   in
   let cl_cold = mk_cluster () in
   let cl_warm = mk_cluster () in
-  let sched_cold = Aladdin.Aladdin_scheduler.make () in
-  let sched_warm = Aladdin.Aladdin_scheduler.make_warm () in
+  (* Under a deadline the Aladdin stacks become the first rung of the
+     degradation ladder, with the post-batch auditor outermost — the
+     bench then measures the whole graceful-degradation path. *)
+  let repair cl c = Aladdin.Migration.repair_placement cl c in
+  let deadline_wrap label s =
+    if ladder_active then
+      Audit.wrap ~place:repair (Ladder.make ~deadline_ms ~first:(label, s) ())
+    else s
+  in
+  let sched_cold = deadline_wrap "aladdin" (Aladdin.Aladdin_scheduler.make ()) in
+  let sched_warm =
+    deadline_wrap "aladdin-warm" (Aladdin.Aladdin_scheduler.make_warm ())
+  in
   (* heterogeneous machine prices (a Firmament-style cost model): the
      min-cost solve is then cost-directed rather than a pure feasibility
      max-flow, as in the paper's solver-overhead comparison *)
@@ -242,6 +262,11 @@ let run_sched_bench () =
   if fault_rate > 0. then
     Format.printf "fault injection active (rate %.3f, seed %d)@." fault_rate
       (getenv_int "ALADDIN_FAULT_SEED" 1337);
+  let ladder_rungs = Flownet.Registry.rungs_of_env () in
+  if ladder_active then
+    Format.printf "deadline active (%.3f ms per solve, ladder %s)@."
+      deadline_ms
+      (String.concat " -> " ladder_rungs);
   let solver_cold = Array.make n_waves 0. in
   let solver_warm = Array.make n_waves 0. in
   let sched_cold_ms = Array.make n_waves 0. in
@@ -262,7 +287,11 @@ let run_sched_bench () =
       let g, src, dst = Aladdin.Flow_graph.scalar_projection ~machine_cost fg in
       perturb_graph g;
       let st_cold =
-        Flownet.Registry.solve backend ~max_flow:demand g ~src ~dst
+        if ladder_active then
+          fst
+            (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
+               ~max_flow:demand g ~src ~dst)
+        else Flownet.Registry.solve backend ~max_flow:demand g ~src ~dst
       in
       let t1 = Obs.now_ns () in
       let gi, si, ti =
@@ -271,8 +300,13 @@ let run_sched_bench () =
       (* Non-warm-start backends just solve the incremental projection
          cold — the warm column then measures the projection reuse alone. *)
       let st_warm =
-        Flownet.Registry.solve backend ~warm ~max_flow:demand gi ~src:si
-          ~dst:ti
+        if ladder_active then
+          fst
+            (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
+               ~warm ~max_flow:demand gi ~src:si ~dst:ti)
+        else
+          Flownet.Registry.solve backend ~warm ~max_flow:demand gi ~src:si
+            ~dst:ti
       in
       let t2 = Obs.now_ns () in
       (match (st_cold, st_warm) with
@@ -283,7 +317,10 @@ let run_sched_bench () =
              columns solve equivalent networks); cost equality additionally
              needs a min-cost backend, since pure max-flow solvers route
              through whichever paths their arc order visits first. *)
-          if not (Fault.active ()) then begin
+          (* Under the ladder the two columns may win at different rungs
+             (different algorithms, different tie-breaking), so the
+             equivalence gate only holds on the unbounded bench. *)
+          if not (Fault.active () || ladder_active) then begin
             if cold.Flownet.Mincost.flow <> warm.Flownet.Mincost.flow then
               failwith "sched bench: incremental solver flow diverged";
             if
@@ -292,7 +329,7 @@ let run_sched_bench () =
             then failwith "sched bench: incremental solver cost diverged"
           end
       | Error e, _ | _, Error e ->
-          if not (Fault.active ()) then
+          if not (Fault.active () || ladder_active) then
             failwith
               ("sched bench: solver failed: " ^ Flownet.Error.to_string e));
       solver_cold.(i) <- ms_of t0 t1;
@@ -331,15 +368,26 @@ let run_sched_bench () =
   Format.printf
     "scheduler: from-scratch %.2f ms, warm %.2f ms over %d batches (%.2fx)@."
     (sum sched_cold_ms) (sum sched_warm_ms) n_waves sched_speedup;
+  if ladder_active then
+    Format.printf
+      "deadline: %d exceeded, %d ladder escalations, audit %d violations / %d \
+       repairs / %d unrepaired@."
+      (Obs.count (Obs.counter "deadline.exceeded"))
+      (Obs.count (Obs.counter "ladder.escalations"))
+      (Obs.count (Obs.counter "audit.violations"))
+      (Obs.count (Obs.counter "audit.repairs"))
+      (Obs.count (Obs.counter "audit.unrepaired"));
   let oc = open_out "BENCH_sched.json" in
   Printf.fprintf oc
-    {|{"config":{"machines":%d,"batches":%d,"containers":%d,"seed":%d},
+    {|{"config":{"machines":%d,"batches":%d,"containers":%d,"seed":%d,"deadline_ms":%g,"ladder":"%s"},
 "solver":{"backend":"%s","min_cost":%b,"supports_max_flow":%b,"warm_start":%b},
 "per_batch":{"solver_cold_ms":%s,"solver_warm_ms":%s,"sched_cold_ms":%s,"sched_warm_ms":%s},
 "summary":{"solver_cold_total_ms":%.4f,"solver_warm_total_ms":%.4f,"solver_speedup":%.4f,"sched_cold_total_ms":%.4f,"sched_warm_total_ms":%.4f,"sched_speedup":%.4f},
 "obs":%s}
 |}
-    machines n_waves n seed backend_name caps.Flownet.Solver_intf.min_cost
+    machines n_waves n seed deadline_ms
+    (if ladder_active then String.concat "," ladder_rungs else "")
+    backend_name caps.Flownet.Solver_intf.min_cost
     caps.Flownet.Solver_intf.supports_max_flow
     caps.Flownet.Solver_intf.warm_start (json_float_array solver_cold)
     (json_float_array solver_warm)

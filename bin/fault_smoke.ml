@@ -7,7 +7,14 @@
      ALADDIN_FAULT_SMOKE_SECS   wall-clock budget (default 5)
      ALADDIN_FAULT_SMOKE_SEED   base seed (default 1337)
      ALADDIN_FAULT_RATE         probability for every fault class (default 0.3)
-*)
+     ALADDIN_DEADLINE_MS        per-attempt budget for the ladder exercise
+                                (default 0.05 — tight on purpose, so the
+                                degradation ladder and auditor actually fire)
+
+   Each round also crash-drills the journal: a replay is killed mid-run by
+   a process-kill probe, resumed from the last committed batch, and the
+   resumed placements are checked bit-for-bit against an uninterrupted
+   run of the same fault stream. *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -81,6 +88,84 @@ let exercise_baselines w ~n_machines =
       ignore (Replay.run_workload ~batch:32 sched w ~n_machines))
     [ Gokube.make (); Medea.make (); Firmament.make () ]
 
+let deadline_ms = getenv_float "ALADDIN_DEADLINE_MS" 0.05
+
+(* Degradation ladder under faults: Aladdin first rung, registry rungs
+   behind it, the invariant auditor outermost. Unrepaired violations are
+   exactly the silent-corruption bugs this driver exists to catch. *)
+let exercise_ladder w ~n_machines =
+  let sched =
+    Audit.wrap
+      ~place:(fun cl c -> Aladdin.Migration.repair_placement cl c)
+      (Ladder.make ~deadline_ms
+         ~first:("aladdin", Aladdin.Aladdin_scheduler.make ())
+         ())
+  in
+  ignore (Replay.run_workload ~batch:32 sched w ~n_machines);
+  let unrepaired = Obs.count (Obs.counter "audit.unrepaired") in
+  if unrepaired > 0 then
+    failwith (Printf.sprintf "auditor left %d violations unrepaired" unrepaired)
+
+let fresh_cluster w ~n_machines =
+  Cluster.create
+    (Workload.topology w ~n_machines)
+    ~constraints:(Workload.constraint_set w)
+
+(* Crash drill: kill a journaled replay after a couple of commits, resume
+   from the journal, and demand the resumed run land the exact placements
+   of an uninterrupted one. Deadline-free: the ladder's wall-clock budget
+   would make the comparison nondeterministic. *)
+let exercise_journal w ~n_machines ~seed =
+  let cfg () =
+    Fault.make ~machine_revocation:rate ~solver_step_failure:(rate /. 4.)
+      ~seed ()
+  in
+  Fault.install (cfg ());
+  let r_ref =
+    Replay.run ~batch:32
+      (Aladdin.Aladdin_scheduler.make ())
+      ~cluster:(fresh_cluster w ~n_machines)
+      ~containers:w.Workload.containers
+  in
+  let fp_ref =
+    Journal.placement_fingerprint (Cluster.placements r_ref.Replay.cluster)
+  in
+  let path = Filename.temp_file "fault_smoke_journal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let j = Journal.create path in
+      Fault.install { (cfg ()) with Fault.process_kill_after = 2 };
+      (match
+         Replay.run ~batch:32 ~journal:j
+           (Aladdin.Aladdin_scheduler.make ())
+           ~cluster:(fresh_cluster w ~n_machines)
+           ~containers:w.Workload.containers
+       with
+      | _ -> failwith "journal crash drill: kill probe never fired"
+      | exception Fault.Killed _ -> ());
+      Journal.close j;
+      match Journal.last path with
+      | None -> failwith "journal crash drill: no durable commit survived"
+      | Some commit ->
+          Fault.install (cfg ());
+          let j2 = Journal.open_append path in
+          let r2 =
+            Fun.protect
+              ~finally:(fun () -> Journal.close j2)
+              (fun () ->
+                Replay.run ~batch:32 ~journal:j2 ~resume:commit
+                  (Aladdin.Aladdin_scheduler.make ())
+                  ~cluster:(fresh_cluster w ~n_machines)
+                  ~containers:w.Workload.containers)
+          in
+          let fp =
+            Journal.placement_fingerprint
+              (Cluster.placements r2.Replay.cluster)
+          in
+          if fp <> fp_ref then
+            failwith "journal crash drill: resumed placements diverged")
+
 let () =
   let w =
     Alibaba.generate { (Alibaba.scaled 0.005) with Alibaba.seed = base_seed }
@@ -113,9 +198,11 @@ let () =
        exercise_solver rng;
        exercise_replay w ~n_machines ~warm:(!round mod 2 = 0);
        if !round mod 3 = 0 then exercise_baselines w ~n_machines;
+       exercise_ladder w ~n_machines;
        (* finite budgets walk the fallback-to-cold and reject paths *)
        Fault.install (fault_config ~seed ~budget:(1 + (!round mod 2)));
        exercise_replay w ~n_machines ~warm:true;
+       exercise_journal w ~n_machines ~seed;
        Fault.clear ()
      done
    with e ->
@@ -141,4 +228,13 @@ let () =
       "aladdin.restore_drops";
       "replay.machine_revocations";
       "replay.failed_batches";
+      "deadline.exceeded";
+      "ladder.escalations";
+      "ladder.shed_containers";
+      "audit.violations";
+      "audit.repairs";
+      "audit.unrepaired";
+      "journal.commits";
+      "journal.resumes";
+      "fault.process_kills";
     ]

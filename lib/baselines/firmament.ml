@@ -106,6 +106,9 @@ let schedule config cluster batch =
   let penalty = Array.make (Cluster.n_machines cluster) 0 in
   while !pending <> [] && !progress && !round < config.max_rounds do
     incr round;
+    (* Rounds are coarse; sample the wall clock each time. The inner flow
+       solve additionally picks the ambient deadline up on its own. *)
+    Flownet.Deadline.check_ambient "firmament.round";
     let pending_arr = Array.of_list !pending in
     let n_pending = Array.length pending_arr in
     let slot = slot_size_millis pending_arr in

@@ -1,0 +1,31 @@
+(** Degradation-ladder construction: turns the rung names accepted by
+    [ALADDIN_LADDER] into schedulers and stacks them under
+    {!Scheduler.with_deadline}.
+
+    Rung vocabulary: any {!Flownet.Registry} backend name (["mincost"],
+    ["cost-scaling"], ["dinic"], ["push-relabel"]) runs a Firmament stack
+    pinned to that solver, and ["gokube"] is the Go-Kube greedy scorer —
+    the natural terminal rung, since it never touches a flow network and
+    therefore cannot exhaust a solver budget. *)
+
+val rung : string -> Scheduler.t
+(** Scheduler for one rung name.
+    @raise Invalid_argument on an unknown name. *)
+
+val default_rungs : string list
+(** {!Flownet.Registry.default_rungs} with ["gokube"] appended. *)
+
+val make :
+  ?deadline_ms:float ->
+  ?shed:bool ->
+  ?rungs:string list ->
+  ?first:string * Scheduler.t ->
+  unit ->
+  Scheduler.t
+(** The full ladder scheduler: rungs from [?rungs] (default
+    [ALADDIN_LADDER] via {!Flownet.Registry.rungs_of_env} when set,
+    {!default_rungs} — ending on the solver-free ["gokube"] terminal —
+    otherwise), each built by {!rung}, optionally preceded by [?first] —
+    a custom preferred scheduler (e.g. the Aladdin stack itself) that
+    gets the budget's first shot. Deadline, shedding and counters as
+    documented on {!Scheduler.with_deadline}. *)

@@ -112,6 +112,12 @@ let schedule_batch ?warm options cluster batch =
   let rounds = ref 0 in
   while not (Queue.is_empty queue) do
     incr rounds;
+    (* Cooperative deadline at round granularity: the per-container work
+       below (search descent, migration planning) has no solver hot loop
+       of its own to tick, and rounds are coarse enough to sample the wall
+       clock every time. Expired is deliberately NOT in [recoverable], so
+       it passes through the batch transaction to the ladder middleware. *)
+    Flownet.Deadline.check_ambient "aladdin.schedule_batch";
     let c = Queue.pop queue in
     (* Fault-harness probe: a solver-step failure mid-batch, after some
        containers have already been placed — exactly the state the

@@ -249,3 +249,22 @@ let find_and_apply_preemption cluster weights (c : Container.t) =
                        { container = b.Container.id; machine = mid }))
             evicted;
           None)
+
+(* Audit repair policy: find a seat for a container the invariant auditor
+   evicted from a violating placement. Direct admission first; failing
+   that, a bounded migration chain opens one. The auditor itself places
+   the container on the returned machine, mirroring the scheduler's
+   find-then-place split. *)
+let repair_placement ?(max_moves = 4) cluster (c : Container.t) =
+  let nm = Cluster.n_machines cluster in
+  let rec direct mid =
+    if mid >= nm then None
+    else if Cluster.admissible cluster c mid = Ok () then Some mid
+    else direct (mid + 1)
+  in
+  match direct 0 with
+  | Some mid -> Some mid
+  | None ->
+      Option.map
+        (fun plan -> plan.target)
+        (find_and_apply_migration cluster c ~max_moves)

@@ -39,3 +39,11 @@ val find_and_apply_preemption :
 (** Evicts the fewest strictly-lower-weighted containers that make the
     container admissible somewhere. Evicted containers are removed from the
     cluster; the caller re-queues them. *)
+
+val repair_placement :
+  ?max_moves:int -> Cluster.t -> Container.t -> Machine.id option
+(** Re-placement policy for {!Audit.run}: the first directly admissible
+    machine, else the target freed by a bounded migration chain
+    ([max_moves], default 4; the chain is applied as a side effect, the
+    returned target is left for the caller to place into). [None] when
+    neither exists — the auditor then reports the container undeployed. *)

@@ -9,13 +9,14 @@ let c_phases = Obs.counter "cost_scaling.refine_phases"
 let c_saturations = Obs.counter "cost_scaling.arc_saturations"
 let c_relabels = Obs.counter "cost_scaling.price_updates"
 
-let run ?max_flow g ~src ~dst =
+let run ?deadline ?max_flow g ~src ~dst =
+  let dl = Deadline.resolve deadline in
   let n = Graph.n_vertices g in
   let m = Graph.n_arcs g in
   (* Capping the initial max flow keeps the result min-cost for that value:
      cost scaling removes every negative-cost residual cycle, and a flow of
      value F is F-optimal iff no such cycle remains. *)
-  let flow_value = Dinic.run ?max_flow g ~src ~dst in
+  let flow_value = Dinic.run ?deadline:dl ?max_flow g ~src ~dst in
   let first = Graph.first_out g and arcs = Graph.arc_of g in
   (* scaled arc cost, valid for residual twins through Graph.cost *)
   let scale = n + 1 in
@@ -35,6 +36,11 @@ let run ?max_flow g ~src ~dst =
   while !eps >= 1 do
     incr phases;
     Obs.incr c_phases;
+    (* Refine phases are coarse, so sample the wall clock unconditionally
+       here; the drain loop below ticks at the usual granularity. *)
+    (match dl with
+    | Some d -> Deadline.check_now d "cost_scaling.refine"
+    | None -> ());
     (* saturate every admissible (negative reduced cost) residual arc *)
     for a = 0 to m - 1 do
       let r = Graph.residual g a in
@@ -58,6 +64,7 @@ let run ?max_flow g ~src ~dst =
       in_q.(v) <- false;
       let progress = ref true in
       while excess.(v) > 0 && !progress do
+        Deadline.tick_opt dl "cost_scaling.discharge";
         (* push along admissible arcs *)
         for i = first.(v) to first.(v + 1) - 1 do
           let a = arcs.(i) in

@@ -7,10 +7,18 @@
     are exact, so total costs agree. Asymptotically O(V²·E·log(V·C)),
     which beats SSP when many augmenting paths would be needed. *)
 
-val run : ?max_flow:int -> Graph.t -> src:int -> dst:int -> Mincost.stats
+val run :
+  ?deadline:Deadline.t -> ?max_flow:int -> Graph.t -> src:int -> dst:int -> Mincost.stats
 (** Returns flow value, optimal total cost, and the number of refine
     phases in [iterations]. Flows are recorded in the graph. With
     [max_flow] the initial Dinic run is capped at that value and the
     scaling phases then optimise the cost of that smaller flow — still
     exact, since a flow of value F is min-cost iff no negative-cost
-    residual cycle remains. *)
+    residual cycle remains.
+
+    Refine phases and the excess-drain loop tick [deadline] (or the
+    ambient {!Deadline}) cooperatively.
+    @raise Deadline.Expired on budget exhaustion, leaving a partially
+    refined (possibly non-conserving) flow on the graph; reset or rebuild
+    before reuse. The registry converts this to the typed
+    [Error.Deadline_exceeded]. *)

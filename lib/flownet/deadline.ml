@@ -1,0 +1,88 @@
+type t = {
+  mutable steps_left : int;
+  mutable steps_used : int;
+  deadline_ns : int64; (* Int64.max_int = no wall bound *)
+  mutable check_in : int; (* ticks until the next wall-clock sample *)
+  mutable expired_ : bool;
+}
+
+exception Expired of { site : string; deadline : t }
+
+let granularity = 64
+
+let c_exceeded = Obs.counter "deadline.exceeded"
+
+let make ?steps ?wall_ms () =
+  let deadline_ns =
+    match wall_ms with
+    | Some ms when ms >= 0. ->
+        Int64.add (Obs.now_ns ()) (Int64.of_float (ms *. 1e6))
+    | _ -> Int64.max_int
+  in
+  {
+    steps_left = (match steps with Some s -> s | None -> max_int);
+    steps_used = 0;
+    deadline_ns;
+    (* First tick samples the clock, so a deadline armed already past its
+       wall bound expires on the next cooperative check rather than after
+       a full sampling interval of work. *)
+    check_in = 1;
+    expired_ = false;
+  }
+
+let of_env () =
+  match Sys.getenv_opt "ALADDIN_DEADLINE_MS" with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some ms when ms > 0. -> Some ms
+      | _ -> None)
+  | None -> None
+
+let expired t = t.expired_
+let steps_used t = t.steps_used
+
+let expire t site =
+  if not t.expired_ then begin
+    t.expired_ <- true;
+    Obs.incr c_exceeded
+  end;
+  raise (Expired { site; deadline = t })
+
+let tick t site =
+  t.steps_used <- t.steps_used + 1;
+  if t.expired_ then expire t site;
+  t.steps_left <- t.steps_left - 1;
+  if t.steps_left < 0 then expire t site;
+  t.check_in <- t.check_in - 1;
+  if t.check_in <= 0 then begin
+    t.check_in <- granularity;
+    if
+      t.deadline_ns <> Int64.max_int
+      && Int64.compare (Obs.now_ns ()) t.deadline_ns >= 0
+    then expire t site
+  end
+
+let check_now t site =
+  t.check_in <- 1;
+  tick t site
+
+(* ---- ambient ---- *)
+
+let installed : t option ref = ref None
+
+let ambient () = !installed
+
+let with_ambient t f =
+  let prev = !installed in
+  installed := Some t;
+  Fun.protect ~finally:(fun () -> installed := prev) f
+
+let tick_ambient site =
+  match !installed with None -> () | Some t -> tick t site
+
+let check_ambient site =
+  match !installed with None -> () | Some t -> check_now t site
+
+let tick_opt d site = match d with None -> () | Some t -> tick t site
+
+let resolve = function Some _ as d -> d | None -> !installed

@@ -50,7 +50,8 @@ let prepare ws n =
   end;
   Heap.clear ws.heap
 
-let run ?ws ?(stop_at = -1) g ~src ~potential =
+let run ?ws ?(stop_at = -1) ?deadline g ~src ~potential =
+  let dl = Deadline.resolve deadline in
   let n = Graph.n_vertices g in
   let ws = match ws with Some w -> w | None -> workspace () in
   Graph.freeze g;
@@ -63,6 +64,7 @@ let run ?ws ?(stop_at = -1) g ~src ~potential =
   Heap.push heap ~key:0 ~value:src;
   let continue = ref true in
   while !continue do
+    Deadline.tick_opt dl "dijkstra.pop";
     match Heap.pop_min heap with
     | None -> continue := false
     | Some (d, u) ->

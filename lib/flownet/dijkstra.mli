@@ -15,7 +15,12 @@ type workspace
 val workspace : unit -> workspace
 
 val run :
-  ?ws:workspace -> ?stop_at:int -> Graph.t -> src:int -> potential:int array ->
+  ?ws:workspace ->
+  ?stop_at:int ->
+  ?deadline:Deadline.t ->
+  Graph.t ->
+  src:int ->
+  potential:int array ->
   result
 (** With [ws], the result arrays are owned by the workspace (they may be
     longer than the vertex count) and are invalidated by the next run that
@@ -26,4 +31,6 @@ val run :
     (>= the settled distance) or [max_int]. The min-cost solver uses this
     to avoid settling the whole graph per augmentation.
     @raise Invalid_argument when a reduced cost is negative (stale
-    potentials). *)
+    potentials).
+    @raise Deadline.Expired when [deadline] (or the ambient {!Deadline})
+    runs out — ticked once per heap pop; the workspace stays reusable. *)

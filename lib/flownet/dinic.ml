@@ -2,12 +2,13 @@ let c_phases = Obs.counter "dinic.phases"
 let c_arcs = Obs.counter "dinic.arcs_touched"
 let c_augmented = Obs.counter "dinic.units_augmented"
 
-let build_levels g ~src ~dst level first arcs =
+let build_levels ~dl g ~src ~dst level first arcs =
   Array.fill level 0 (Array.length level) (-1);
   let q = Queue.create () in
   level.(src) <- 0;
   Queue.push src q;
   while not (Queue.is_empty q) do
+    Deadline.tick_opt dl "dinic.levels";
     let u = Queue.pop q in
     for i = first.(u) to first.(u + 1) - 1 do
       let a = arcs.(i) in
@@ -26,13 +27,14 @@ let build_levels g ~src ~dst level first arcs =
 (* Blocking flow by DFS with per-vertex arc cursors. [cursor.(u)] indexes
    into the frozen CSR [arcs] array; arcs below it are saturated or lead
    away from the level graph and are never rescanned this phase. *)
-let blocking_flow g ~src ~dst level cursor first arcs budget =
+let blocking_flow ~dl g ~src ~dst level cursor first arcs budget =
   let rec dfs u pushed =
     if u = dst then pushed
     else begin
       let sent = ref 0 in
       let continue = ref true in
       while !continue do
+        Deadline.tick_opt dl "dinic.blocking_flow";
         if cursor.(u) >= first.(u + 1) then continue := false
         else begin
           let a = arcs.(cursor.(u)) in
@@ -55,18 +57,19 @@ let blocking_flow g ~src ~dst level cursor first arcs budget =
   in
   dfs src budget
 
-let run ?(max_flow = max_int) g ~src ~dst =
+let run ?deadline ?(max_flow = max_int) g ~src ~dst =
+  let dl = Deadline.resolve deadline in
   Graph.freeze g;
   let n = Graph.n_vertices g in
   let first = Graph.first_out g and arcs = Graph.arc_of g in
   let level = Array.make n (-1) in
   let cursor = Array.make n 0 in
   let total = ref 0 in
-  while !total < max_flow && build_levels g ~src ~dst level first arcs do
+  while !total < max_flow && build_levels ~dl g ~src ~dst level first arcs do
     Obs.incr c_phases;
     Array.blit first 0 cursor 0 n;
     let pushed =
-      blocking_flow g ~src ~dst level cursor first arcs (max_flow - !total)
+      blocking_flow ~dl g ~src ~dst level cursor first arcs (max_flow - !total)
     in
     total := !total + pushed
   done;

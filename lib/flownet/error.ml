@@ -2,6 +2,7 @@ type t =
   | Negative_cycle of int list
   | Invalid_potential of string
   | Solver_fault of string
+  | Deadline_exceeded of string
 
 let to_string = function
   | Negative_cycle arcs ->
@@ -10,3 +11,4 @@ let to_string = function
         (String.concat "," (List.map string_of_int arcs))
   | Invalid_potential msg -> "invalid potentials: " ^ msg
   | Solver_fault msg -> "solver fault: " ^ msg
+  | Deadline_exceeded site -> "deadline exceeded at " ^ site

@@ -16,5 +16,10 @@ type t =
           prevalidation promise was wrong). *)
   | Solver_fault of string
       (** An injected or otherwise unexpected solver-step failure. *)
+  | Deadline_exceeded of string
+      (** The solve's cooperative {!Deadline} budget ran out; the payload
+          names the hot loop that observed the expiry. The flows routed so
+          far remain on the graph — callers degrade (retry on a cheaper
+          backend, shed work) rather than trust a partial solution. *)
 
 val to_string : t -> string

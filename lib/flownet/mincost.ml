@@ -55,7 +55,7 @@ let potential_valid g ~src potential =
     !ok
   end
 
-let run ?warm ?(max_flow = max_int) g ~src ~dst =
+let solve ?warm ~dl ~max_flow g ~src ~dst =
   let n = Graph.n_vertices g in
   Graph.freeze g;
   (* One Dijkstra workspace for the whole augmentation loop (carried across
@@ -91,7 +91,7 @@ let run ?warm ?(max_flow = max_int) g ~src ~dst =
   else begin
     (* Initial potentials via SPFA, valid with negative arc costs. *)
     Obs.incr c_bootstraps;
-    match Spfa.run g ~src with
+    match Spfa.run ?deadline:dl g ~src with
     | Error e ->
         error := Some e;
         continue := false
@@ -132,8 +132,9 @@ let run ?warm ?(max_flow = max_int) g ~src ~dst =
               incr iterations
   end;
   while !continue && !total_flow < max_flow do
+    Deadline.tick_opt dl "mincost.augment";
     Obs.incr c_dijkstra;
-    match Dijkstra.run ~ws ~stop_at:dst g ~src ~potential with
+    match Dijkstra.run ~ws ~stop_at:dst ?deadline:dl g ~src ~potential with
     | exception Invalid_argument msg ->
         (* Carried potentials turned out stale mid-solve (a bad
            [prevalidated] promise or a mutated graph). Surface it as a
@@ -169,3 +170,18 @@ let run ?warm ?(max_flow = max_int) g ~src ~dst =
       Obs.incr c_errors;
       Error e
   | None -> Ok { flow = !total_flow; cost = !total_cost; iterations = !iterations }
+
+let run ?warm ?deadline ?(max_flow = max_int) g ~src ~dst =
+  (* An explicit [deadline] keeps this a Result API: its expiry anywhere in
+     the solve (SPFA bootstrap, a Dijkstra phase, the augmentation loop)
+     comes back as the typed [Deadline_exceeded]. An *ambient* deadline
+     (armed by scheduler middleware) instead propagates as
+     {!Deadline.Expired} so the middleware can catch it batch-wide and
+     escalate down its degradation ladder. *)
+  let dl = Deadline.resolve deadline in
+  match solve ?warm ~dl ~max_flow g ~src ~dst with
+  | r -> r
+  | exception Deadline.Expired { site; deadline = d }
+    when (match deadline with Some d' -> d' == d | None -> false) ->
+      Obs.incr c_errors;
+      Error (Error.Deadline_exceeded site)

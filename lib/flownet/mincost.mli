@@ -33,6 +33,7 @@ val potential_valid : Graph.t -> src:int -> int array -> bool
 
 val run :
   ?warm:warm ->
+  ?deadline:Deadline.t ->
   ?max_flow:int ->
   Graph.t ->
   src:int ->
@@ -46,6 +47,12 @@ val run :
     (counted under [mincost.errors]). Flow pushed before the failure
     remains recorded in the graph; callers recovering from an error should
     [Graph.reset_flows] (or rebuild) before retrying.
+
+    With [?deadline], every hot loop (SPFA relaxation, Dijkstra pop,
+    augmentation) ticks the budget cooperatively and exhaustion returns
+    the typed [Error Deadline_exceeded]. Without it, an ambient
+    {!Deadline} armed by scheduler middleware is ticked instead and its
+    expiry propagates as {!Deadline.Expired} for ladder escalation.
 
     With [?warm]: if the carried potentials fit the graph and pass
     {!potential_valid}, the SPFA bootstrap is skipped entirely (an O(arcs)

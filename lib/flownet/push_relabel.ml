@@ -6,7 +6,8 @@ let c_pushes = Obs.counter "push_relabel.pushes"
 let c_relabels = Obs.counter "push_relabel.relabels"
 let c_gap_lifts = Obs.counter "push_relabel.gap_lifts"
 
-let run g ~src ~dst =
+let run ?deadline g ~src ~dst =
+  let dl = Deadline.resolve deadline in
   let n = Graph.n_vertices g in
   if src = dst then 0
   else begin
@@ -83,6 +84,7 @@ let run g ~src ~dst =
     let discharge u =
       let continue = ref true in
       while !continue && excess.(u) > 0 do
+        Deadline.tick_opt dl "push_relabel.discharge";
         let pushed = ref false in
         for i = first.(u) to first.(u + 1) - 1 do
           let a = arcs.(i) in
@@ -105,6 +107,7 @@ let run g ~src ~dst =
       done
     in
     let rec loop () =
+      Deadline.tick_opt dl "push_relabel.select";
       (* find the highest non-empty bucket *)
       while !highest >= 0 && buckets.(!highest) = [] do
         decr highest

@@ -2,7 +2,14 @@
     and gap relabeling, O(V²·√E). The fastest solver in this library for
     dense networks; property-tested against {!Dinic} and {!Maxflow}. *)
 
-val run : Graph.t -> src:int -> dst:int -> int
+val run : ?deadline:Deadline.t -> Graph.t -> src:int -> dst:int -> int
 (** Returns the max flow; flows are recorded in the graph. The recorded
     assignment is a valid flow (conservation holds at every vertex except
-    source and sink). *)
+    source and sink).
+
+    The discharge loop ticks [deadline] (or the ambient {!Deadline})
+    cooperatively.
+    @raise Deadline.Expired on budget exhaustion — excess may then sit at
+    intermediate vertices (conservation does NOT hold for the partial
+    state); reset or rebuild the graph before reuse. The registry converts
+    this to the typed [Error.Deadline_exceeded]. *)

@@ -29,6 +29,7 @@ module type S = sig
 
   val solve :
     ?warm:Mincost.warm ->
+    ?deadline:Deadline.t ->
     ?max_flow:int ->
     Graph.t ->
     src:int ->
@@ -37,5 +38,14 @@ module type S = sig
   (** Route flow from [src] to [dst]; flows are recorded in the graph.
       Freezes the graph's CSR view at entry. [iterations] is a
       backend-specific progress measure (augmenting paths, refine phases;
-      0 when the backend does not track one). *)
+      0 when the backend does not track one).
+
+      [?deadline] is the cooperative work/wall budget every hot loop
+      ticks; its exhaustion comes back as [Error (Deadline_exceeded _)]
+      (the registry wrapper guarantees the conversion even for backends
+      whose inner algorithm raises {!Deadline.Expired}). The flows routed
+      before expiry stay on the graph and may violate conservation —
+      degrade, do not trust them. An ambient deadline (armed by scheduler
+      middleware rather than passed here) instead propagates as the
+      exception so the middleware can escalate. *)
 end

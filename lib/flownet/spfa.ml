@@ -36,7 +36,8 @@ let extract_cycle g parent v =
         cycle without arc detail rather than loop or crash. *)
      [])
 
-let run ?(admit = fun _ -> true) g ~src =
+let run ?(admit = fun _ -> true) ?deadline g ~src =
+  let dl = Deadline.resolve deadline in
   let n = Graph.n_vertices g in
   Graph.freeze g;
   let first = Graph.first_out g and arcs = Graph.arc_of g in
@@ -51,6 +52,7 @@ let run ?(admit = fun _ -> true) g ~src =
   enqueues.(src) <- 1;
   match
     while not (Queue.is_empty q) do
+      Deadline.tick_opt dl "spfa.relax";
       let u = Queue.pop q in
       in_queue.(u) <- false;
       let du = dist.(u) in
@@ -80,8 +82,8 @@ let run ?(admit = fun _ -> true) g ~src =
   | () -> Ok { dist; parent }
   | exception Cycle_at v -> Error (Error.Negative_cycle (extract_cycle g parent v))
 
-let shortest_path ?admit g ~src ~dst =
-  match run ?admit g ~src with
+let shortest_path ?admit ?deadline g ~src ~dst =
+  match run ?admit ?deadline g ~src with
   | Error _ as e -> e
   | Ok { parent; dist } ->
       if dist.(dst) = max_int then Ok None

@@ -10,6 +10,7 @@ type result = {
 
 val run :
   ?admit:(int -> bool) ->
+  ?deadline:Deadline.t ->
   Graph.t ->
   src:int ->
   (result, Error.t) Stdlib.result
@@ -20,10 +21,15 @@ val run :
 
     Returns [Error (Negative_cycle arcs)] when a negative-cost cycle is
     reachable from [src]; [arcs] traces the cycle (possibly [[]] if it
-    could not be reconstructed). Never raises. *)
+    could not be reconstructed). Never raises on its own — but the
+    relaxation loop ticks [deadline] (or the ambient {!Deadline}) once per
+    dequeued vertex, and an exhausted budget raises {!Deadline.Expired};
+    Result-API callers ({!Mincost}, the registry) convert that to the
+    typed [Deadline_exceeded]. *)
 
 val shortest_path :
   ?admit:(int -> bool) ->
+  ?deadline:Deadline.t ->
   Graph.t ->
   src:int ->
   dst:int ->

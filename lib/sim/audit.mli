@@ -1,0 +1,76 @@
+(** Post-batch invariant auditor: re-derives the placement invariants from
+    raw cluster state after every batch, quarantines violating placements
+    and repairs them, so one corrupted batch cannot silently poison the
+    rest of a run.
+
+    Invariants checked, each from first principles (machine container
+    lists, raw demand vectors, the constraint set) rather than from the
+    incrementally maintained bookkeeping the schedulers trust:
+
+    - {b capacity}: per-dimension demand sums within machine capacity;
+    - {b anti-affinity}: no conflicting pair (within or across apps)
+      shares a machine;
+    - {b liveness}: no container sits on an offline machine;
+    - {b conservation}: every batch container is placed or reported
+      undeployed, exactly once;
+    - {b priority} (batch-scoped): no undeployed container of strictly
+      higher priority would fit on the machine a lower-priority batch
+      container received.
+
+    Counters: [audit.batches], [audit.violations] (found),
+    [audit.repairs] (repair actions), [audit.unrepaired] (still violated
+    after the repair passes — zero in a healthy run). *)
+
+type violation =
+  | Capacity_overrun of { machine : Machine.id; container : Container.t }
+  | Anti_affinity of {
+      machine : Machine.id;
+      container : Container.t;
+      conflict : Application.id;
+    }
+  | Offline_placement of { machine : Machine.id; container : Container.t }
+  | Lost_container of { container : Container.t }
+  | Priority_inversion of {
+      machine : Machine.id;
+      blocked : Container.t;   (** undeployed, higher priority *)
+      victim : Container.t;    (** placed, lower priority, seat fits *)
+    }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  Cluster.t ->
+  batch:Container.t array ->
+  outcome:Scheduler.outcome ->
+  violation list
+(** Pure detection — no mutation, deterministic order (by machine id, then
+    the conservation and priority sweeps). *)
+
+val default_place : Cluster.t -> Container.t -> Machine.id option
+(** First admissible machine by id — the fallback re-placement policy.
+    Core layers plug a migration-powered policy instead. *)
+
+val run :
+  ?max_passes:int ->
+  ?place:(Cluster.t -> Container.t -> Machine.id option) ->
+  Cluster.t ->
+  batch:Container.t array ->
+  outcome:Scheduler.outcome ->
+  Scheduler.outcome * violation list
+(** Check-repair passes (at most [max_passes], default 3) until clean:
+    violating placements are evicted and re-placed through [place]
+    (default {!default_place}; the policy may itself migrate other
+    containers to make room, as long as the returned machine is
+    admissible), and containers with no seat left are folded into the
+    outcome's [undeployed]. Returns the amended outcome — [placed] and
+    [undeployed] re-derived from the post-repair cluster — and any
+    violations still standing (counted under [audit.unrepaired]). *)
+
+val wrap :
+  ?max_passes:int ->
+  ?place:(Cluster.t -> Container.t -> Machine.id option) ->
+  Scheduler.t ->
+  Scheduler.t
+(** Middleware: audit-and-repair after every batch, outermost in the
+    stack (outside the transaction, so it sees exactly the state the
+    batch committed). *)

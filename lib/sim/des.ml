@@ -1,5 +1,7 @@
 (* Pairing-free binary heap keyed by (time, sequence) so equal-time events
-   preserve insertion order. *)
+   preserve insertion order. Cancellation removes the entry eagerly
+   (replace with the last element, re-sift) rather than tombstoning, so
+   [pending] stays exact and a cancelled payload is never popped. *)
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
@@ -9,6 +11,8 @@ type 'a t = {
   mutable clock : float;
   mutable next_seq : int;
 }
+
+type handle = int
 
 let create () = { heap = [||]; n = 0; clock = 0.; next_seq = 0 }
 let now t = t.clock
@@ -23,30 +27,73 @@ let grow t fill =
   Array.blit t.heap 0 heap 0 t.n;
   t.heap <- heap
 
-let schedule t ~at payload =
-  if at < t.clock then invalid_arg "Des.schedule: in the past";
-  let e = { time = at; seq = t.next_seq; payload } in
-  if t.n >= Array.length t.heap then grow t e;
-  t.next_seq <- t.next_seq + 1;
-  (* sift up *)
-  let i = ref t.n in
-  t.n <- t.n + 1;
-  t.heap.(!i) <- e;
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let sift_up t i =
+  let i = ref i in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
     if before t.heap.(!i) t.heap.(parent) then begin
-      let tmp = t.heap.(parent) in
-      t.heap.(parent) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
+      swap t !i parent;
       i := parent
     end
     else continue := false
   done
 
-let after t ~delay payload =
+let sift_down t i =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let schedule_handle t ~at payload =
+  if at < t.clock then invalid_arg "Des.schedule: in the past";
+  let e = { time = at; seq = t.next_seq; payload } in
+  if t.n >= Array.length t.heap then grow t e;
+  t.next_seq <- t.next_seq + 1;
+  let i = t.n in
+  t.n <- t.n + 1;
+  t.heap.(i) <- e;
+  sift_up t i;
+  e.seq
+
+let schedule t ~at payload = ignore (schedule_handle t ~at payload)
+
+let after_handle t ~delay payload =
   if delay < 0. then invalid_arg "Des.after: negative delay";
-  schedule t ~at:(t.clock +. delay) payload
+  schedule_handle t ~at:(t.clock +. delay) payload
+
+let after t ~delay payload = ignore (after_handle t ~delay payload)
+
+let cancel t h =
+  let idx = ref (-1) in
+  for i = 0 to t.n - 1 do
+    if t.heap.(i).seq = h then idx := i
+  done;
+  if !idx < 0 then false
+  else begin
+    t.n <- t.n - 1;
+    if !idx < t.n then begin
+      t.heap.(!idx) <- t.heap.(t.n);
+      (* the moved element may belong above or below its new slot *)
+      sift_down t !idx;
+      sift_up t !idx
+    end;
+    true
+  end
 
 let next t =
   if t.n = 0 then None
@@ -55,22 +102,7 @@ let next t =
     t.n <- t.n - 1;
     if t.n > 0 then begin
       t.heap.(0) <- t.heap.(t.n);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.n && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.n && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.heap.(!smallest) in
-          t.heap.(!smallest) <- t.heap.(!i);
-          t.heap.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
+      sift_down t 0
     end;
     t.clock <- top.time;
     Some (top.time, top.payload)

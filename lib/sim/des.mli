@@ -4,6 +4,9 @@
 
 type 'a t
 
+type handle
+(** Identifies one scheduled event, for {!cancel}. *)
+
 val create : unit -> 'a t
 
 val now : 'a t -> float
@@ -15,6 +18,17 @@ val schedule : 'a t -> at:float -> 'a -> unit
 val after : 'a t -> delay:float -> 'a -> unit
 (** Schedule relative to {!now}. @raise Invalid_argument on negative
     delay. *)
+
+val schedule_handle : 'a t -> at:float -> 'a -> handle
+val after_handle : 'a t -> delay:float -> 'a -> handle
+(** As {!schedule} / {!after}, returning a handle the event can later be
+    cancelled through (e.g. a timeout disarmed by the completion it was
+    guarding). *)
+
+val cancel : 'a t -> handle -> bool
+(** Remove the event eagerly if still pending; [false] when it already
+    popped or was cancelled. Cancellation keeps {!pending} exact and does
+    not disturb the ordering of the remaining events. *)
 
 val next : 'a t -> (float * 'a) option
 (** Pop the earliest event and advance the clock. Ties pop in insertion

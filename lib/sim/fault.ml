@@ -6,11 +6,24 @@ type t = {
   machine_revocation : float;
   solver_step_failure : float;
   solver_failure_budget : int;
+  process_kill_after : int;
 }
 
 exception Injected of string
+exception Killed of string
 
-type state = { cfg : t; rng : Random.State.t; mutable failures_left : int }
+(* Draws come from the repository's splitmix64 Rng rather than
+   Stdlib.Random: every Rng operation advances the state by exactly one
+   next_int64 step, so the stream position is just a draw count — which is
+   what lets a crash-recovery journal record "where the fault schedule was"
+   and fast-forward to it on resume. *)
+type state = {
+  cfg : t;
+  rng : Rng.t;
+  mutable failures_left : int;
+  mutable draws : int;
+  mutable kill_countdown : int;
+}
 
 let installed : state option ref = ref None
 
@@ -18,10 +31,12 @@ let c_solver = Obs.counter "fault.injected_solver_failures"
 let c_lines = Obs.counter "fault.corrupted_lines"
 let c_arcs = Obs.counter "fault.flipped_arcs"
 let c_revoked = Obs.counter "fault.revoked_machines"
+let c_kills = Obs.counter "fault.process_kills"
 
 let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
     ?(arc_capacity_drop = 0.) ?(machine_revocation = 0.)
-    ?(solver_step_failure = 0.) ?(solver_failure_budget = -1) ~seed () =
+    ?(solver_step_failure = 0.) ?(solver_failure_budget = -1)
+    ?(process_kill_after = -1) ~seed () =
   {
     seed;
     trace_line_corruption;
@@ -30,6 +45,7 @@ let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
     machine_revocation;
     solver_step_failure;
     solver_failure_budget;
+    process_kill_after;
   }
 
 let install cfg =
@@ -37,27 +53,70 @@ let install cfg =
     Some
       {
         cfg;
-        rng = Random.State.make [| cfg.seed |];
+        rng = Rng.create cfg.seed;
         failures_left = cfg.solver_failure_budget;
+        draws = 0;
+        kill_countdown = cfg.process_kill_after;
       }
 
 let clear () = installed := None
 let active () = !installed <> None
 
-let draw st p = p > 0. && Random.State.float st.rng 1.0 < p
+(* Counted wrappers — every probe draws through these so [draws] stays an
+   exact measure of stream position. *)
+let rfloat st =
+  st.draws <- st.draws + 1;
+  Rng.float st.rng
+
+let rint st bound =
+  st.draws <- st.draws + 1;
+  Rng.int st.rng bound
+
+(* No draw is consumed for a zero-probability fault class, so enabling one
+   class does not perturb the schedule of the others. *)
+let draw st p = p > 0. && rfloat st < p
+
+let stream_position () =
+  Option.map (fun st -> (st.draws, st.failures_left, st.kill_countdown)) !installed
+
+let fast_forward ?kill_countdown ~draws ~failures_left () =
+  match !installed with
+  | None -> invalid_arg "Fault.fast_forward: no configuration installed"
+  | Some st ->
+      if draws < st.draws then
+        invalid_arg "Fault.fast_forward: stream already past that position";
+      while st.draws < draws do
+        ignore (rfloat st)
+      done;
+      st.failures_left <- failures_left;
+      (* The kill countdown is a per-process drill device: a resumed run
+         keeps the countdown of the configuration it was launched with
+         (usually disarmed) unless the caller explicitly re-arms it —
+         otherwise recovery would faithfully re-execute its own crash. *)
+      Option.iter (fun k -> st.kill_countdown <- k) kill_countdown
 
 let trip_solver_step site =
   match !installed with
   | None -> ()
   | Some st ->
-      if
-        st.failures_left <> 0
-        && draw st st.cfg.solver_step_failure
-      then begin
+      if st.failures_left <> 0 && draw st st.cfg.solver_step_failure then begin
         if st.failures_left > 0 then st.failures_left <- st.failures_left - 1;
         Obs.incr c_solver;
         raise (Injected site)
       end
+
+let trip_process_kill site =
+  match !installed with
+  | None -> ()
+  | Some st ->
+      if st.kill_countdown = 0 then begin
+        st.kill_countdown <- -1;
+        (* one-shot: the resumed run must get past this point *)
+        Obs.incr c_kills;
+        raise (Killed site)
+      end
+      else if st.kill_countdown > 0 then
+        st.kill_countdown <- st.kill_countdown - 1
 
 let corrupt_line line =
   match !installed with
@@ -67,22 +126,22 @@ let corrupt_line line =
       else begin
         Obs.incr c_lines;
         let len = String.length line in
-        match Random.State.int st.rng 4 with
+        match rint st 4 with
         | 0 ->
             (* Truncate mid-line. *)
-            if len = 0 then "?" else String.sub line 0 (Random.State.int st.rng len)
+            if len = 0 then "?" else String.sub line 0 (rint st len)
         | 1 ->
             (* Garble one character. *)
             if len = 0 then "?"
             else begin
               let b = Bytes.of_string line in
-              Bytes.set b (Random.State.int st.rng len) '?';
+              Bytes.set b (rint st len) '?';
               Bytes.to_string b
             end
         | 2 -> ""
         | _ ->
             (* Splice a non-numeric token into a field position. *)
-            let cut = if len = 0 then 0 else Random.State.int st.rng len in
+            let cut = if len = 0 then 0 else rint st len in
             String.sub line 0 cut ^ " NaN " ^ String.sub line cut (len - cut)
       end
 
@@ -106,12 +165,30 @@ let perturb_arc ~cost ~capacity =
       in
       (cost, capacity)
 
-let pick_revocation ~n_machines =
+let pick_revocation ?(is_offline = fun _ -> false) ~n_machines () =
   match !installed with
   | None -> None
   | Some st ->
       if n_machines > 0 && draw st st.cfg.machine_revocation then begin
-        Obs.incr c_revoked;
-        Some (Random.State.int st.rng n_machines)
+        (* Draw among the machines still online: revoking an offline
+           machine would be a no-op drain, yet the old draw-any-id scheme
+           still counted it under fault.revoked_machines — double-counting
+           the fault and silently weakening the chaos schedule. One index
+           draw is consumed whether or not a candidate exists, so the
+           stream position stays independent of cluster state size. *)
+        let online = ref [] in
+        let n_online = ref 0 in
+        for mid = n_machines - 1 downto 0 do
+          if not (is_offline mid) then begin
+            online := mid :: !online;
+            incr n_online
+          end
+        done;
+        let k = rint st (max 1 !n_online) in
+        if !n_online = 0 then None
+        else begin
+          Obs.incr c_revoked;
+          Some (List.nth !online k)
+        end
       end
       else None

@@ -1,0 +1,141 @@
+(* Append-only batch-commit journal. One text line per committed wave,
+   carrying everything needed to resume the replay as if the crash never
+   happened: the full placement map (placements move across batches via
+   migration/preemption/drain, so per-wave deltas would not reconstruct
+   the state), the offline machine set, and the fault stream position
+   (the splitmix64 draw count — see Fault — plus the failure budget and
+   kill countdown). Each line ends in a checksum so a record half-written
+   at the moment of death is detected and dropped rather than trusted. *)
+
+type commit = {
+  next_pos : int;
+  placements : (Container.id * Machine.id) list;
+  offline : Machine.id list;
+  fault : (int * int * int) option;
+}
+
+type t = { oc : out_channel; mutable commits : int }
+
+let c_commits = Obs.counter "journal.commits"
+
+let checksum s =
+  let h = ref 5381 in
+  String.iter
+    (fun ch -> h := (((!h lsl 5) + !h) + Char.code ch) land 0x3FFFFFFF)
+    s;
+  !h
+
+let encode c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "C %d F" c.next_pos);
+  (match c.fault with
+  | Some (draws, failures_left, kill_countdown) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %d %d %d" draws failures_left kill_countdown)
+  | None -> Buffer.add_string buf " -1 0 0");
+  Buffer.add_string buf (Printf.sprintf " O %d" (List.length c.offline));
+  List.iter
+    (fun mid -> Buffer.add_string buf (Printf.sprintf " %d" mid))
+    c.offline;
+  Buffer.add_string buf (Printf.sprintf " P %d" (List.length c.placements));
+  List.iter
+    (fun (cid, mid) -> Buffer.add_string buf (Printf.sprintf " %d %d" cid mid))
+    c.placements;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%s # %d" body (checksum body)
+
+let decode line =
+  match String.rindex_opt line '#' with
+  | None -> None
+  | Some i when i < 1 || line.[i - 1] <> ' ' -> None
+  | Some i -> (
+      let body = String.sub line 0 (i - 1) in
+      let tail = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt (String.trim tail) with
+      | Some h when h = checksum body -> (
+          let toks =
+            String.split_on_char ' ' body
+            |> List.filter (fun s -> s <> "")
+            |> Array.of_list
+          in
+          let pos = ref 0 in
+          let next () =
+            let t = toks.(!pos) in
+            incr pos;
+            t
+          in
+          let int () = int_of_string (next ()) in
+          let expect kw =
+            if next () <> kw then failwith "journal keyword mismatch"
+          in
+          try
+            expect "C";
+            let next_pos = int () in
+            expect "F";
+            let draws = int () in
+            let failures_left = int () in
+            let kill_countdown = int () in
+            expect "O";
+            let no = int () in
+            let offline = List.init no (fun _ -> int ()) in
+            expect "P";
+            let np = int () in
+            let placements =
+              List.init np (fun _ ->
+                  let cid = int () in
+                  (cid, int ()))
+            in
+            if !pos <> Array.length toks then None
+            else
+              Some
+                {
+                  next_pos;
+                  placements;
+                  offline;
+                  fault =
+                    (if draws < 0 then None
+                     else Some (draws, failures_left, kill_countdown));
+                }
+          with _ -> None)
+      | _ -> None)
+
+let create path = { oc = open_out path; commits = 0 }
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let commits = ref [] in
+    (try
+       while true do
+         match decode (input_line ic) with
+         | Some c -> commits := c :: !commits
+         | None -> () (* torn or corrupt record: skip, keep scanning *)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !commits
+  end
+
+let last path =
+  match List.rev (load path) with [] -> None | c :: _ -> Some c
+
+let open_append path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { oc; commits = List.length (load path) }
+
+let append t commit =
+  output_string t.oc (encode commit);
+  output_char t.oc '\n';
+  flush t.oc;
+  t.commits <- t.commits + 1;
+  Obs.incr c_commits
+
+let commits t = t.commits
+let close t = close_out t.oc
+
+let placement_fingerprint placements =
+  List.sort compare placements
+  |> List.fold_left
+       (fun acc (cid, mid) -> (acc * 1_000_003) + (cid * 8191) + mid)
+       0

@@ -1,0 +1,56 @@
+(** Append-only crash-recovery journal for batch replays.
+
+    {!Replay.run} appends one {!commit} after every completed wave; a run
+    killed mid-flight (e.g. by {!Fault.trip_process_kill}) resumes from
+    the {!last} committed record and provably reproduces the placements
+    of an uninterrupted run, because a commit carries the {e entire}
+    resumable state:
+
+    - the full placement map (not per-wave deltas — migrations,
+      preemptions and drains move containers across waves);
+    - the offline machine set;
+    - the fault stream position (splitmix64 draw count, failure budget,
+      kill countdown), so the resumed fault schedule continues exactly
+      where the dead process left it.
+
+    Records are single text lines ending in a checksum; a line torn by
+    the crash fails the checksum and is skipped on {!load}. Counters:
+    [journal.commits] (and [journal.resumes], incremented by the
+    resuming {!Replay.run}). *)
+
+type commit = {
+  next_pos : int;  (** submission index of the first wave still to run *)
+  placements : (Container.id * Machine.id) list;
+  offline : Machine.id list;
+  fault : (int * int * int) option;
+      (** [(draws, failures_left, kill_countdown)] from
+          {!Fault.stream_position}; [None] when no fault config was
+          installed *)
+}
+
+type t
+(** An open journal sink. *)
+
+val create : string -> t
+(** Open for writing, truncating any previous journal at that path. *)
+
+val open_append : string -> t
+(** Open for appending after a resume, keeping the committed prefix. *)
+
+val append : t -> commit -> unit
+(** Write one commit record and flush it to the OS — after [append]
+    returns, a process kill cannot lose that wave. *)
+
+val commits : t -> int
+val close : t -> unit
+
+val load : string -> commit list
+(** All valid commits, in order; a missing file is an empty journal and
+    torn/corrupt lines are dropped. *)
+
+val last : string -> commit option
+(** The most recent valid commit — the resume point. *)
+
+val placement_fingerprint : (Container.id * Machine.id) list -> int
+(** Order-insensitive fingerprint of a placement map (sorted fold), for
+    equality assertions between resumed and uninterrupted runs. *)

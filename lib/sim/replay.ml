@@ -8,6 +8,8 @@ type run = {
 
 let c_revocations = Obs.counter "replay.machine_revocations"
 let c_failed_batches = Obs.counter "replay.failed_batches"
+let c_resumes = Obs.counter "journal.resumes"
+let c_resume_drops = Obs.counter "journal.resume_drops"
 
 (* Monotonic wall-clock for the measured region: gettimeofday is subject to
    NTP steps, which can make a wave appear to take negative (or wildly
@@ -18,7 +20,11 @@ let now_s () = Int64.to_float (Obs.now_ns ()) *. 1e-9
    and its containers are drained back into the incoming wave, like a
    hardware failure landing between scheduling rounds. *)
 let apply_revocation cluster wave =
-  match Fault.pick_revocation ~n_machines:(Cluster.n_machines cluster) with
+  match
+    Fault.pick_revocation
+      ~is_offline:(Cluster.is_offline cluster)
+      ~n_machines:(Cluster.n_machines cluster) ()
+  with
   | None -> wave
   | Some mid ->
       Obs.incr c_revocations;
@@ -27,12 +33,52 @@ let apply_revocation cluster wave =
       if displaced = [] then wave
       else Array.append wave (Array.of_list displaced)
 
-let run ?batch (sched : Scheduler.t) ~cluster ~containers =
+(* Rebuild the cluster a journal commit describes. Containers are looked
+   up in the submission array (drained/evicted containers keep their
+   identity, so every placed id resolves there); a placement whose
+   machine no longer admits it — impossible unless the topology changed
+   between runs — is counted under [journal.resume_drops] rather than
+   aborting the resume. *)
+let restore_commit cluster ~containers (c : Journal.commit) =
+  Obs.incr c_resumes;
+  let by_id = Hashtbl.create (Array.length containers) in
+  Array.iter
+    (fun (ct : Container.t) -> Hashtbl.replace by_id ct.Container.id ct)
+    containers;
+  Cluster.reset cluster;
+  List.iter
+    (fun mid -> Cluster.set_offline cluster mid false)
+    (List.init (Cluster.n_machines cluster) (fun i -> i));
+  List.iter
+    (fun (cid, mid) ->
+      match Hashtbl.find_opt by_id cid with
+      | Some ct -> (
+          match Cluster.place ~force:true cluster ct mid with
+          | Ok () -> ()
+          | Error _ -> Obs.incr c_resume_drops)
+      | None -> Obs.incr c_resume_drops)
+    c.Journal.placements;
+  List.iter (fun mid -> Cluster.set_offline cluster mid true) c.Journal.offline;
+  (match c.Journal.fault with
+  | Some (draws, failures_left, _kill_countdown) when Fault.active () ->
+      Fault.fast_forward ~draws ~failures_left ()
+  | _ -> ());
+  c.Journal.next_pos
+
+let offline_set cluster =
+  List.filter
+    (Cluster.is_offline cluster)
+    (List.init (Cluster.n_machines cluster) (fun i -> i))
+
+let run ?batch ?journal ?resume (sched : Scheduler.t) ~cluster ~containers =
   let n = Array.length containers in
   let batch = match batch with Some b when b > 0 -> b | _ -> max n 1 in
   let outcome = ref Scheduler.empty_outcome in
   let elapsed = ref 0. in
   let pos = ref 0 in
+  (match resume with
+  | Some commit -> pos := restore_commit cluster ~containers commit
+  | None -> ());
   while !pos < n do
     let len = min batch (n - !pos) in
     let wave = Array.sub containers !pos len in
@@ -50,7 +96,21 @@ let run ?batch (sched : Scheduler.t) ~cluster ~containers =
     in
     elapsed := !elapsed +. (now_s () -. t0);
     outcome := Scheduler.merge !outcome o;
-    pos := !pos + len
+    pos := !pos + len;
+    match journal with
+    | None -> ()
+    | Some j ->
+        Journal.append j
+          {
+            Journal.next_pos = !pos;
+            placements = Cluster.placements cluster;
+            offline = offline_set cluster;
+            fault = Fault.stream_position ();
+          };
+        (* The simulated process death sits just after the commit: the
+           wave that finished is durable, everything after it is lost.
+           Fault.Killed escapes this driver by design. *)
+        Fault.trip_process_kill "replay.batch_commit"
   done;
   {
     scheduler = sched.Scheduler.name;

@@ -13,6 +13,8 @@ type run = {
 
 val run :
   ?batch:int ->
+  ?journal:Journal.t ->
+  ?resume:Journal.commit ->
   Scheduler.t ->
   cluster:Cluster.t ->
   containers:Container.t array ->
@@ -25,7 +27,16 @@ val run :
     by a machine revocation (the machine goes offline and its containers
     rejoin the wave, counted under [replay.machine_revocations]), and an
     injected failure escaping the scheduler marks the wave undeployed
-    ([replay.failed_batches]) instead of aborting the replay. *)
+    ([replay.failed_batches]) instead of aborting the replay.
+
+    With [?journal], every completed wave appends a {!Journal.commit}
+    (then probes {!Fault.trip_process_kill}, whose [Killed] exception
+    escapes this driver by design — crash drills must look like
+    crashes). With [?resume], the cluster, offline set, fault stream and
+    wave position are rebuilt from the commit before the loop starts
+    ([journal.resumes]); the returned [outcome] then covers only the
+    waves run after the resume point, while the final cluster placements
+    match an uninterrupted run exactly. *)
 
 val run_workload :
   ?batch:int ->

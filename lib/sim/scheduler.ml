@@ -121,6 +121,84 @@ let with_transaction ~prefix ~recoverable ?fallback t =
   in
   { t with schedule }
 
+(* ---- Degradation ladder ----------------------------------------------- *)
+(* Every rung attempt runs under a fresh ambient deadline; expiry surfaces
+   as Flownet.Deadline.Expired (deliberately NOT in any rung's [recoverable]
+   predicate, so it passes through the rung's own with_transaction without
+   being swallowed), the snapshot is restored, and the next rung tries.
+   When the whole ladder is exhausted the admission-control knob sheds the
+   lowest-priority half of the batch and restarts the ladder from the top —
+   the preferred solver gets first shot at the smaller batch — so every
+   batch terminates with an outcome even under a zero budget. *)
+
+(* Registered at module init (not ladder construction) so the counters are
+   present — at zero — in every obs dump, deadline-bounded run or not. *)
+let c_ladder_escalations = Obs.counter "ladder.escalations"
+let c_ladder_shed = Obs.counter "ladder.shed_containers"
+let c_ladder_drops = Obs.counter "ladder.restore_drops"
+
+let with_deadline ?deadline_ms ?(shed = true) rungs =
+  if rungs = [] then invalid_arg "Scheduler.with_deadline: empty ladder";
+  let c_escalations = c_ladder_escalations in
+  let c_shed = c_ladder_shed in
+  let c_drops = c_ladder_drops in
+  let rungs =
+    List.map
+      (fun (label, r) -> (r, Obs.counter ("ladder.rung." ^ label)))
+      rungs
+  in
+  let budget () =
+    match deadline_ms with
+    | Some ms -> Some (Flownet.Deadline.make ~wall_ms:ms ())
+    | None ->
+        Option.map
+          (fun ms -> Flownet.Deadline.make ~wall_ms:ms ())
+          (Flownet.Deadline.of_env ())
+  in
+  let schedule cluster batch =
+    let snap = snapshot cluster in
+    let restore () = restore ~on_drop:(fun () -> Obs.incr c_drops) cluster snap in
+    let attempt rung batch =
+      match budget () with
+      | None -> rung.schedule cluster batch
+      | Some d ->
+          Flownet.Deadline.with_ambient d (fun () -> rung.schedule cluster batch)
+    in
+    let rec ladder batch shed_acc = function
+      | (rung, c_rung) :: rest -> (
+          match attempt rung batch with
+          | o ->
+              Obs.incr c_rung;
+              { o with undeployed = o.undeployed @ shed_acc }
+          | exception Flownet.Deadline.Expired _ ->
+              Obs.incr c_escalations;
+              restore ();
+              ladder batch shed_acc rest)
+      | [] when shed && Array.length batch > 0 ->
+          (* Highest priority first; ties keep earlier arrivals. *)
+          let order = Array.copy batch in
+          Array.sort
+            (fun (a : Container.t) (b : Container.t) ->
+              match compare b.priority a.priority with
+              | 0 -> compare a.arrival b.arrival
+              | c -> c)
+            order;
+          let keep_n = Array.length order / 2 in
+          let kept = Array.sub order 0 keep_n in
+          let dropped =
+            Array.to_list (Array.sub order keep_n (Array.length order - keep_n))
+          in
+          Obs.add c_shed (List.length dropped);
+          ladder kept (dropped @ shed_acc) rungs
+      | [] -> { empty_outcome with undeployed = Array.to_list batch @ shed_acc }
+    in
+    ladder batch [] rungs
+  in
+  let name =
+    "ladder(" ^ String.concat "," (List.map (fun (r, _) -> r.name) rungs) ^ ")"
+  in
+  { name; schedule }
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "placed=%d undeployed=%d violations=%d (anti=%d) migrations=%d \

@@ -66,3 +66,23 @@ val with_transaction :
     ([<prefix>.rejected_batches], all containers undeployed). Containers
     whose machine vanished mid-restore are counted in
     [<prefix>.restore_drops]. Anything non-recoverable propagates. *)
+
+val with_deadline :
+  ?deadline_ms:float -> ?shed:bool -> (string * t) list -> t
+(** Deadline-bounded degradation ladder over the labelled rung schedulers,
+    ordered best-first. Each batch: arm a fresh ambient
+    {!Flownet.Deadline} of [deadline_ms] (default [ALADDIN_DEADLINE_MS];
+    no deadline → the first rung runs unbounded) and run the rung; on
+    {!Flownet.Deadline.Expired} restore the pre-batch snapshot and
+    escalate to the next rung ([ladder.escalations],
+    [ladder.restore_drops]). When every rung has expired and [shed] is on
+    (default), admission control sheds the lowest-priority half of the
+    batch ([ladder.shed_containers], reported undeployed) and restarts the
+    ladder on the remainder, so every batch completes — under a zero
+    budget the outcome degenerates to all-undeployed rather than a hang
+    or a crash. The winning rung's [ladder.rung.<label>] counter is
+    incremented per batch.
+
+    Rung [recoverable] predicates must NOT treat
+    {!Flownet.Deadline.Expired} as recoverable, or their transaction
+    middleware would swallow the escalation signal. *)

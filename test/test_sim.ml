@@ -198,6 +198,82 @@ let test_planner_with_aladdin () =
         (List.length run.Replay.outcome.Scheduler.undeployed)
   | None -> Alcotest.fail "aladdin should plan"
 
+(* ---------- Des event queue ---------- *)
+
+let test_des_orders_by_time () =
+  let q = Des.create () in
+  Des.schedule q ~at:3. "c";
+  Des.schedule q ~at:1. "a";
+  Des.schedule q ~at:2. "b";
+  check bool "pops in time order" true
+    (Des.next q = Some (1., "a")
+    && Des.next q = Some (2., "b")
+    && Des.next q = Some (3., "c"));
+  check bool "drained" true (Des.is_empty q);
+  check (Alcotest.float 0.) "clock at last pop" 3. (Des.now q)
+
+let test_des_same_timestamp_fifo () =
+  let q = Des.create () in
+  List.iter (fun p -> Des.schedule q ~at:5. p) [ "a"; "b"; "c"; "d"; "e" ];
+  Des.schedule q ~at:1. "first";
+  let rec drain acc =
+    match Des.next q with
+    | Some (_, p) -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  check
+    Alcotest.(list string)
+    "ties keep insertion order"
+    [ "first"; "a"; "b"; "c"; "d"; "e" ]
+    (drain [])
+
+let test_des_rejects_past () =
+  let q = Des.create () in
+  Des.schedule q ~at:10. ();
+  ignore (Des.next q);
+  check bool "scheduling before the clock raises" true
+    (match Des.schedule q ~at:5. () with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  check bool "negative delay raises" true
+    (match Des.after q ~delay:(-1.) () with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* scheduling exactly at the current time is allowed *)
+  Des.schedule q ~at:10. ();
+  check int "boundary event accepted" 1 (Des.pending q)
+
+let test_des_cancel () =
+  let q = Des.create () in
+  let _a = Des.schedule_handle q ~at:1. "a" in
+  let b = Des.schedule_handle q ~at:2. "b" in
+  let c = Des.schedule_handle q ~at:3. "c" in
+  check int "three pending" 3 (Des.pending q);
+  check bool "cancel removes" true (Des.cancel q b);
+  check int "pending exact after cancel" 2 (Des.pending q);
+  check bool "double cancel is false" false (Des.cancel q b);
+  check bool "cancelled payload never pops" true
+    (Des.next q = Some (1., "a") && Des.next q = Some (3., "c"));
+  check bool "cancel after pop is false" false (Des.cancel q c)
+
+let test_des_cancel_preserves_order () =
+  let q = Des.create () in
+  let handles =
+    List.init 20 (fun i ->
+        (i, Des.schedule_handle q ~at:(float_of_int (20 - i)) i))
+  in
+  (* cancel the odd-timed half, interleaved through the heap *)
+  List.iter (fun (i, h) -> if i mod 2 = 0 then ignore (Des.cancel q h)) handles;
+  check int "half remain" 10 (Des.pending q);
+  let rec drain acc =
+    match Des.next q with
+    | Some (t, _) -> drain (t :: acc)
+    | None -> List.rev acc
+  in
+  let times = drain [] in
+  check bool "remaining events still pop sorted" true
+    (times = List.sort compare times)
+
 let () =
   Alcotest.run "sim"
     [
@@ -224,5 +300,15 @@ let () =
           Alcotest.test_case "finds minimum" `Quick test_planner_finds_minimum;
           Alcotest.test_case "infeasible" `Quick test_planner_infeasible;
           Alcotest.test_case "with aladdin" `Quick test_planner_with_aladdin;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "orders by time" `Quick test_des_orders_by_time;
+          Alcotest.test_case "same-timestamp fifo" `Quick
+            test_des_same_timestamp_fifo;
+          Alcotest.test_case "rejects past" `Quick test_des_rejects_past;
+          Alcotest.test_case "cancel" `Quick test_des_cancel;
+          Alcotest.test_case "cancel preserves order" `Quick
+            test_des_cancel_preserves_order;
         ] );
     ]
