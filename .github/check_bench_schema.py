@@ -14,14 +14,75 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(path, chaos=False):
+def check_summary(summary, where="summary"):
+    for key in (
+        "solver_cold_total_ms",
+        "solver_warm_total_ms",
+        "solver_speedup",
+        "sched_cold_total_ms",
+        "sched_warm_total_ms",
+        "sched_speedup",
+    ):
+        if not isinstance(summary.get(key), (int, float)):
+            fail(f"{where}.{key} must be a number")
+    if summary["solver_speedup"] <= 0 or summary["sched_speedup"] <= 0:
+        fail(f"{where}: speedups must be positive")
+
+
+def check_gc(gc, where):
+    for col in ("solver_cold", "solver_warm"):
+        sub = gc.get(col)
+        if not isinstance(sub, dict):
+            fail(f"{where}.{col} must be an object")
+        for key in ("minor_words", "major_words", "compactions"):
+            v = sub.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{where}.{col}.{key} must be a nonnegative int")
+
+
+def check_tier(name, tier, require_warm_win=False):
+    where = f"tiers[{name!r}]"
+    for section in ("config", "summary", "gc", "containers_placed"):
+        if section not in tier:
+            fail(f"{where} missing section {section!r}")
+    cfg = tier["config"]
+    if cfg.get("tier") != name:
+        fail(f"{where}.config.tier must equal the tier key")
+    label = cfg.get("label")
+    if label not in ("headline", "deadline-ladder"):
+        fail(f"{where}.config.label must be 'headline' or 'deadline-ladder'")
+    for key in ("machines", "batches", "containers", "per_batch", "seed"):
+        if not isinstance(cfg.get(key), int) or cfg[key] < 0:
+            fail(f"{where}.config.{key} must be a nonnegative int")
+    check_summary(tier["summary"], where=f"{where}.summary")
+    check_gc(tier["gc"], where=f"{where}.gc")
+    placed = tier["containers_placed"]
+    for col in ("cold", "warm"):
+        v = placed.get(col)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}.containers_placed.{col} must be a nonnegative int")
+    # The headline (no-deadline) config must actually schedule work: a
+    # zero here means the bench measured an empty workload.
+    if label == "headline" and (placed["cold"] <= 0 or placed["warm"] <= 0):
+        fail(f"{where}: headline config placed no containers")
+    if require_warm_win:
+        s = tier["summary"]
+        if s["sched_speedup"] <= 1.0:
+            fail(f"{where}: warm scheduler is not faster than cold "
+                 f"(sched_speedup {s['sched_speedup']:.3f})")
+        if s["solver_speedup"] <= 1.0:
+            fail(f"{where}: warm solver is not faster than cold "
+                 f"(solver_speedup {s['solver_speedup']:.3f})")
+
+
+def main(path, chaos=False, tiers=None, require_warm_win=False):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
 
-    for section in ("config", "solver", "per_batch", "summary", "obs"):
+    for section in ("config", "solver", "per_batch", "summary", "tiers", "obs"):
         if section not in doc:
             fail(f"missing section {section!r}")
 
@@ -64,18 +125,17 @@ def main(path, chaos=False):
         fail("per_batch series length disagrees with config.batches")
 
     summary = doc["summary"]
-    for key in (
-        "solver_cold_total_ms",
-        "solver_warm_total_ms",
-        "solver_speedup",
-        "sched_cold_total_ms",
-        "sched_warm_total_ms",
-        "sched_speedup",
-    ):
-        if not isinstance(summary.get(key), (int, float)):
-            fail(f"summary.{key} must be a number")
-    if summary["solver_speedup"] <= 0 or summary["sched_speedup"] <= 0:
-        fail("speedups must be positive")
+    check_summary(summary)
+
+    tier_map = doc["tiers"]
+    if not isinstance(tier_map, dict) or not tier_map:
+        fail("tiers must be a non-empty object")
+    for name, tier in tier_map.items():
+        check_tier(name, tier, require_warm_win=require_warm_win)
+    for required in tiers or []:
+        if required not in tier_map:
+            fail(f"required tier {required!r} missing "
+                 f"(present: {sorted(tier_map)})")
 
     obs = doc["obs"]
     for key in ("counters", "histograms"):
@@ -86,6 +146,14 @@ def main(path, chaos=False):
     # warm-start-capable mincost backend.
     if obs["counters"].get(f"solver.{backend}.solves", 0) <= 0:
         fail(f"obs.counters['solver.{backend}.solves'] should be positive after the bench")
+    # GC accounting around every solve: the counters must exist (the bench
+    # registers them unconditionally) and be sane. Allocation budgets are
+    # asserted by the bench binary itself, where per-solve context exists.
+    for col in ("gc.solver_cold", "gc.solver_warm"):
+        for key in ("minor_words", "major_words", "compactions"):
+            v = obs["counters"].get(f"{col}.{key}")
+            if not isinstance(v, int) or v < 0:
+                fail(f"obs.counters['{col}.{key}'] must be a nonnegative int")
     errs = obs["counters"].get(f"solver.{backend}.errors")
     if not isinstance(errs, int) or errs < 0:
         fail(f"obs.counters['solver.{backend}.errors'] must be a nonnegative int")
@@ -144,11 +212,19 @@ def main(path, chaos=False):
             fail("chaos run recorded no ladder escalation")
 
     print(f"{path}: schema OK "
-          f"({config['batches']} batches, solver speedup {summary['solver_speedup']:.2f}x)")
+          f"(tiers {sorted(tier_map)}, {config['batches']} batches, "
+          f"solver speedup {summary['solver_speedup']:.2f}x)")
 
 
 if __name__ == "__main__":
     args = sys.argv[1:]
     chaos_flag = "--chaos" in args
-    args = [a for a in args if a != "--chaos"]
-    main(args[0] if args else "BENCH_sched.json", chaos=chaos_flag)
+    warm_win_flag = "--require-warm-win" in args
+    args = [a for a in args if a not in ("--chaos", "--require-warm-win")]
+    tiers_arg = []
+    for a in list(args):
+        if a.startswith("--tiers="):
+            tiers_arg = [t for t in a[len("--tiers="):].split(",") if t]
+            args.remove(a)
+    main(args[0] if args else "BENCH_sched.json", chaos=chaos_flag,
+         tiers=tiers_arg, require_warm_win=warm_win_flag)

@@ -198,22 +198,55 @@ let json_float_array a =
 
 let sum = Array.fold_left ( +. ) 0.
 
-let run_sched_bench () =
-  let machines = getenv_int "ALADDIN_BENCH_MACHINES" 1000 in
-  let batches = getenv_int "ALADDIN_BENCH_BATCHES" 50 in
-  let seed = getenv_int "ALADDIN_BENCH_SEED" 42 in
-  (* 48 containers per batch: large enough that a batch spans several
-     machines' worth of demand and the warm path has rebuild cost to
-     amortise — the old default of 6 produced a single trivial wave where
-     warm start only ever paid overhead. *)
-  let per_batch = getenv_int "ALADDIN_BENCH_BATCH_SIZE" 48 in
-  let backend = Flownet.Registry.of_env () in
-  let backend_name = Flownet.Registry.name backend in
-  let caps = Flownet.Registry.caps backend in
+(* The bench runs at named scale tiers. "current" is the historical default
+   config; "full" is the paper's scale (10k machines, 100k containers over
+   1000 batches) — the headline proving ground. Both run by default and both
+   land in BENCH_sched.json under "tiers"; setting any legacy
+   ALADDIN_BENCH_MACHINES/BATCHES/BATCH_SIZE variable collapses the run to
+   a single "custom" tier with those values. *)
+let tier_plan () =
+  let custom =
+    Sys.getenv_opt "ALADDIN_BENCH_MACHINES" <> None
+    || Sys.getenv_opt "ALADDIN_BENCH_BATCHES" <> None
+    || Sys.getenv_opt "ALADDIN_BENCH_BATCH_SIZE" <> None
+  in
+  let tier_of_name = function
+    | "current" -> Some ("current", 1000, 50, 48)
+    | "full" -> Some ("full", 10_000, 1000, 100)
+    | _ -> None
+  in
+  if custom then
+    [
+      ( "custom",
+        getenv_int "ALADDIN_BENCH_MACHINES" 1000,
+        getenv_int "ALADDIN_BENCH_BATCHES" 50,
+        getenv_int "ALADDIN_BENCH_BATCH_SIZE" 48 );
+    ]
+  else
+    match Sys.getenv_opt "ALADDIN_BENCH_TIERS" with
+    | Some s ->
+        let names = String.split_on_char ',' s |> List.map String.trim in
+        let tiers = List.filter_map tier_of_name names in
+        if tiers = [] then [ ("current", 1000, 50, 48) ] else tiers
+    | None -> [ ("current", 1000, 50, 48); ("full", 10_000, 1000, 100) ]
+
+(* Formatted JSON pieces one tier run produces; the last tier's also fill
+   the legacy top-level sections. *)
+type tier_out = {
+  t_config : string;
+  t_per_batch : string;
+  t_summary : string;
+  t_gc : string;
+  t_placed : string;
+  t_obs : string;
+}
+
+let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
+    ~backend_name ~caps =
   Format.printf
-    "== Incremental scheduling bench (%d machines, %d batches of ~%d, solver \
-     %s) ==@."
-    machines batches per_batch backend_name;
+    "== Incremental scheduling bench [%s] (%d machines, %d batches of ~%d, \
+     solver %s) ==@."
+    tier machines batches per_batch backend_name;
   let factor = float_of_int (batches * per_batch) /. 100_000. in
   let w =
     Alibaba.generate { (Alibaba.scaled factor) with Alibaba.seed = seed }
@@ -258,6 +291,11 @@ let run_sched_bench () =
   let cache = Aladdin.Flow_graph.projection_cache ~machine_cost () in
   let warm = Aladdin.Flow_graph.projection_warm cache in
   Obs.reset ();
+  (* Word/compaction deltas around each solve accumulate here; the warm
+     column is the zero-allocation claim's witness (a small constant per
+     solve is the result boxing plus the sampler's own floor). *)
+  let gc_cold = Obs.gc_scope "gc.solver_cold" in
+  let gc_warm = Obs.gc_scope "gc.solver_warm" in
   install_faults ();
   if fault_rate > 0. then
     Format.printf "fault injection active (rate %.3f, seed %d)@." fault_rate
@@ -271,6 +309,7 @@ let run_sched_bench () =
   let solver_warm = Array.make n_waves 0. in
   let sched_cold_ms = Array.make n_waves 0. in
   let sched_warm_ms = Array.make n_waves 0. in
+  let placed_cold = ref 0 and placed_warm = ref 0 in
   List.iteri
     (fun i wave ->
       (* both solver paths see the same pre-batch cluster state; capping
@@ -287,11 +326,12 @@ let run_sched_bench () =
       let g, src, dst = Aladdin.Flow_graph.scalar_projection ~machine_cost fg in
       perturb_graph g;
       let st_cold =
-        if ladder_active then
-          fst
-            (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
-               ~max_flow:demand g ~src ~dst)
-        else Flownet.Registry.solve backend ~max_flow:demand g ~src ~dst
+        Obs.with_gc gc_cold (fun () ->
+            if ladder_active then
+              fst
+                (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
+                   ~max_flow:demand g ~src ~dst)
+            else Flownet.Registry.solve backend ~max_flow:demand g ~src ~dst)
       in
       let t1 = Obs.now_ns () in
       let gi, si, ti =
@@ -300,13 +340,14 @@ let run_sched_bench () =
       (* Non-warm-start backends just solve the incremental projection
          cold — the warm column then measures the projection reuse alone. *)
       let st_warm =
-        if ladder_active then
-          fst
-            (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
-               ~warm ~max_flow:demand gi ~src:si ~dst:ti)
-        else
-          Flownet.Registry.solve backend ~warm ~max_flow:demand gi ~src:si
-            ~dst:ti
+        Obs.with_gc gc_warm (fun () ->
+            if ladder_active then
+              fst
+                (Flownet.Registry.solve_ladder ~rungs:ladder_rungs ~deadline_ms
+                   ~warm ~max_flow:demand gi ~src:si ~dst:ti)
+            else
+              Flownet.Registry.solve backend ~warm ~max_flow:demand gi ~src:si
+                ~dst:ti)
       in
       let t2 = Obs.now_ns () in
       (match (st_cold, st_warm) with
@@ -335,10 +376,12 @@ let run_sched_bench () =
       solver_cold.(i) <- ms_of t0 t1;
       solver_warm.(i) <- ms_of t1 t2;
       let t3 = Obs.now_ns () in
-      ignore (sched_cold.Scheduler.schedule cl_cold wave);
+      let out_cold = sched_cold.Scheduler.schedule cl_cold wave in
       let t4 = Obs.now_ns () in
-      ignore (sched_warm.Scheduler.schedule cl_warm wave);
+      let out_warm = sched_warm.Scheduler.schedule cl_warm wave in
       let t5 = Obs.now_ns () in
+      placed_cold := !placed_cold + List.length out_cold.Scheduler.placed;
+      placed_warm := !placed_warm + List.length out_warm.Scheduler.placed;
       sched_cold_ms.(i) <- ms_of t3 t4;
       sched_warm_ms.(i) <- ms_of t4 t5)
     waves;
@@ -368,35 +411,122 @@ let run_sched_bench () =
   Format.printf
     "scheduler: from-scratch %.2f ms, warm %.2f ms over %d batches (%.2fx)@."
     (sum sched_cold_ms) (sum sched_warm_ms) n_waves sched_speedup;
+  let gcount name = Obs.count (Obs.counter name) in
+  let warm_words_per_solve =
+    float_of_int (gcount "gc.solver_warm.minor_words")
+    /. float_of_int (max 1 n_waves)
+  in
+  Format.printf
+    "gc: warm solve %.0f minor words/solve, cold %.0f; placed %d cold / %d \
+     warm of %d@."
+    warm_words_per_solve
+    (float_of_int (gcount "gc.solver_cold.minor_words")
+    /. float_of_int (max 1 n_waves))
+    !placed_cold !placed_warm n;
   if ladder_active then
     Format.printf
       "deadline: %d exceeded, %d ladder escalations, audit %d violations / %d \
        repairs / %d unrepaired@."
-      (Obs.count (Obs.counter "deadline.exceeded"))
-      (Obs.count (Obs.counter "ladder.escalations"))
-      (Obs.count (Obs.counter "audit.violations"))
-      (Obs.count (Obs.counter "audit.repairs"))
-      (Obs.count (Obs.counter "audit.unrepaired"));
+      (gcount "deadline.exceeded")
+      (gcount "ladder.escalations")
+      (gcount "audit.violations")
+      (gcount "audit.repairs")
+      (gcount "audit.unrepaired");
+  if not (Fault.active () || ladder_active) then begin
+    (* Headline configs must actually place work... *)
+    if !placed_warm = 0 || !placed_cold = 0 then
+      failwith "sched bench: headline config placed no containers";
+    (* ...and the warm min-cost solve must stay allocation-free: a small
+       constant per solve is result boxing + GC-sampling floor, anything
+       scaling with the graph (tens of thousands of words at these tiers)
+       means an O(n) allocation crept back into the hot path. *)
+    let max_warm_words =
+      float_of_int (getenv_int "ALADDIN_BENCH_MAX_WARM_WORDS" 2048)
+    in
+    if
+      caps.Flownet.Solver_intf.warm_start
+      && warm_words_per_solve > max_warm_words
+    then
+      failwith
+        (Printf.sprintf
+           "sched bench: warm solve allocates %.0f minor words/solve (budget \
+            %.0f)"
+           warm_words_per_solve max_warm_words)
+  end;
+  Fault.clear ();
+  Format.printf "@.";
+  let gc_json prefix =
+    Printf.sprintf
+      {|{"minor_words":%d,"major_words":%d,"compactions":%d}|}
+      (gcount (prefix ^ ".minor_words"))
+      (gcount (prefix ^ ".major_words"))
+      (gcount (prefix ^ ".compactions"))
+  in
+  {
+    t_config =
+      Printf.sprintf
+        {|{"tier":"%s","label":"%s","machines":%d,"batches":%d,"containers":%d,"per_batch":%d,"seed":%d,"deadline_ms":%g,"ladder":"%s"}|}
+        tier
+        (if ladder_active then "deadline-ladder" else "headline")
+        machines n_waves n per_batch seed deadline_ms
+        (if ladder_active then String.concat "," ladder_rungs else "");
+    t_per_batch =
+      Printf.sprintf
+        {|{"solver_cold_ms":%s,"solver_warm_ms":%s,"sched_cold_ms":%s,"sched_warm_ms":%s}|}
+        (json_float_array solver_cold)
+        (json_float_array solver_warm)
+        (json_float_array sched_cold_ms)
+        (json_float_array sched_warm_ms);
+    t_summary =
+      Printf.sprintf
+        {|{"solver_cold_total_ms":%.4f,"solver_warm_total_ms":%.4f,"solver_speedup":%.4f,"sched_cold_total_ms":%.4f,"sched_warm_total_ms":%.4f,"sched_speedup":%.4f}|}
+        (sum solver_cold) (sum solver_warm) solver_speedup (sum sched_cold_ms)
+        (sum sched_warm_ms) sched_speedup;
+    t_gc =
+      Printf.sprintf {|{"solver_cold":%s,"solver_warm":%s}|}
+        (gc_json "gc.solver_cold") (gc_json "gc.solver_warm");
+    t_placed =
+      Printf.sprintf {|{"cold":%d,"warm":%d}|} !placed_cold !placed_warm;
+    t_obs = Obs.json ();
+  }
+
+let run_sched_bench () =
+  let seed = getenv_int "ALADDIN_BENCH_SEED" 42 in
+  let backend = Flownet.Registry.of_env () in
+  let backend_name = Flownet.Registry.name backend in
+  let caps = Flownet.Registry.caps backend in
+  let outs =
+    List.map
+      (fun (tier, machines, batches, per_batch) ->
+        ( tier,
+          run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
+            ~backend_name ~caps ))
+      (tier_plan ())
+  in
+  let _, last = List.nth outs (List.length outs - 1) in
+  let tiers_json =
+    String.concat ","
+      (List.map
+         (fun (tier, o) ->
+           Printf.sprintf
+             {|"%s":{"config":%s,"summary":%s,"gc":%s,"containers_placed":%s}|}
+             tier o.t_config o.t_summary o.t_gc o.t_placed)
+         outs)
+  in
   let oc = open_out "BENCH_sched.json" in
   Printf.fprintf oc
-    {|{"config":{"machines":%d,"batches":%d,"containers":%d,"seed":%d,"deadline_ms":%g,"ladder":"%s"},
+    {|{"config":%s,
 "solver":{"backend":"%s","min_cost":%b,"supports_max_flow":%b,"warm_start":%b},
-"per_batch":{"solver_cold_ms":%s,"solver_warm_ms":%s,"sched_cold_ms":%s,"sched_warm_ms":%s},
-"summary":{"solver_cold_total_ms":%.4f,"solver_warm_total_ms":%.4f,"solver_speedup":%.4f,"sched_cold_total_ms":%.4f,"sched_warm_total_ms":%.4f,"sched_speedup":%.4f},
+"per_batch":%s,
+"summary":%s,
+"tiers":{%s},
 "obs":%s}
 |}
-    machines n_waves n seed deadline_ms
-    (if ladder_active then String.concat "," ladder_rungs else "")
-    backend_name caps.Flownet.Solver_intf.min_cost
+    last.t_config backend_name caps.Flownet.Solver_intf.min_cost
     caps.Flownet.Solver_intf.supports_max_flow
-    caps.Flownet.Solver_intf.warm_start (json_float_array solver_cold)
-    (json_float_array solver_warm)
-    (json_float_array sched_cold_ms)
-    (json_float_array sched_warm_ms)
-    (sum solver_cold) (sum solver_warm) solver_speedup (sum sched_cold_ms)
-    (sum sched_warm_ms) sched_speedup (Obs.json ());
+    caps.Flownet.Solver_intf.warm_start last.t_per_batch last.t_summary
+    tiers_json last.t_obs;
   close_out oc;
-  Fault.clear ();
   Format.printf "wrote BENCH_sched.json@.@."
 
 let run_full_harness () =

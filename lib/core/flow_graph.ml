@@ -192,7 +192,7 @@ let projection_delta cache = cache.p_delta
 let projection_invalidate cache =
   cache.p_graph <- None;
   cache.p_cluster <- None;
-  cache.p_warm.Flownet.Mincost.potential <- [||];
+  cache.p_warm.Flownet.Mincost.pot_n <- 0;
   cache.p_warm.Flownet.Mincost.prevalidated <- false
 
 let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
@@ -258,7 +258,7 @@ let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
       cache.p_machine_arc <- machine_arc;
       cache.p_machine_cap <- machine_cap;
       cache.p_machine_cost <- machine_cost;
-      cache.p_warm.Flownet.Mincost.potential <- [||];
+      cache.p_warm.Flownet.Mincost.pot_n <- 0;
       cache.p_warm.Flownet.Mincost.prevalidated <- false;
       (g, 0)
     end
@@ -268,7 +268,9 @@ let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
       Flownet.Graph.truncate g cache.p_fixed_mark;
       Flownet.Graph.reset_flows g;
       let pot = cache.p_warm.Flownet.Mincost.potential in
-      let have_pot = Array.length pot = Flownet.Graph.n_vertices g in
+      let have_pot =
+        cache.p_warm.Flownet.Mincost.pot_n = Flownet.Graph.n_vertices g
+      in
       let caps_updated = ref 0 in
       let min_sink = ref max_int in
       for y = 0 to nn - 1 do
@@ -285,7 +287,7 @@ let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
           cache.p_machine_cost.(y) <- cost
         end;
         if have_pot && cap > 0 then begin
-          let s = cost + pot.(nv y) in
+          let s = cost + pot.{nv y} in
           if s < !min_sink then min_sink := s
         end
       done;
@@ -295,7 +297,7 @@ let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
          other arc's reduced cost, so lowering it to min(cost + pot N) over
          the live machine arcs repairs them all without touching the rest
          of the vector. *)
-      if have_pot && !min_sink < pot.(sink) then pot.(sink) <- !min_sink;
+      if have_pot && !min_sink < pot.{sink} then pot.{sink} <- !min_sink;
       Obs.add c_caps_updated !caps_updated;
       (g, !caps_updated)
     end
@@ -326,17 +328,17 @@ let scalar_projection_incremental ?(dim = Resource.cpu_dim) cache t =
      exactly 0, A→G_k becomes P - potential(G_k) >= 0), so the whole carried
      vector stays valid and the SPFA bootstrap is skipped. *)
   let pot = cache.p_warm.Flownet.Mincost.potential in
-  if Array.length pot = Flownet.Graph.n_vertices g then begin
+  if cache.p_warm.Flownet.Mincost.pot_n = Flownet.Graph.n_vertices g then begin
     let p = ref 0 in
     for k = 0 to ng - 1 do
-      if pot.(gv k) > !p then p := pot.(gv k)
+      if pot.{gv k} > !p then p := pot.{gv k}
     done;
-    pot.(source) <- !p;
+    pot.{source} <- !p;
     for i = 0 to nt - 1 do
-      pot.(tv i) <- !p
+      pot.{tv i} <- !p
     done;
     for j = 0 to na - 1 do
-      pot.(av j) <- !p
+      pot.{av j} <- !p
     done;
     (* The vector is now valid arc-by-arc: the fixed tier by the bootstrap
        invariant (Mincost fills unreachable vertices with the max finite

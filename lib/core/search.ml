@@ -32,8 +32,12 @@ type t = {
   (* Machine equivalence classes, keyed on the free-resource signature.
      "Free vector F cannot host demand D" is a pure fact about the two
      vectors, so entries stay valid forever — across batches included —
-     and machines sharing a signature share the verdict. *)
-  unfit : (Resource.t * Resource.t, unit) Hashtbl.t;
+     and machines sharing a signature share the verdict. Two levels
+     (demand, then free signature) so the per-machine probe in the scan
+     loop hashes only the free vector, with the demand table resolved
+     once per container. Sound because [Machine.free] snapshots are
+     replaced on placement, never mutated in place. *)
+  unfit : (Resource.t, (Resource.t, unit) Hashtbl.t) Hashtbl.t;
 }
 
 let min_demand_of batch ~dims =
@@ -85,7 +89,7 @@ let create ?(il = true) ?(dl = true) ?(eq = false) fg =
          else Bytes.empty);
       failed_app =
         (if il then Bytes.make ((n_app_slots + 7) / 8) '\000' else Bytes.empty);
-      unfit = (if eq then Hashtbl.create 256 else Hashtbl.create 1);
+      unfit = (if eq then Hashtbl.create 64 else Hashtbl.create 1);
     }
   in
   (* Machines used by earlier batches are already active. *)
@@ -123,29 +127,31 @@ let refresh t fg =
   end;
   t.n_app_slots <- n_app_slots;
   (* Re-seed the packing preference exactly as a from-scratch create would:
-     the machines currently in use, in machine-id order. Only machines this
-     search has touched (active or parked) can have gained or lost
-     containers through the scheduler, so the rebuild is O(touched), not
-     O(cluster). *)
-  let touched = ref t.parked in
-  for i = t.n_active - 1 downto 0 do
-    touched := t.active.(i) :: !touched
+     the machines currently in use, in machine-id order. [is_active] is set
+     exactly for the machines this search has touched (the active prefix
+     plus the parked list — parking keeps the bit set), and only those can
+     have gained or lost containers through the scheduler. Drop the bit for
+     any that went back to empty, then one ascending scan of the bitmap
+     rebuilds the prefix in machine-id order — same order the old
+     sort-based rebuild produced, with no per-batch list churn or sort. *)
+  for i = 0 to t.n_active - 1 do
+    let mid = t.active.(i) in
+    if not (Machine.is_used (Cluster.machine t.cluster mid)) then
+      t.is_active.(mid) <- false
   done;
-  t.parked <- [];
-  t.n_active <- 0;
   List.iter
     (fun mid ->
       if not (Machine.is_used (Cluster.machine t.cluster mid)) then
         t.is_active.(mid) <- false)
-    !touched;
-  let used = List.sort_uniq Int.compare !touched in
-  List.iter
-    (fun mid ->
-      if t.is_active.(mid) then begin
-        t.active.(t.n_active) <- mid;
-        t.n_active <- t.n_active + 1
-      end)
-    used;
+    t.parked;
+  t.parked <- [];
+  t.n_active <- 0;
+  for mid = 0 to t.n_machines - 1 do
+    if t.is_active.(mid) then begin
+      t.active.(t.n_active) <- mid;
+      t.n_active <- t.n_active + 1
+    end
+  done;
   t.cursor <- 0;
   (* Per-batch stats, mirroring a fresh create. The cross-batch [unfit]
      equivalence table is deliberately kept. *)
@@ -202,6 +208,19 @@ let find_machine t (c : Container.t) =
     let best = ref None in
     let stop = ref false in
     let scanned = ref 0 in
+    (* Resolve this container's demand once: the probe loop below then
+       hashes only the machine's free vector, with no per-probe key
+       allocation. *)
+    let unfit_frees =
+      if t.eq then
+        match Hashtbl.find_opt t.unfit c.Container.demand with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 64 in
+            Hashtbl.replace t.unfit c.Container.demand h;
+            h
+      else Hashtbl.create 1
+    in
     let check mid =
       let skip =
         match slot with
@@ -215,13 +234,8 @@ let find_machine t (c : Container.t) =
            already known too small for this demand fails without being
            scanned. Sound because capacity fit is a pure function of
            (free, demand); blacklist conflicts stay per-machine. *)
-        let eq_key =
-          if t.eq then Some (Machine.free machine, c.Container.demand)
-          else None
-        in
-        let eq_unfit =
-          match eq_key with Some k -> Hashtbl.mem t.unfit k | None -> false
-        in
+        let free = Machine.free machine in
+        let eq_unfit = t.eq && Hashtbl.mem unfit_frees free in
         if eq_unfit then begin
           t.stats.eq_skips <- t.stats.eq_skips + 1;
           match slot with
@@ -244,11 +258,12 @@ let find_machine t (c : Container.t) =
               (* Record the equivalence-class verdict only for genuine
                  capacity misfits: offline machines also answer
                  No_capacity but their signature is not at fault. *)
-              (match (eq_key, err) with
-              | Some k, Cluster.No_capacity
-                when (not (Cluster.is_offline t.cluster mid))
+              (match err with
+              | Cluster.No_capacity
+                when t.eq
+                     && (not (Cluster.is_offline t.cluster mid))
                      && not (Machine.fits machine c.Container.demand) ->
-                  Hashtbl.replace t.unfit k ()
+                  Hashtbl.replace unfit_frees free ()
               | _ -> ())
         end
       end

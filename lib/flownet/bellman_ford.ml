@@ -1,11 +1,11 @@
-type result = { dist : int array; parent : int array; negative_cycle : bool }
+type result = { dist : Ia.t; parent : Ia.t; negative_cycle : bool }
 
 let run g ~src =
   let n = Graph.n_vertices g in
   let m = Graph.n_arcs g in
-  let dist = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  dist.(src) <- 0;
+  let dist = Ia.create ~fill:max_int n in
+  let parent = Ia.create ~fill:(-1) n in
+  dist.{src} <- 0;
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < n do
@@ -14,12 +14,12 @@ let run g ~src =
     for a = 0 to m - 1 do
       if Graph.residual g a > 0 then begin
         let u = Graph.src g a in
-        if dist.(u) <> max_int then begin
+        if dist.{u} <> max_int then begin
           let v = Graph.dst g a in
-          let nd = Inf.add dist.(u) (Graph.cost g a) in
-          if nd < dist.(v) then begin
-            dist.(v) <- nd;
-            parent.(v) <- a;
+          let nd = Inf.add dist.{u} (Graph.cost g a) in
+          if nd < dist.{v} then begin
+            dist.{v} <- nd;
+            parent.{v} <- a;
             changed := true
           end
         end
@@ -31,8 +31,8 @@ let run g ~src =
   for a = 0 to m - 1 do
     if Graph.residual g a > 0 then begin
       let u = Graph.src g a in
-      if dist.(u) <> max_int
-         && Inf.add dist.(u) (Graph.cost g a) < dist.(Graph.dst g a)
+      if dist.{u} <> max_int
+         && Inf.add dist.{u} (Graph.cost g a) < dist.{Graph.dst g a}
       then negative_cycle := true
     end
   done;

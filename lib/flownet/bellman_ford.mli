@@ -3,8 +3,8 @@
     tests as the reference shortest-path oracle. *)
 
 type result = {
-  dist : int array;
-  parent : int array;
+  dist : Ia.t;
+  parent : Ia.t;
   negative_cycle : bool;
 }
 

@@ -66,8 +66,8 @@ let run ?deadline ?max_flow g ~src ~dst =
       while excess.(v) > 0 && !progress do
         Deadline.tick_opt dl "cost_scaling.discharge";
         (* push along admissible arcs *)
-        for i = first.(v) to first.(v + 1) - 1 do
-          let a = arcs.(i) in
+        for i = first.{v} to first.{v + 1} - 1 do
+          let a = arcs.{i} in
           if excess.(v) > 0 && Graph.residual g a > 0 && reduced a < 0 then begin
             let d = min excess.(v) (Graph.residual g a) in
             Graph.push g a d;
@@ -83,8 +83,8 @@ let run ?deadline ?max_flow g ~src ~dst =
         if excess.(v) > 0 then begin
           (* relabel: lower the price just enough to open an arc *)
           let best = ref min_int in
-          for i = first.(v) to first.(v + 1) - 1 do
-            let a = arcs.(i) in
+          for i = first.{v} to first.{v + 1} - 1 do
+            let a = arcs.{i} in
             if Graph.residual g a > 0 then
               best := max !best (price.(Graph.dst g a) - cost a - !eps)
           done;

@@ -1,0 +1,153 @@
+(* Dial's bucket queue: a circular array of buckets over a power-of-two key
+   span, for monotone Dijkstra with small integer reduced costs.
+
+   Invariant: every stored key lies in [cur, cur + span). Bucket
+   [key land mask] then holds exactly one absolute key value, so extraction
+   is a forward scan of the cursor and every operation is O(1) amortised.
+   Each vertex appears at most once (decrease-key moves it between buckets
+   via an intrusive doubly-linked list), so the structure needs no per-entry
+   allocation: three unboxed vectors indexed by vertex, one by bucket.
+
+   When an insert lands beyond the span, the span doubles (rebucketing the
+   live entries) up to [max_span]; past that the caller must fall back to a
+   comparison heap — [insert] returns [false] to signal it. *)
+
+type t = {
+  mutable bucket : Ia.t;   (* head vertex per bucket, -1 = empty *)
+  mutable nxt : Ia.t;      (* per vertex: next in same bucket, -1 ends *)
+  mutable prv : Ia.t;      (* per vertex: previous in same bucket, -1 = head *)
+  mutable key_of : Ia.t;   (* per vertex: stored key, -1 = absent *)
+  mutable span : int;      (* power of two *)
+  mutable cur : int;       (* extraction cursor (smallest possible key) *)
+  mutable count : int;
+  max_span : int;
+  (* last popped entry, for the allocation-free [pop] protocol *)
+  mutable last_key : int;
+  mutable last_value : int;
+}
+
+let default_max_span = 1 lsl 18
+
+let rec pow2_at_least v x = if x >= v then x else pow2_at_least v (2 * x)
+
+let create ?(max_span = default_max_span) ?(span_hint = 256) () =
+  let span = min max_span (pow2_at_least (max 2 span_hint) 2) in
+  {
+    bucket = Ia.create ~fill:(-1) span;
+    nxt = Ia.empty;
+    prv = Ia.empty;
+    key_of = Ia.empty;
+    span;
+    cur = 0;
+    count = 0;
+    max_span;
+    last_key = 0;
+    last_value = 0;
+  }
+
+let size t = t.count
+let is_empty t = t.count = 0
+
+(* Reset for a fresh run over up to [n] vertices starting at key
+   [start_key]. The vertex vectors are cleared lazily by the caller's
+   footprint discipline: [clear_vertex] below undoes one vertex. Bucket
+   heads are only dirty where entries remain, and a finished Dijkstra run
+   drains the queue, so a full bucket wipe is needed only after an
+   abandoned run. *)
+let prepare t n ~start_key =
+  if t.count > 0 then Ia.fill_range t.bucket 0 (Ia.length t.bucket) (-1);
+  t.count <- 0;
+  t.cur <- start_key;
+  t.nxt <- Ia.ensure t.nxt n ~fill:(-1);
+  t.prv <- Ia.ensure t.prv n ~fill:(-1);
+  t.key_of <- Ia.ensure t.key_of n ~fill:(-1)
+
+let clear_vertex t v =
+  if v < Ia.length t.key_of then begin
+    t.key_of.{v} <- -1;
+    t.nxt.{v} <- -1;
+    t.prv.{v} <- -1
+  end
+
+let unlink t v =
+  let mask = t.span - 1 in
+  let p = t.prv.{v} and nx = t.nxt.{v} in
+  (if p >= 0 then t.nxt.{p} <- nx
+   else t.bucket.{t.key_of.{v} land mask} <- nx);
+  if nx >= 0 then t.prv.{nx} <- p;
+  t.nxt.{v} <- -1;
+  t.prv.{v} <- -1
+
+let link t v key =
+  let b = key land (t.span - 1) in
+  let h = t.bucket.{b} in
+  t.nxt.{v} <- h;
+  t.prv.{v} <- -1;
+  if h >= 0 then t.prv.{h} <- v;
+  t.bucket.{b} <- v;
+  t.key_of.{v} <- key
+
+(* Double the span, redistributing live entries. O(old span + count). *)
+let grow t =
+  let old_span = t.span in
+  let old_bucket = t.bucket in
+  t.span <- 2 * old_span;
+  t.bucket <- Ia.create ~fill:(-1) t.span;
+  for b = 0 to old_span - 1 do
+    let v = ref old_bucket.{b} in
+    while !v >= 0 do
+      let next = t.nxt.{!v} in
+      link t !v t.key_of.{!v};
+      v := next
+    done
+  done
+
+(* [insert t v key]: add vertex [v] with [key], or lower its key if already
+   present (keys never increase in a monotone Dijkstra). Returns [false]
+   when the key span would exceed [max_span] — the caller then migrates to
+   a heap via [drain]. *)
+let insert t v key =
+  if key < t.cur then invalid_arg "Dial.insert: key below cursor";
+  if key - t.cur >= t.max_span then false
+  else begin
+    while key - t.cur >= t.span do
+      grow t
+    done;
+    if t.key_of.{v} >= 0 then begin
+      unlink t v;
+      t.count <- t.count - 1
+    end;
+    link t v key;
+    t.count <- t.count + 1;
+    true
+  end
+
+(* Smallest-key entry, advancing the cursor; lands in
+   [last_key]/[last_value] so the Dijkstra inner loop pops without
+   creating garbage. *)
+let pop t =
+  if t.count = 0 then false
+  else begin
+    let mask = t.span - 1 in
+    while t.bucket.{t.cur land mask} < 0 do
+      t.cur <- t.cur + 1
+    done;
+    let v = t.bucket.{t.cur land mask} in
+    unlink t v;
+    t.last_key <- t.key_of.{v};
+    t.last_value <- v;
+    t.key_of.{v} <- -1;
+    t.count <- t.count - 1;
+    true
+  end
+
+let last_key t = t.last_key
+let last_value t = t.last_value
+let pop_min t = if pop t then Some (t.last_key, t.last_value) else None
+
+(* Hand every remaining entry to [f key vertex] and empty the queue, for
+   the span-overflow migration path. *)
+let drain t f =
+  while pop t do
+    f t.last_key t.last_value
+  done

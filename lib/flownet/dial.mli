@@ -1,0 +1,47 @@
+(** Dial's bucket queue for monotone Dijkstra with small integer reduced
+    costs: a circular bucket array over a power-of-two key span, entries
+    chained through intrusive per-vertex links — no allocation per
+    operation, O(1) insert/decrease-key, extraction by cursor scan.
+
+    Requires the monotone-key discipline of Dijkstra: keys handed to
+    {!insert} never lie below the largest key popped so far, and every
+    stored key is within [max_span] of it. The span grows (doubling,
+    rebucketing) to fit; past [max_span] {!insert} refuses and the caller
+    migrates to a comparison heap via {!drain}. *)
+
+type t
+
+val create : ?max_span:int -> ?span_hint:int -> unit -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+val prepare : t -> int -> start_key:int -> unit
+(** Ready the queue for a run over vertices [0 .. n-1] with smallest
+    possible key [start_key]. Per-vertex state left by a previous run must
+    be cleared through {!clear_vertex} by the caller's footprint
+    bookkeeping before the next {!prepare}. *)
+
+val clear_vertex : t -> int -> unit
+(** Forget any stored entry state for one vertex (footprint reset). *)
+
+val insert : t -> int -> int -> bool
+(** [insert t v key] adds [v] with [key], or lowers its key if present.
+    Returns [false] when [key] exceeds the queue's maximum span above the
+    cursor — the entry was NOT stored and the caller should {!drain} into
+    a heap.
+    @raise Invalid_argument if [key] is below the extraction cursor. *)
+
+val pop_min : t -> (int * int) option
+(** Smallest [(key, vertex)] stored, advancing the cursor. *)
+
+val pop : t -> bool
+(** Allocation-free {!pop_min}: [true] when an entry was popped, its key
+    and vertex then readable through {!last_key}/{!last_value} until the
+    next pop. *)
+
+val last_key : t -> int
+val last_value : t -> int
+
+val drain : t -> (int -> int -> unit) -> unit
+(** Pop everything in key order into [f key vertex], emptying the queue. *)

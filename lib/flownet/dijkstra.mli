@@ -1,18 +1,54 @@
 (** Dijkstra over the residual graph with Johnson potentials, for the
     min-cost solver's repeated shortest-path phases (all reduced costs are
-    non-negative once potentials are valid). *)
+    non-negative once potentials are valid).
+
+    Two priority queues back the search: the binary {!Heap} and a Dial's
+    bucket queue ({!Dial}) that wins when reduced costs are small integers
+    (the scheduler projections). {!queue_policy} selects; [Auto] decides
+    per run from {!Graph.max_cost} and migrates from Dial to the heap
+    mid-run if a reduced cost overflows the bucket span. The
+    [ALADDIN_DIJKSTRA] environment variable ([auto] | [heap] | [dial])
+    sets the initial policy. *)
 
 type result = {
-  dist : int array;    (** reduced-cost distances; max_int if unreachable *)
-  parent : int array;
+  dist : Ia.t;    (** reduced-cost distances; max_int if unreachable *)
+  parent : Ia.t;
 }
 
+type queue_policy = Auto | Force_heap | Force_dial
+
+val set_queue_policy : queue_policy -> unit
+val queue_policy : unit -> queue_policy
+
 type workspace
-(** Reusable label arrays + heap. A run resets only its predecessor's
-    footprint, so repeated runs cost O(explored region) each instead of
-    O(vertices) — the win behind the min-cost solver's augmentation loop. *)
+(** Reusable label vectors + both queues. A run resets only its
+    predecessor's footprint, so repeated runs cost O(explored region) each
+    instead of O(vertices) — and allocate zero words once the vectors have
+    grown to the graph — the win behind the min-cost solver's phase loop. *)
 
 val workspace : unit -> workspace
+
+val run_ws :
+  workspace ->
+  ?stop_at:int ->
+  ?deadline:Deadline.t ->
+  Graph.t ->
+  src:int ->
+  potential:Ia.t ->
+  int
+(** Allocation-free core: runs the search, leaving labels in the
+    workspace, and returns the settled distance of [stop_at] ([max_int]
+    when it never settled, including when [stop_at] is [-1]). Same raising
+    behaviour as {!run}. *)
+
+val relax_potentials : workspace -> potential:Ia.t -> d_dst:int -> unit
+(** Fold the last run's distances into [potential]:
+    [pot(v) += dist(v) - d_dst] for every vertex settled below [d_dst].
+    Equivalent (up to a uniform shift, which reduced costs ignore) to the
+    classic [pot(v) += min(dist(v), d_dst)] full-vector update, but only
+    touches the explored region. After it, every residual arc keeps a
+    nonnegative reduced cost and arcs on shortest [src]→[stop_at] paths
+    have reduced cost exactly 0. *)
 
 val run :
   ?ws:workspace ->
@@ -20,9 +56,9 @@ val run :
   ?deadline:Deadline.t ->
   Graph.t ->
   src:int ->
-  potential:int array ->
+  potential:Ia.t ->
   result
-(** With [ws], the result arrays are owned by the workspace (they may be
+(** With [ws], the result vectors are owned by the workspace (they may be
     longer than the vertex count) and are invalidated by the next run that
     uses it.
 
@@ -33,4 +69,4 @@ val run :
     @raise Invalid_argument when a reduced cost is negative (stale
     potentials).
     @raise Deadline.Expired when [deadline] (or the ambient {!Deadline})
-    runs out — ticked once per heap pop; the workspace stays reusable. *)
+    runs out — ticked once per queue pop; the workspace stays reusable. *)

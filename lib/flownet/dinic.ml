@@ -10,8 +10,8 @@ let build_levels ~dl g ~src ~dst level first arcs =
   while not (Queue.is_empty q) do
     Deadline.tick_opt dl "dinic.levels";
     let u = Queue.pop q in
-    for i = first.(u) to first.(u + 1) - 1 do
-      let a = arcs.(i) in
+    for i = first.{u} to first.{u + 1} - 1 do
+      let a = arcs.{i} in
       Obs.incr c_arcs;
       if Graph.residual g a > 0 then begin
         let v = Graph.dst g a in
@@ -35,9 +35,9 @@ let blocking_flow ~dl g ~src ~dst level cursor first arcs budget =
       let continue = ref true in
       while !continue do
         Deadline.tick_opt dl "dinic.blocking_flow";
-        if cursor.(u) >= first.(u + 1) then continue := false
+        if cursor.(u) >= first.{u + 1} then continue := false
         else begin
-          let a = arcs.(cursor.(u)) in
+          let a = arcs.{cursor.(u)} in
           let v = Graph.dst g a in
           let r = Graph.residual g a in
           if r > 0 && level.(v) = level.(u) + 1 then begin
@@ -67,7 +67,7 @@ let run ?deadline ?(max_flow = max_int) g ~src ~dst =
   let total = ref 0 in
   while !total < max_flow && build_levels ~dl g ~src ~dst level first arcs do
     Obs.incr c_phases;
-    Array.blit first 0 cursor 0 n;
+    for v = 0 to n - 1 do cursor.(v) <- first.{v} done;
     let pushed =
       blocking_flow ~dl g ~src ~dst level cursor first arcs (max_flow - !total)
     in

@@ -3,11 +3,14 @@
    residual twins. Dynamic arrays grow by doubling.
 
    On top of the linked lists sits an optional *frozen CSR view*: contiguous
-   [first_out]/[arc_of] arrays built by one counting sort over the arena.
+   [first_out]/[arc_of] vectors built by one counting sort over the arena.
    Solvers freeze the graph once per batch and then walk adjacency as a
    dense index range instead of chasing [next_] pointers — the hot loops
-   become sequential array reads. Any topology change (adding or truncating
-   arcs) invalidates the view; flow, capacity and cost updates keep it. *)
+   become sequential array reads. The CSR vectors are unboxed Bigarray
+   buffers owned by the graph and re-sorted in place, so a re-freeze after
+   an incremental batch edit allocates nothing. Any topology change (adding
+   or truncating arcs) invalidates the view; flow, capacity and cost
+   updates keep it. *)
 
 type t = {
   n : int;
@@ -20,8 +23,16 @@ type t = {
   head : int array;           (* first arc out of vertex, -1 if none *)
   mutable src_ : int array;
   mutable csr_m : int;        (* arc count the CSR view was built at; -1 = never *)
-  mutable csr_first : int array;  (* n+1 prefix offsets into csr_arcs *)
-  mutable csr_arcs : int array;   (* arc ids grouped by source vertex *)
+  mutable csr_first : Ia.t;   (* n+1 prefix offsets into csr_arcs *)
+  mutable csr_arcs : Ia.t;    (* arc ids grouped by source vertex *)
+  mutable csr_cursor : Ia.t;  (* counting-sort scratch, reused per freeze *)
+  (* Arcs whose flow went nonzero since the last [reset_flows], as twin-pair
+     base ids (duplicates allowed — zeroing twice is free). Lets the reset
+     cost O(arcs touched by the last solve), not O(arena). *)
+  mutable dirty : int array;
+  mutable n_dirty : int;
+  mutable all_dirty : bool;
+  mutable max_cost_ : int;    (* max |cost| ever stored (never decreases) *)
 }
 
 let c_freezes = Obs.counter "graph.freezes"
@@ -40,12 +51,18 @@ let create ?(arc_hint = 16) n =
     head = Array.make (max n 1) (-1);
     src_ = Array.make cap 0;
     csr_m = -1;
-    csr_first = [||];
-    csr_arcs = [||];
+    csr_first = Ia.empty;
+    csr_arcs = Ia.empty;
+    csr_cursor = Ia.empty;
+    dirty = [||];
+    n_dirty = 0;
+    all_dirty = false;
+    max_cost_ = 0;
   }
 
 let n_vertices g = g.n
 let n_arcs g = g.m
+let max_cost g = g.max_cost_
 
 let grow g =
   let old = Array.length g.dst_ in
@@ -74,6 +91,7 @@ let push_raw g ~src ~dst ~cap ~cost =
   g.head.(src) <- id;
   g.m <- id + 1;
   g.csr_m <- -1;
+  if abs cost > g.max_cost_ then g.max_cost_ <- abs cost;
   id
 
 let add_arc g ~src ~dst ~cap ~cost =
@@ -90,24 +108,25 @@ let freeze g =
   if not (frozen g) then begin
     Obs.incr c_freezes;
     let n = g.n and m = g.m in
-    let first = Array.make (n + 1) 0 in
+    g.csr_first <- Ia.ensure g.csr_first (n + 1) ~fill:0;
+    g.csr_cursor <- Ia.ensure g.csr_cursor (n + 1) ~fill:0;
+    g.csr_arcs <- Ia.ensure g.csr_arcs (max 1 m) ~fill:0;
+    let first = g.csr_first and cursor = g.csr_cursor and arcs = g.csr_arcs in
+    Ia.fill_range first 0 (n + 1) 0;
     for a = 0 to m - 1 do
       let s = g.src_.(a) in
-      first.(s + 1) <- first.(s + 1) + 1
+      first.{s + 1} <- first.{s + 1} + 1
     done;
     for v = 1 to n do
-      first.(v) <- first.(v) + first.(v - 1)
+      first.{v} <- first.{v} + first.{v - 1}
     done;
-    let arcs = Array.make (max 1 m) 0 in
     (* second pass fills each vertex's slice in insertion (arc-id) order *)
-    let cursor = Array.copy first in
+    Ia.blit first 0 cursor 0 (n + 1);
     for a = 0 to m - 1 do
       let s = g.src_.(a) in
-      arcs.(cursor.(s)) <- a;
-      cursor.(s) <- cursor.(s) + 1
+      arcs.{cursor.{s}} <- a;
+      cursor.{s} <- cursor.{s} + 1
     done;
-    g.csr_first <- first;
-    g.csr_arcs <- arcs;
     g.csr_m <- m
   end
 
@@ -131,12 +150,31 @@ let residual g a = check_arc g a; g.cap_.(a) - g.flow_.(a)
 let rev a = a lxor 1
 let is_forward a = a land 1 = 0
 
+let mark_dirty g a =
+  if not g.all_dirty then begin
+    (* Past half the arena a per-arc list stops paying for itself — the
+       blanket fill is a single memset over the same memory. *)
+    if g.n_dirty >= Array.length g.dirty then begin
+      if g.n_dirty >= g.m / 2 then g.all_dirty <- true
+      else begin
+        let grown = Array.make (max 64 (2 * g.n_dirty)) 0 in
+        Array.blit g.dirty 0 grown 0 g.n_dirty;
+        g.dirty <- grown
+      end
+    end;
+    if not g.all_dirty then begin
+      g.dirty.(g.n_dirty) <- a land lnot 1;
+      g.n_dirty <- g.n_dirty + 1
+    end
+  end
+
 let push g a d =
   check_arc g a;
   if d > g.cap_.(a) - g.flow_.(a) then
     invalid_arg "Graph.push: exceeds residual capacity";
   g.flow_.(a) <- g.flow_.(a) + d;
-  g.flow_.(rev a) <- g.flow_.(rev a) - d
+  g.flow_.(rev a) <- g.flow_.(rev a) - d;
+  mark_dirty g a
 
 let set_capacity g a c =
   check_arc g a;
@@ -147,9 +185,23 @@ let set_cost g a c =
   check_arc g a;
   if not (is_forward a) then invalid_arg "Graph.set_cost: twin arc";
   g.cost_.(a) <- c;
-  g.cost_.(rev a) <- -c
+  g.cost_.(rev a) <- -c;
+  if abs c > g.max_cost_ then g.max_cost_ <- abs c
 
-let reset_flows g = Array.fill g.flow_ 0 g.m 0
+let reset_flows g =
+  if g.all_dirty then Array.fill g.flow_ 0 g.m 0
+  else
+    for i = 0 to g.n_dirty - 1 do
+      let a = g.dirty.(i) in
+      (* [truncate] may have dropped arcs recorded here; their slots are
+         rewritten to zero flow on reuse anyway. *)
+      if a < g.m then begin
+        g.flow_.(a) <- 0;
+        g.flow_.(a + 1) <- 0
+      end
+    done;
+  g.n_dirty <- 0;
+  g.all_dirty <- false
 
 let mark g = g.m
 
@@ -170,8 +222,8 @@ let truncate g mark =
 let iter_out g v f =
   if frozen g then begin
     let first = g.csr_first and arcs = g.csr_arcs in
-    for i = first.(v) to first.(v + 1) - 1 do
-      f arcs.(i)
+    for i = first.{v} to first.{v + 1} - 1 do
+      f arcs.{i}
     done
   end
   else begin

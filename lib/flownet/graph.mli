@@ -50,7 +50,15 @@ val set_cost : t -> int -> int -> unit
     @raise Invalid_argument on a twin arc id. *)
 
 val reset_flows : t -> unit
-(** Zero all flows, keeping the topology. *)
+(** Zero all flows, keeping the topology. Costs O(arcs pushed since the
+    last reset) — the graph tracks which twin pairs went dirty — falling
+    back to one pass over the arena when most of it was touched. *)
+
+val max_cost : t -> int
+(** Upper bound on [abs (cost arc)] over every arc ever stored (monotone —
+    not lowered by {!set_cost} or {!truncate}). Used to pick the Dijkstra
+    priority-queue implementation: small bounded costs admit a Dial bucket
+    queue. *)
 
 val mark : t -> int
 (** Checkpoint of the arc arena (the current arc count), for {!truncate}. *)
@@ -67,7 +75,9 @@ val truncate : t -> int -> unit
 
 val freeze : t -> unit
 (** Build (or refresh) the contiguous CSR adjacency view: one counting
-    sort over the arc arena. Idempotent — a no-op when the view is already
+    sort over the arc arena, into unboxed {!Ia.t} buffers owned by the
+    graph and reused across freezes — a re-freeze allocates nothing once
+    the buffers fit. Idempotent — a no-op when the view is already
     current — so solvers call it unconditionally at entry and only the
     first solve after a topology change pays. While frozen, {!iter_out}
     and {!fold_out} walk the CSR arrays; per-vertex arc order becomes
@@ -77,16 +87,17 @@ val freeze : t -> unit
 val frozen : t -> bool
 (** Whether the CSR view is current (built and not invalidated since). *)
 
-val first_out : t -> int array
-(** Frozen view: [n_vertices + 1] prefix offsets into {!arc_of}; vertex
-    [v]'s out-arcs occupy indices [first_out.(v) .. first_out.(v+1) - 1].
-    The returned array is live and must not be mutated; it is only valid
-    until the next topology change.
+val first_out : t -> Ia.t
+(** Frozen view: prefix offsets into {!arc_of}; vertex [v]'s out-arcs
+    occupy indices [(first_out g).{v} .. (first_out g).{v+1} - 1]. The
+    returned vector is live, may be longer than [n_vertices + 1] (only the
+    first [n_vertices + 1] cells are meaningful), must not be mutated, and
+    is only valid until the next topology change.
     @raise Invalid_argument if the graph is not frozen. *)
 
-val arc_of : t -> int array
+val arc_of : t -> Ia.t
 (** Frozen view: arc ids grouped by source vertex (see {!first_out}).
-    Same aliasing and validity caveats.
+    Same aliasing, length and validity caveats.
     @raise Invalid_argument if the graph is not frozen. *)
 
 val rev : int -> int

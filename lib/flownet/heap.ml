@@ -2,11 +2,20 @@ type t = {
   mutable keys : int array;
   mutable values : int array;
   mutable n : int;
+  (* last popped entry, for the allocation-free [pop] protocol *)
+  mutable last_key : int;
+  mutable last_value : int;
 }
 
 let create ?(capacity = 16) () =
   let capacity = max capacity 1 in
-  { keys = Array.make capacity 0; values = Array.make capacity 0; n = 0 }
+  {
+    keys = Array.make capacity 0;
+    values = Array.make capacity 0;
+    n = 0;
+    last_key = 0;
+    last_value = 0;
+  }
 
 let is_empty h = h.n = 0
 let size h = h.n
@@ -53,15 +62,23 @@ let push h ~key ~value =
   h.n <- h.n + 1;
   sift_up h (h.n - 1)
 
-let pop_min h =
-  if h.n = 0 then None
+(* Allocation-free pop: the result lands in [last_key]/[last_value]
+   instead of a boxed option — the Dijkstra inner loop pops thousands of
+   times per solve and must not create garbage. *)
+let pop h =
+  if h.n = 0 then false
   else begin
-    let k = h.keys.(0) and v = h.values.(0) in
+    h.last_key <- h.keys.(0);
+    h.last_value <- h.values.(0);
     h.n <- h.n - 1;
     if h.n > 0 then begin
       h.keys.(0) <- h.keys.(h.n);
       h.values.(0) <- h.values.(h.n);
       sift_down h 0
     end;
-    Some (k, v)
+    true
   end
+
+let last_key h = h.last_key
+let last_value h = h.last_value
+let pop_min h = if pop h then Some (h.last_key, h.last_value) else None

@@ -10,4 +10,12 @@ val push : t -> key:int -> value:int -> unit
 val pop_min : t -> (int * int) option
 (** Pops the pair with the smallest key, as [(key, value)]. *)
 
+val pop : t -> bool
+(** Allocation-free pop: [true] when an entry was popped, its key and value
+    then readable through {!last_key}/{!last_value} until the next pop. The
+    solver inner loops use this instead of {!pop_min} to stay garbage-free. *)
+
+val last_key : t -> int
+val last_value : t -> int
+
 val clear : t -> unit

@@ -1,0 +1,27 @@
+(** Unboxed native-int vectors ([Bigarray.int] / C layout) for the solver
+    hot paths: CSR adjacency, distance/potential/parent labels, bucket
+    queues. Access via [a.{i}] reads and writes raw machine words with no
+    allocation and no GC traffic, which is what lets a warm min-cost solve
+    run allocation-free. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : ?fill:int -> int -> t
+(** Freshly allocated vector of [n] cells, each set to [fill] (default 0). *)
+
+val empty : t
+
+val length : t -> int
+
+val fill_range : t -> int -> int -> int -> unit
+(** [fill_range a pos len v] sets [a.{pos} .. a.{pos+len-1}] to [v]. *)
+
+val blit : t -> int -> t -> int -> int -> unit
+(** [blit src spos dst dpos len], semantics of {!Array.blit}. *)
+
+val ensure : t -> int -> fill:int -> t
+(** [ensure a n ~fill] is [a] if it already has [n] cells, else a
+    geometrically grown copy whose new tail cells are [fill]. *)
+
+val of_array : int array -> t
+val to_array : t -> int array

@@ -2,7 +2,7 @@ let bfs_parents ?(admit = fun _ -> true) g ~src ~dst =
   Graph.freeze g;
   let n = Graph.n_vertices g in
   let first = Graph.first_out g and arcs = Graph.arc_of g in
-  let parent = Array.make n (-1) in
+  let parent = Ia.create ~fill:(-1) n in
   let seen = Array.make n false in
   let q = Queue.create () in
   seen.(src) <- true;
@@ -10,13 +10,13 @@ let bfs_parents ?(admit = fun _ -> true) g ~src ~dst =
   let found = ref (src = dst) in
   while (not !found) && not (Queue.is_empty q) do
     let u = Queue.pop q in
-    for i = first.(u) to first.(u + 1) - 1 do
-      let a = arcs.(i) in
+    for i = first.{u} to first.{u + 1} - 1 do
+      let a = arcs.{i} in
       if (not !found) && Graph.residual g a > 0 && admit a then begin
         let v = Graph.dst g a in
         if not seen.(v) then begin
           seen.(v) <- true;
-          parent.(v) <- a;
+          parent.{v} <- a;
           if v = dst then found := true else Queue.push v q
         end
       end
@@ -53,8 +53,8 @@ let min_cut g ~src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    for i = first.(u) to first.(u + 1) - 1 do
-      let a = arcs.(i) in
+    for i = first.{u} to first.{u + 1} - 1 do
+      let a = arcs.{i} in
       if Graph.residual g a > 0 then begin
         let v = Graph.dst g a in
         if not seen.(v) then begin

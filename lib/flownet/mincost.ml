@@ -1,19 +1,56 @@
+(* Successive shortest paths in primal-dual (blocking-flow) form.
+
+   Classic SSP runs one Dijkstra per augmenting path. Here each Dijkstra
+   phase instead ends with a Dinic-style blocking flow over the subgraph of
+   zero-reduced-cost residual arcs: after the potential update every arc on
+   a shortest src→dst path has reduced cost exactly 0, so the blocking flow
+   saturates *all* shortest paths of the current length at once and the
+   next Dijkstra is only needed when the path cost strictly increases. On
+   the scheduler projections — many machines sharing a price — this
+   collapses dozens of per-path Dijkstras into a handful of phases.
+
+   Every unit pushed in a phase travels a path of reduced cost 0, whose
+   real cost telescopes to pot(dst) - pot(src); the phase's cost is that
+   value times the units pushed, with no per-arc accumulation.
+
+   All label vectors are unboxed {!Ia.t} buffers carried in the warm state,
+   so a warm solve allocates zero words on the heap. *)
+
 type stats = { flow : int; cost : int; iterations : int }
 
 type warm = {
-  mutable potential : int array;
+  mutable potential : Ia.t;
+  mutable pot_n : int;
   mutable prevalidated : bool;
   ws : Dijkstra.workspace;
+  (* Blocking-flow scratch, internal: BFS hop levels over the rc-0
+     subgraph (-1 = unvisited at rest), the BFS queue ring, per-vertex CSR
+     cursors for the DFS, and the solve's working potentials. *)
+  mutable level : Ia.t;
+  mutable queue : Ia.t;
+  mutable cursor : Ia.t;
+  mutable pot : Ia.t;
 }
 
 let warm_create () =
-  { potential = [||]; prevalidated = false; ws = Dijkstra.workspace () }
+  {
+    potential = Ia.empty;
+    pot_n = 0;
+    prevalidated = false;
+    ws = Dijkstra.workspace ();
+    level = Ia.empty;
+    queue = Ia.empty;
+    cursor = Ia.empty;
+    pot = Ia.empty;
+  }
 
 let c_bootstraps = Obs.counter "mincost.spfa_bootstraps"
 let c_warm_hits = Obs.counter "mincost.warm_hits"
 let c_warm_misses = Obs.counter "mincost.warm_misses"
 let c_paths = Obs.counter "mincost.augmenting_paths"
 let c_dijkstra = Obs.counter "mincost.dijkstra_runs"
+let c_phases = Obs.counter "mincost.blocking_phases"
+let c_carry_refreshes = Obs.counter "mincost.carry_refreshes"
 let c_errors = Obs.counter "mincost.errors"
 
 (* The Dijkstra phases only ever explore the residual subgraph reachable
@@ -22,9 +59,9 @@ let c_errors = Obs.counter "mincost.errors"
    need only hold there. Arcs stranded beyond the reachable frontier (e.g.
    negative-cost arcs between vertices the source cannot feed) are
    irrelevant and must not invalidate a warm start. *)
-let potential_valid g ~src potential =
+let potential_valid g ~src (potential : Ia.t) =
   let n = Graph.n_vertices g in
-  if Array.length potential <> n then false
+  if Ia.length potential < n then false
   else begin
     let first = Graph.first_out g and arcs = Graph.arc_of g in
     let seen = Array.make n false in
@@ -36,13 +73,13 @@ let potential_valid g ~src potential =
       | [] -> ()
       | u :: rest ->
           stack := rest;
-          for i = first.(u) to first.(u + 1) - 1 do
-            let a = arcs.(i) in
+          for i = first.{u} to first.{u + 1} - 1 do
+            let a = arcs.{i} in
             if !ok && Graph.residual g a > 0 then begin
               let v = Graph.dst g a in
               if
-                Inf.add (Inf.add (Graph.cost g a) potential.(u))
-                  (-potential.(v))
+                Inf.add (Inf.add (Graph.cost g a) potential.{u})
+                  (-potential.{v})
                 < 0
               then ok := false
               else if not seen.(v) then begin
@@ -55,48 +92,143 @@ let potential_valid g ~src potential =
     !ok
   end
 
+let ensure_scratch w n =
+  w.level <- Ia.ensure w.level n ~fill:(-1);
+  w.queue <- Ia.ensure w.queue n ~fill:0;
+  w.cursor <- Ia.ensure w.cursor n ~fill:0;
+  w.pot <- Ia.ensure w.pot n ~fill:0
+
+(* BFS levels over residual arcs with zero reduced cost. Fills [w.level]
+   and [w.cursor] for the visited region, records it in [w.queue], and
+   returns the number of vertices visited — or 0 when [dst] is
+   unreachable in the rc-0 subgraph (levels already reset). *)
+let rc0_levels w ~dl g first arcs ~src ~dst =
+  let pot = w.pot and level = w.level and queue = w.queue in
+  level.{src} <- 0;
+  w.cursor.{src} <- first.{src};
+  queue.{0} <- src;
+  let qn = ref 1 in
+  let qh = ref 0 in
+  let dst_level = ref max_int in
+  while !qh < !qn do
+    Deadline.tick_opt dl "mincost.levels";
+    let u = queue.{!qh} in
+    incr qh;
+    (* No path through a vertex at dst's level or deeper can reach dst
+       strictly level-by-level, so stop expanding there. *)
+    if level.{u} < !dst_level then
+      for i = first.{u} to first.{u + 1} - 1 do
+        let a = arcs.{i} in
+        if Graph.residual g a > 0 then begin
+          let v = Graph.dst g a in
+          if
+            level.{v} < 0
+            && Inf.add (Inf.add (Graph.cost g a) pot.{u}) (-pot.{v}) = 0
+          then begin
+            level.{v} <- level.{u} + 1;
+            w.cursor.{v} <- first.{v};
+            queue.{!qn} <- v;
+            incr qn;
+            if v = dst then dst_level := level.{v}
+          end
+        end
+      done
+  done;
+  if !dst_level = max_int then begin
+    for i = 0 to !qn - 1 do
+      level.{queue.{i}} <- -1
+    done;
+    0
+  end
+  else !qn
+
+let reset_levels w visited =
+  for i = 0 to visited - 1 do
+    w.level.{w.queue.{i}} <- -1
+  done
+
+(* Dinic-style blocking flow over the level graph of the rc-0 subgraph:
+   per-vertex CSR cursors guarantee each arc is abandoned at most once per
+   phase. Recursion depth is the level of [dst]. *)
+let blocking_flow w ~dl g first arcs ~src ~dst budget =
+  let pot = w.pot and level = w.level and cursor = w.cursor in
+  let rec dfs u budget =
+    if u = dst then begin
+      Obs.incr c_paths;
+      budget
+    end
+    else begin
+      let sent = ref 0 in
+      let continue = ref true in
+      while !continue do
+        Deadline.tick_opt dl "mincost.blocking_flow";
+        if cursor.{u} >= first.{u + 1} then continue := false
+        else begin
+          let a = arcs.{cursor.{u}} in
+          let v = Graph.dst g a in
+          let r = Graph.residual g a in
+          if
+            r > 0
+            && level.{v} = level.{u} + 1
+            && Inf.add (Inf.add (Graph.cost g a) pot.{u}) (-pot.{v}) = 0
+          then begin
+            let d = dfs v (min (budget - !sent) r) in
+            if d > 0 then begin
+              Graph.push g a d;
+              sent := !sent + d;
+              if !sent = budget then continue := false
+            end
+            else cursor.{u} <- cursor.{u} + 1
+          end
+          else cursor.{u} <- cursor.{u} + 1
+        end
+      done;
+      !sent
+    end
+  in
+  dfs src budget
+
 let solve ?warm ~dl ~max_flow g ~src ~dst =
   let n = Graph.n_vertices g in
   Graph.freeze g;
-  (* One Dijkstra workspace for the whole augmentation loop (carried across
-     solves when warm), so each phase pays for the region it explores
-     rather than O(vertices) of allocation and initialisation. *)
-  let ws =
-    match warm with Some w -> w.ws | None -> Dijkstra.workspace ()
-  in
-  let potential = Array.make n 0 in
+  let first = Graph.first_out g and arcs = Graph.arc_of g in
+  let is_warm = warm <> None in
+  (* Cold solves use a throwaway warm record purely as a scratch holder;
+     only a caller-supplied one carries potentials to the next solve. *)
+  let w = match warm with Some w -> w | None -> warm_create () in
+  ensure_scratch w n;
+  let pot = w.pot in
   let total_flow = ref 0 in
   let total_cost = ref 0 in
   let iterations = ref 0 in
   let continue = ref (max_flow > 0) in
   let error = ref None in
   let warm_ok =
-    match warm with
-    | Some w
-      when Array.length w.potential = n
-           && (w.prevalidated || potential_valid g ~src w.potential) ->
-        (* [prevalidated] is a one-shot promise from a caller that maintains
-           validity by construction (the incremental projection checks the
-           arcs it edits); it spares the O(arcs) scan. *)
-        w.prevalidated <- false;
-        Array.blit w.potential 0 potential 0 n;
-        true
-    | Some w ->
-        w.prevalidated <- false;
-        Obs.incr c_warm_misses;
-        false
-    | None -> false
+    is_warm && w.pot_n = n
+    && (w.prevalidated || potential_valid g ~src w.potential)
   in
-  if warm_ok then Obs.incr c_warm_hits
+  w.prevalidated <- false;
+  (* Refresh the carried potentials from the first Dijkstra phase — but
+     only while no flow has been pushed yet: phase-1 potentials describe
+     the graph in its entry (all-reset) state, exactly what the next
+     batch's zero-flow solve starts from. Without this the carried vector
+     is only ever the original SPFA bootstrap and goes staler every batch,
+     which is precisely the work the warm path was redoing. *)
+  let carry_refresh = ref warm_ok in
+  if warm_ok then begin
+    Obs.incr c_warm_hits;
+    Ia.blit w.potential 0 pot 0 n
+  end
   else begin
+    if is_warm then Obs.incr c_warm_misses;
     (* Initial potentials via SPFA, valid with negative arc costs. *)
     Obs.incr c_bootstraps;
     match Spfa.run ?deadline:dl g ~src with
     | Error e ->
         error := Some e;
         continue := false
-    | Ok first ->
-        Array.blit first.Spfa.dist 0 potential 0 n;
+    | Ok bootstrap ->
+        Ia.blit bootstrap.Spfa.dist 0 pot 0 n;
         (* Unreachable vertices never sit on an augmenting path, so any finite
            potential works for the solve itself. Using the largest finite
            distance (rather than 0) additionally makes every arc *out of* the
@@ -106,65 +238,66 @@ let solve ?warm ~dl ~max_flow g ~src ~dst =
            is what lets the incremental projection revalidate in O(changed). *)
         let dmax = ref 0 in
         for v = 0 to n - 1 do
-          if potential.(v) <> max_int && potential.(v) > !dmax then
-            dmax := potential.(v)
+          if pot.{v} <> max_int && pot.{v} > !dmax then dmax := pot.{v}
         done;
         for v = 0 to n - 1 do
-          if potential.(v) = max_int then potential.(v) <- !dmax
+          if pot.{v} = max_int then pot.{v} <- !dmax
         done;
-        (* Carry the bootstrap potentials — not the post-augmentation ones —
-           into the warm state: once flows are reset for the next solve,
-           saturated arcs become residual again and only the all-flows-zero
-           potentials are sure to keep their reduced costs nonnegative. *)
-        (match warm with
-        | Some w -> w.potential <- Array.copy potential
-        | None -> ());
-        continue := !continue && first.Spfa.dist.(dst) <> max_int;
-        (* The first augmentation reuses the SPFA tree directly. *)
-        if !continue then
-          match Path.of_parents g ~parent:first.Spfa.parent ~src ~dst with
-          | None -> continue := false
-          | Some p ->
-              let d = min p.Path.bottleneck (max_flow - !total_flow) in
-              Path.augment g p d;
-              total_flow := !total_flow + d;
-              total_cost := !total_cost + (d * Path.cost g p);
-              incr iterations
+        (* Carry the bootstrap potentials — exact for the entry state. *)
+        if is_warm then begin
+          w.potential <- Ia.ensure w.potential n ~fill:0;
+          Ia.blit pot 0 w.potential 0 n;
+          w.pot_n <- n
+        end;
+        continue := !continue && bootstrap.Spfa.dist.{dst} <> max_int
   end;
   while !continue && !total_flow < max_flow do
     Deadline.tick_opt dl "mincost.augment";
-    Obs.incr c_dijkstra;
-    match Dijkstra.run ~ws ~stop_at:dst ?deadline:dl g ~src ~potential with
-    | exception Invalid_argument msg ->
-        (* Carried potentials turned out stale mid-solve (a bad
-           [prevalidated] promise or a mutated graph). Surface it as a
-           typed error; the scheduler layer falls back to a cold solve. *)
-        error := Some (Error.Invalid_potential msg);
+    (* Saturate every remaining shortest path of the current cost in one
+       blocking phase; Dijkstra runs only when none is left. *)
+    let visited = rc0_levels w ~dl g first arcs ~src ~dst in
+    if visited > 0 then begin
+      Obs.incr c_phases;
+      incr iterations;
+      let pushed = blocking_flow w ~dl g first arcs ~src ~dst (max_flow - !total_flow) in
+      reset_levels w visited;
+      if pushed = 0 then
+        (* A reachable level graph always admits >= 1 unit; stop rather
+           than spin if an invariant ever breaks. *)
         continue := false
-    | { Dijkstra.dist; parent } ->
-        if dist.(dst) = max_int then continue := false
-        else begin
-          (* The search stops once [dst] settles, so unsettled vertices carry a
-             tentative label >= dist(dst) (or max_int). Capping the update at
-             dist(dst) keeps every residual reduced cost nonnegative — the
-             LEMON-style bound: settled->unsettled arcs gain dist(u) - dist(dst)
-             <= 0 slack on top of the triangle inequality, unsettled pairs are
-             shifted uniformly — while sparing the full-graph scan. *)
-          let d_dst = dist.(dst) in
-          for v = 0 to n - 1 do
-            potential.(v) <- Inf.add potential.(v) (min dist.(v) d_dst)
-          done;
-          match Path.of_parents g ~parent ~src ~dst with
-          | None -> continue := false
-          | Some p ->
-              let d = min p.Path.bottleneck (max_flow - !total_flow) in
-              Path.augment g p d;
-              total_flow := !total_flow + d;
-              total_cost := !total_cost + (d * Path.cost g p);
-              incr iterations
-        end
+      else begin
+        total_flow := !total_flow + pushed;
+        (* Every rc-0 path's real cost telescopes to pot(dst) - pot(src). *)
+        total_cost := !total_cost + (pushed * (pot.{dst} - pot.{src}))
+      end
+    end
+    else begin
+      match
+        Dijkstra.run_ws w.ws ~stop_at:dst ?deadline:dl g ~src ~potential:pot
+      with
+      | exception Invalid_argument msg ->
+          (* Carried potentials turned out stale mid-solve (a bad
+             [prevalidated] promise or a mutated graph). Surface it as a
+             typed error; the scheduler layer falls back to a cold solve. *)
+          error := Some (Error.Invalid_potential msg);
+          continue := false
+      | d_dst ->
+          Obs.incr c_dijkstra;
+          if d_dst = max_int || d_dst <= 0 then
+            (* Unreachable — or a zero-cost path the rc-0 BFS just said
+               does not exist, which a sound graph cannot produce; stop
+               defensively instead of looping. *)
+            continue := false
+          else begin
+            Dijkstra.relax_potentials w.ws ~potential:pot ~d_dst;
+            if !carry_refresh && !total_flow = 0 then begin
+              Obs.incr c_carry_refreshes;
+              Ia.blit pot 0 w.potential 0 n
+            end;
+            carry_refresh := false
+          end
+    end
   done;
-  Obs.add c_paths !iterations;
   match !error with
   | Some e ->
       Obs.incr c_errors;
@@ -173,7 +306,7 @@ let solve ?warm ~dl ~max_flow g ~src ~dst =
 
 let run ?warm ?deadline ?(max_flow = max_int) g ~src ~dst =
   (* An explicit [deadline] keeps this a Result API: its expiry anywhere in
-     the solve (SPFA bootstrap, a Dijkstra phase, the augmentation loop)
+     the solve (SPFA bootstrap, a Dijkstra phase, the blocking flow)
      comes back as the typed [Deadline_exceeded]. An *ambient* deadline
      (armed by scheduler middleware) instead propagates as
      {!Deadline.Expired} so the middleware can catch it batch-wide and

@@ -1,13 +1,13 @@
 type t = { arcs : int list; bottleneck : int }
 
-let of_parents g ~parent ~src ~dst =
+let of_parents g ~(parent : Ia.t) ~src ~dst =
   if dst = src then Some { arcs = []; bottleneck = max_int }
-  else if parent.(dst) < 0 then None
+  else if parent.{dst} < 0 then None
   else begin
     let rec walk v acc bott =
       if v = src then Some { arcs = acc; bottleneck = bott }
       else
-        let a = parent.(v) in
+        let a = parent.{v} in
         if a < 0 then None
         else walk (Graph.src g a) (a :: acc) (min bott (Graph.residual g a))
     in

@@ -5,8 +5,8 @@ type t = {
   bottleneck : int; (** min residual capacity along the path *)
 }
 
-val of_parents : Graph.t -> parent:int array -> src:int -> dst:int -> t option
-(** Rebuild the path recorded in a parent-arc array (parent.(v) is the arc
+val of_parents : Graph.t -> parent:Ia.t -> src:int -> dst:int -> t option
+(** Rebuild the path recorded in a parent-arc vector (parent.{v} is the arc
     that reached [v], or -1). Returns [None] when [dst] was not reached. *)
 
 val augment : Graph.t -> t -> int -> unit

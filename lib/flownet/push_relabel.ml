@@ -43,8 +43,8 @@ let run ?deadline g ~src ~dst =
     count.(0) <- n - 1;
     count.(n) <- 1;
     (* saturate all source arcs *)
-    for i = first.(src) to first.(src + 1) - 1 do
-      let a = arcs.(i) in
+    for i = first.{src} to first.{src + 1} - 1 do
+      let a = arcs.{i} in
       let d = Graph.residual g a in
       if d > 0 then begin
         excess.(src) <- excess.(src) + d;
@@ -55,8 +55,8 @@ let run ?deadline g ~src ~dst =
       Obs.incr c_relabels;
       let old = height.(u) in
       let best = ref ((2 * n) + 1) in
-      for i = first.(u) to first.(u + 1) - 1 do
-        let a = arcs.(i) in
+      for i = first.{u} to first.{u + 1} - 1 do
+        let a = arcs.{i} in
         if Graph.residual g a > 0 then
           best := min !best (height.(Graph.dst g a) + 1)
       done;
@@ -86,8 +86,8 @@ let run ?deadline g ~src ~dst =
       while !continue && excess.(u) > 0 do
         Deadline.tick_opt dl "push_relabel.discharge";
         let pushed = ref false in
-        for i = first.(u) to first.(u + 1) - 1 do
-          let a = arcs.(i) in
+        for i = first.{u} to first.{u + 1} - 1 do
+          let a = arcs.{i} in
           if
             excess.(u) > 0
             && Graph.residual g a > 0

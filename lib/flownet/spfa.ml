@@ -1,4 +1,4 @@
-type result = { dist : int array; parent : int array }
+type result = { dist : Ia.t; parent : Ia.t }
 
 exception Cycle_at of int
 
@@ -6,11 +6,11 @@ exception Cycle_at of int
    its parent chain. Walk n parent steps to land on a vertex that is
    certainly *inside* the cycle, then collect the arcs once around it. *)
 let extract_cycle g parent v =
-  let n = Array.length parent in
+  let n = Ia.length parent in
   let u = ref v in
   (try
      for _ = 1 to n do
-       let a = parent.(!u) in
+       let a = parent.{!u} in
        if a < 0 then raise Exit;
        u := Graph.src g a
      done
@@ -22,7 +22,7 @@ let extract_cycle g parent v =
      let steps = ref 0 in
      let continue = ref true in
      while !continue do
-       let a = parent.(!w) in
+       let a = parent.{!w} in
        if a < 0 then raise Exit;
        arcs := a :: !arcs;
        w := Graph.src g a;
@@ -41,38 +41,47 @@ let run ?(admit = fun _ -> true) ?deadline g ~src =
   let n = Graph.n_vertices g in
   Graph.freeze g;
   let first = Graph.first_out g and arcs = Graph.arc_of g in
-  let dist = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  let in_queue = Array.make n false in
-  let enqueues = Array.make n 0 in
-  let q = Queue.create () in
-  dist.(src) <- 0;
-  Queue.push src q;
-  in_queue.(src) <- true;
-  enqueues.(src) <- 1;
+  let dist = Ia.create ~fill:max_int n in
+  let parent = Ia.create ~fill:(-1) n in
+  let in_queue = Ia.create ~fill:0 n in
+  let enqueues = Ia.create ~fill:0 n in
+  (* FIFO as a flat ring: [in_queue] admits each vertex at most once, so
+     n+1 slots never overflow — no per-enqueue allocation like the boxed
+     stdlib Queue cells. *)
+  let q = Ia.create (n + 1) in
+  let qh = ref 0 and qt = ref 0 in
+  let q_push v =
+    q.{!qt} <- v;
+    qt := if !qt = n then 0 else !qt + 1
+  in
+  dist.{src} <- 0;
+  q_push src;
+  in_queue.{src} <- 1;
+  enqueues.{src} <- 1;
   match
-    while not (Queue.is_empty q) do
+    while !qh <> !qt do
       Deadline.tick_opt dl "spfa.relax";
-      let u = Queue.pop q in
-      in_queue.(u) <- false;
-      let du = dist.(u) in
-      for i = first.(u) to first.(u + 1) - 1 do
-        let a = arcs.(i) in
+      let u = q.{!qh} in
+      qh := (if !qh = n then 0 else !qh + 1);
+      in_queue.{u} <- 0;
+      let du = dist.{u} in
+      for i = first.{u} to first.{u + 1} - 1 do
+        let a = arcs.{i} in
         if Graph.residual g a > 0 && admit a then begin
           let v = Graph.dst g a in
           let nd = Inf.add du (Graph.cost g a) in
-          if nd < dist.(v) then begin
-            dist.(v) <- nd;
-            parent.(v) <- a;
-            if not in_queue.(v) then begin
-              enqueues.(v) <- enqueues.(v) + 1;
+          if nd < dist.{v} then begin
+            dist.{v} <- nd;
+            parent.{v} <- a;
+            if in_queue.{v} = 0 then begin
+              enqueues.{v} <- enqueues.{v} + 1;
               (* A vertex re-entering the queue for the n-th time has had
                  its label improved along paths of >= n arcs — only a
                  negative cycle produces those. ([> n] here would let one
                  extra full relaxation round run before detection.) *)
-              if enqueues.(v) >= n then raise (Cycle_at v);
-              Queue.push v q;
-              in_queue.(v) <- true
+              if enqueues.{v} >= n then raise (Cycle_at v);
+              q_push v;
+              in_queue.{v} <- 1
             end
           end
         end
@@ -86,5 +95,5 @@ let shortest_path ?admit ?deadline g ~src ~dst =
   match run ?admit ?deadline g ~src with
   | Error _ as e -> e
   | Ok { parent; dist } ->
-      if dist.(dst) = max_int then Ok None
+      if dist.{dst} = max_int then Ok None
       else Ok (Path.of_parents g ~parent ~src ~dst)

@@ -4,8 +4,8 @@
     potentials pass. *)
 
 type result = {
-  dist : int array;    (** max_int where unreachable *)
-  parent : int array;  (** arc that reached each vertex, -1 if none *)
+  dist : Ia.t;    (** max_int where unreachable *)
+  parent : Ia.t;  (** arc that reached each vertex, -1 if none *)
 }
 
 val run :

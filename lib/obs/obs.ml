@@ -100,6 +100,38 @@ let histogram_stats (h : histogram) =
     max_ns = h.max_ns;
   }
 
+(* GC accounting around a region of code: word/compaction deltas accumulate
+   into ordinary counters, so they ride along in [counters ()] and [json ()]
+   snapshots. Sampling allocates a few boxed floats itself (minor_words
+   returns a boxed float, quick_stat a record); the closing reads happen
+   before their own boxing, so the only self-pollution in a delta is the
+   opening sample's box — a handful of words, visible as a small floor in
+   per-call averages. *)
+type gc_scope = {
+  g_minor : counter;
+  g_major : counter;
+  g_compactions : counter;
+}
+
+let gc_scope prefix =
+  {
+    g_minor = counter (prefix ^ ".minor_words");
+    g_major = counter (prefix ^ ".major_words");
+    g_compactions = counter (prefix ^ ".compactions");
+  }
+
+let with_gc scope f =
+  let q0 = Gc.quick_stat () in
+  let mw0 = Gc.minor_words () in
+  let r = f () in
+  let mw1 = Gc.minor_words () in
+  let q1 = Gc.quick_stat () in
+  add scope.g_minor (int_of_float (mw1 -. mw0));
+  add scope.g_major
+    (int_of_float (q1.Gc.major_words -. q0.Gc.major_words));
+  add scope.g_compactions (q1.Gc.compactions - q0.Gc.compactions);
+  r
+
 let by_name name_of l = List.sort (fun a b -> String.compare (name_of a) (name_of b)) l
 
 let counters () =

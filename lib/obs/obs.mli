@@ -42,6 +42,20 @@ type histogram_stats = {
 
 val histogram_stats : histogram -> histogram_stats
 
+type gc_scope
+(** GC accounting for a region of code: allocation and compaction deltas
+    accumulated into the counters [<prefix>.minor_words],
+    [<prefix>.major_words] and [<prefix>.compactions], so they appear in
+    {!counters} and {!json} snapshots like any other series. *)
+
+val gc_scope : string -> gc_scope
+(** Get or create the three delta counters under [prefix]. *)
+
+val with_gc : gc_scope -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its GC word/compaction deltas to the scope.
+    Sampling itself allocates a few words (the opening [Gc] reads box their
+    results), so per-call averages carry a small constant floor. *)
+
 val counters : unit -> (string * int) list
 (** All registered counters with their current values, sorted by name. *)
 

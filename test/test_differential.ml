@@ -168,8 +168,7 @@ let test_mincost_warm_matches_cold () =
     let warm = Flownet.Mincost.warm_create () in
     let cold = mincost_exn ~warm g ~src ~dst in
     check bool "bootstrap potentials recorded" true
-      (Array.length warm.Flownet.Mincost.potential
-      = Flownet.Graph.n_vertices g);
+      (warm.Flownet.Mincost.pot_n = Flownet.Graph.n_vertices g);
     Flownet.Graph.reset_flows g;
     check bool "bootstrap potentials valid after reset" true
       (Flownet.Mincost.potential_valid g ~src warm.Flownet.Mincost.potential);
@@ -319,6 +318,107 @@ let test_truncate_restores_solver_results () =
       (Flownet.Dinic.run g ~src ~dst)
   done
 
+(* ---------- Dial bucket queue vs binary heap ---------- *)
+
+let with_policy p f =
+  let old = Flownet.Dijkstra.queue_policy () in
+  Flownet.Dijkstra.set_queue_policy p;
+  Fun.protect ~finally:(fun () -> Flownet.Dijkstra.set_queue_policy old) f
+
+(* One random nonnegative-cost graph; a fraction of the arcs get cost
+   [zero_w] exactly (the bucket queue's batch-pop regime), the rest up to
+   [max_cost]. *)
+let random_nonneg_graph rng ~n ~max_cost =
+  let g = Flownet.Graph.create ~arc_hint:(n * 4) n in
+  for _ = 1 to n * 3 do
+    let s = Rng.int rng n and d = Rng.int rng n in
+    if s <> d then
+      let cost = if Rng.bool rng 0.3 then 0 else Rng.int rng (max_cost + 1) in
+      ignore
+        (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng 10) ~cost)
+  done;
+  g
+
+let dijkstra_dists p g ~n ~potential =
+  let r =
+    with_policy p (fun () -> Flownet.Dijkstra.run g ~src:0 ~potential)
+  in
+  Array.init n (fun v -> r.Flownet.Dijkstra.dist.{v})
+
+(* The queue is an implementation detail: both must produce identical
+   distance labels on random graphs with plenty of zero-cost arcs. *)
+let test_dial_heap_dijkstra () =
+  let rng = Rng.create 0xD1A1 in
+  for _case = 1 to 25 do
+    let n = 8 + Rng.int rng 24 in
+    let g = random_nonneg_graph rng ~n ~max_cost:50 in
+    let potential = Flownet.Ia.create n in
+    Alcotest.(check (array int))
+      "dial = heap distances"
+      (dijkstra_dists Flownet.Dijkstra.Force_heap g ~n ~potential)
+      (dijkstra_dists Flownet.Dijkstra.Force_dial g ~n ~potential)
+  done
+
+(* Arc costs far beyond the bucket span: Force_dial must overflow, migrate
+   its frontier into the heap mid-run, and still match the heap's labels. *)
+let test_dial_overflow_migration () =
+  let rng = Rng.create 0xD1A2 in
+  let overflows = Obs.counter "dijkstra.dial_overflows" in
+  let before = Obs.count overflows in
+  for _case = 1 to 10 do
+    let n = 8 + Rng.int rng 16 in
+    let g = random_nonneg_graph rng ~n ~max_cost:(1 lsl 21) in
+    let potential = Flownet.Ia.create n in
+    Alcotest.(check (array int))
+      "dial-with-overflow = heap distances"
+      (dijkstra_dists Flownet.Dijkstra.Force_heap g ~n ~potential)
+      (dijkstra_dists Flownet.Dijkstra.Force_dial g ~n ~potential)
+  done;
+  check bool "at least one dial overflow exercised" true
+    (Obs.count overflows > before)
+
+(* Near-max_int potentials: reduced costs stay small (the classic warm
+   scheduler regime), so Dial must serve the run without overflow even
+   though the absolute labels are enormous. *)
+let test_dial_large_potentials () =
+  let rng = Rng.create 0xD1A3 in
+  for _case = 1 to 10 do
+    let n = 8 + Rng.int rng 16 in
+    let g = random_nonneg_graph rng ~n ~max_cost:0 in
+    (* uniform potentials shift every reduced cost by zero *)
+    let potential = Flownet.Ia.create ~fill:(max_int / 2) n in
+    Alcotest.(check (array int))
+      "dial = heap under huge uniform potentials"
+      (dijkstra_dists Flownet.Dijkstra.Force_heap g ~n ~potential)
+      (dijkstra_dists Flownet.Dijkstra.Force_dial g ~n ~potential)
+  done
+
+(* Full solver differential with the bucket queue forced: min-cost results
+   must be queue-independent on random DAGs, warm restarts included. *)
+let test_dial_mincost_differential () =
+  let rng = Rng.create 0xD1A4 in
+  for _case = 1 to 20 do
+    let n = 6 + Rng.int rng 12 in
+    let m = n * 2 in
+    let g, src, dst = random_dag rng ~n ~m ~max_cap:10 ~max_cost:50 in
+    let heap_stats =
+      with_policy Flownet.Dijkstra.Force_heap (fun () ->
+          let s = mincost_exn g ~src ~dst in
+          Flownet.Graph.reset_flows g;
+          s)
+    in
+    let dial_stats =
+      with_policy Flownet.Dijkstra.Force_dial (fun () ->
+          let s = mincost_exn g ~src ~dst in
+          Flownet.Graph.reset_flows g;
+          s)
+    in
+    check int "flow (dial = heap)" heap_stats.Flownet.Mincost.flow
+      dial_stats.Flownet.Mincost.flow;
+    check int "cost (dial = heap)" heap_stats.Flownet.Mincost.cost
+      dial_stats.Flownet.Mincost.cost
+  done
+
 let () =
   Alcotest.run "differential"
     [
@@ -351,5 +451,16 @@ let () =
         [
           Alcotest.test_case "truncate restores solver results" `Quick
             test_truncate_restores_solver_results;
+        ] );
+      ( "dial",
+        [
+          Alcotest.test_case "dial = heap on random graphs" `Quick
+            test_dial_heap_dijkstra;
+          Alcotest.test_case "overflow migrates to heap mid-run" `Quick
+            test_dial_overflow_migration;
+          Alcotest.test_case "huge uniform potentials" `Quick
+            test_dial_large_potentials;
+          Alcotest.test_case "mincost with bucket queue forced" `Quick
+            test_dial_mincost_differential;
         ] );
     ]

@@ -98,9 +98,9 @@ let test_freeze_lifecycle () =
   G.freeze g;
   check bool "frozen after freeze" true (G.frozen g);
   let first = G.first_out g and arcs = G.arc_of g in
-  check int "offsets length" (G.n_vertices g + 1) (Array.length first);
-  check int "vertex 0 out-degree" 1 (first.(1) - first.(0));
-  check int "vertex 0 first arc" a arcs.(first.(0));
+  check int "offsets length" (G.n_vertices g + 1) (Flownet.Ia.length first);
+  check int "vertex 0 out-degree" 1 (first.{1} - first.{0});
+  check int "vertex 0 first arc" a arcs.{first.{0}};
   (* flow updates keep the view valid *)
   G.push g a 2;
   check bool "push keeps frozen" true (G.frozen g);
@@ -117,7 +117,7 @@ let test_freeze_lifecycle () =
       ignore (G.arc_of g));
   G.freeze g;
   check int "view rebuilt to truncated arena" 2
-    (G.first_out g).(G.n_vertices g)
+    (G.first_out g).{G.n_vertices g}
 
 let test_pp_frozen_tag () =
   let g = G.create 2 in
@@ -160,16 +160,17 @@ let diamond () =
 let test_spfa_negative_costs () =
   let g = diamond () in
   let r = spfa_exn g ~src:0 in
-  check int "dist to 3 via negative arc" 0 r.Flownet.Spfa.dist.(3);
-  check int "dist to 2" (-1) r.Flownet.Spfa.dist.(2)
+  check int "dist to 3 via negative arc" 0 r.Flownet.Spfa.dist.{3};
+  check int "dist to 2" (-1) r.Flownet.Spfa.dist.{2}
 
 let test_spfa_matches_bellman_ford () =
   let g = diamond () in
   let s = spfa_exn g ~src:0 in
   let b = Flownet.Bellman_ford.run g ~src:0 in
   check bool "no negative cycle" false b.Flownet.Bellman_ford.negative_cycle;
-  Alcotest.(check (array int)) "distances agree" b.Flownet.Bellman_ford.dist
-    s.Flownet.Spfa.dist
+  Alcotest.(check (array int)) "distances agree"
+    (Flownet.Ia.to_array b.Flownet.Bellman_ford.dist)
+    (Flownet.Ia.to_array s.Flownet.Spfa.dist)
 
 let test_spfa_admit_filter () =
   let g = diamond () in
@@ -183,7 +184,7 @@ let test_spfa_unreachable () =
   let g = G.create 3 in
   let _ = G.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0 in
   let r = spfa_exn g ~src:0 in
-  check int "unreachable is max_int" max_int r.Flownet.Spfa.dist.(2);
+  check int "unreachable is max_int" max_int r.Flownet.Spfa.dist.{2};
   check bool "no path" true (sp_exn g ~src:0 ~dst:2 = None)
 
 let test_spfa_negative_cycle () =
@@ -215,13 +216,14 @@ let test_near_max_int_costs_saturate () =
   let _ = G.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:big in
   let _ = G.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:big in
   let r = spfa_exn g ~src:0 in
-  check int "one hop is exact" big r.Flownet.Spfa.dist.(1);
-  check int "two hops saturate at max_int" max_int r.Flownet.Spfa.dist.(2);
+  check int "one hop is exact" big r.Flownet.Spfa.dist.{1};
+  check int "two hops saturate at max_int" max_int r.Flownet.Spfa.dist.{2};
   let b = Flownet.Bellman_ford.run g ~src:0 in
   check bool "no phantom negative cycle" false
     b.Flownet.Bellman_ford.negative_cycle;
-  Alcotest.(check (array int)) "bellman-ford agrees" r.Flownet.Spfa.dist
-    b.Flownet.Bellman_ford.dist;
+  Alcotest.(check (array int)) "bellman-ford agrees"
+    (Flownet.Ia.to_array r.Flownet.Spfa.dist)
+    (Flownet.Ia.to_array b.Flownet.Bellman_ford.dist);
   (* the min-cost solver must survive the same graph (dst label saturates
      to "unreachable", so it pushes nothing rather than crash or loop) *)
   let s = mincost_exn g ~src:0 ~dst:2 in
@@ -229,7 +231,7 @@ let test_near_max_int_costs_saturate () =
 
 let test_dijkstra_rejects_negative () =
   let g = diamond () in
-  let potential = Array.make 4 0 in
+  let potential = Flownet.Ia.create 4 in
   Alcotest.check_raises "negative reduced cost"
     (Invalid_argument "Dijkstra.run: negative reduced cost") (fun () ->
       ignore (Flownet.Dijkstra.run g ~src:0 ~potential))
@@ -239,7 +241,7 @@ let test_dijkstra_with_potentials () =
   let s = spfa_exn g ~src:0 in
   let r = Flownet.Dijkstra.run g ~src:0 ~potential:s.Flownet.Spfa.dist in
   (* with exact potentials all reduced distances are 0 on shortest paths *)
-  check int "reduced dist 3" 0 r.Flownet.Dijkstra.dist.(3)
+  check int "reduced dist 3" 0 r.Flownet.Dijkstra.dist.{3}
 
 (* ---------- max flow ---------- *)
 
