@@ -40,9 +40,44 @@ def check_gc(gc, where):
                 fail(f"{where}.{col}.{key} must be a nonnegative int")
 
 
-def check_tier(name, tier, require_warm_win=False):
+def check_cells(cells, where, require_speedup=None):
+    counts = cells.get("counts")
+    if not isinstance(counts, list) or not counts or \
+            not all(isinstance(c, int) and c > 0 for c in counts):
+        fail(f"{where}.counts must be a non-empty array of positive ints")
+    runs = cells.get("runs")
+    if not isinstance(runs, dict) or sorted(runs) != sorted(str(c) for c in counts):
+        fail(f"{where}.runs keys must match {where}.counts")
+    for key, run in runs.items():
+        rw = f"{where}.runs[{key!r}]"
+        batch_ms = run.get("batch_ms")
+        if not isinstance(batch_ms, list) or not batch_ms or \
+                not all(isinstance(x, (int, float)) and x >= 0 for x in batch_ms):
+            fail(f"{rw}.batch_ms must be a non-empty array of nonnegative numbers")
+        for field in ("total_ms", "critical_path_ms", "fixup_ms",
+                      "active_cells_per_batch", "speedup_vs_first"):
+            v = run.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{rw}.{field} must be a nonnegative number")
+        placed = run.get("placed")
+        if not isinstance(placed, int) or placed < 0:
+            fail(f"{rw}.placed must be a nonnegative int")
+        if run["critical_path_ms"] > run["total_ms"] + 1e-6:
+            fail(f"{rw}: critical path exceeds total time")
+    placed_set = {runs[str(c)]["placed"] for c in counts}
+    if len(placed_set) != 1:
+        fail(f"{where}: placement counts differ across cell counts "
+             f"({sorted(placed_set)}) — sharding changed the outcome")
+    if require_speedup is not None and len(counts) > 1:
+        best = max(runs[str(c)]["speedup_vs_first"] for c in counts[1:])
+        if best < require_speedup:
+            fail(f"{where}: best cells speedup {best:.3f}x is below the "
+                 f"required {require_speedup:.2f}x")
+
+
+def check_tier(name, tier, require_warm_win=False, require_cells_speedup=None):
     where = f"tiers[{name!r}]"
-    for section in ("config", "summary", "gc", "containers_placed"):
+    for section in ("config", "summary", "gc", "containers_placed", "cells"):
         if section not in tier:
             fail(f"{where} missing section {section!r}")
     cfg = tier["config"]
@@ -65,6 +100,8 @@ def check_tier(name, tier, require_warm_win=False):
     # zero here means the bench measured an empty workload.
     if label == "headline" and (placed["cold"] <= 0 or placed["warm"] <= 0):
         fail(f"{where}: headline config placed no containers")
+    check_cells(tier["cells"], where=f"{where}.cells",
+                require_speedup=require_cells_speedup)
     if require_warm_win:
         s = tier["summary"]
         if s["sched_speedup"] <= 1.0:
@@ -75,14 +112,16 @@ def check_tier(name, tier, require_warm_win=False):
                  f"(solver_speedup {s['solver_speedup']:.3f})")
 
 
-def main(path, chaos=False, tiers=None, require_warm_win=False):
+def main(path, chaos=False, tiers=None, require_warm_win=False,
+         require_cells_speedup=None):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
 
-    for section in ("config", "solver", "per_batch", "summary", "tiers", "obs"):
+    for section in ("config", "solver", "per_batch", "summary", "cells",
+                    "tiers", "obs"):
         if section not in doc:
             fail(f"missing section {section!r}")
 
@@ -126,6 +165,12 @@ def main(path, chaos=False, tiers=None, require_warm_win=False):
 
     summary = doc["summary"]
     check_summary(summary)
+
+    # Top-level cells section mirrors the last (largest) tier; the
+    # speedup gate, when requested, applies here so small smoke tiers
+    # don't have to show parallel wins.
+    check_cells(doc["cells"], where="cells",
+                require_speedup=require_cells_speedup)
 
     tier_map = doc["tiers"]
     if not isinstance(tier_map, dict) or not tier_map:
@@ -184,6 +229,17 @@ def main(path, chaos=False, tiers=None, require_warm_win=False):
         "journal.resumes",
         "journal.resume_drops",
         "fault.process_kills",
+        # sharded-cells family: registered whenever the cells coordinator
+        # is linked; batches/placed are positive after any cells bench run,
+        # desyncs/rejections only under races or faults.
+        "cells.batches",
+        "cells.containers_placed",
+        "cells.active_cells",
+        "cells.resyncs",
+        "cells.desyncs",
+        "cells.rejected_batches",
+        "cells.fixup_containers",
+        "cells.fixup_placed",
     ):
         v = obs["counters"].get(key)
         if not isinstance(v, int) or v < 0:
@@ -211,9 +267,13 @@ def main(path, chaos=False, tiers=None, require_warm_win=False):
         if counters.get("ladder.escalations", 0) < 1:
             fail("chaos run recorded no ladder escalation")
 
+    cells_runs = doc["cells"]["runs"]
+    best_cells = max(r["speedup_vs_first"] for r in cells_runs.values())
     print(f"{path}: schema OK "
           f"(tiers {sorted(tier_map)}, {config['batches']} batches, "
-          f"solver speedup {summary['solver_speedup']:.2f}x)")
+          f"solver speedup {summary['solver_speedup']:.2f}x, "
+          f"cells {sorted(doc['cells']['counts'])} "
+          f"best {best_cells:.2f}x)")
 
 
 if __name__ == "__main__":
@@ -222,9 +282,14 @@ if __name__ == "__main__":
     warm_win_flag = "--require-warm-win" in args
     args = [a for a in args if a not in ("--chaos", "--require-warm-win")]
     tiers_arg = []
+    cells_speedup = None
     for a in list(args):
         if a.startswith("--tiers="):
             tiers_arg = [t for t in a[len("--tiers="):].split(",") if t]
             args.remove(a)
+        elif a.startswith("--require-cells-speedup="):
+            cells_speedup = float(a[len("--require-cells-speedup="):])
+            args.remove(a)
     main(args[0] if args else "BENCH_sched.json", chaos=chaos_flag,
-         tiers=tiers_arg, require_warm_win=warm_win_flag)
+         tiers=tiers_arg, require_warm_win=warm_win_flag,
+         require_cells_speedup=cells_speedup)

@@ -238,6 +238,7 @@ type tier_out = {
   t_summary : string;
   t_gc : string;
   t_placed : string;
+  t_cells : string;
   t_obs : string;
 }
 
@@ -454,6 +455,69 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
            warm_words_per_solve max_warm_words)
   end;
   Fault.clear ();
+  (* Sharded-cells columns: replay the same waves through the cells
+     composite at each ALADDIN_CELLS count (default "1,4"; the 1-cell run
+     anchors the speedup baseline and is placement-equivalent to the warm
+     stack). Runs clean — no faults, no ladder — so the timings are
+     comparable across counts. *)
+  let cells_counts =
+    match Cells.Partition.cells_of_env () with Some ns -> ns | None -> [ 1; 4 ]
+  in
+  let cells_runs =
+    List.map
+      (fun n_cells ->
+        let cl = mk_cluster () in
+        let comp = Aladdin.Cells_scheduler.create ~cells:n_cells () in
+        let sched = Aladdin.Cells_scheduler.scheduler comp in
+        let batch_ms = Array.make n_waves 0. in
+        let placed = ref 0 in
+        let fixup_ms = ref 0. and crit_ms = ref 0. and active = ref 0 in
+        List.iteri
+          (fun i wave ->
+            let t0 = Obs.now_ns () in
+            let o = sched.Scheduler.schedule cl wave in
+            batch_ms.(i) <- ms_of t0 (Obs.now_ns ());
+            placed := !placed + List.length o.Scheduler.placed;
+            match Aladdin.Cells_scheduler.last_breakdown comp with
+            | None -> ()
+            | Some b ->
+                fixup_ms := !fixup_ms +. b.Cells.Coordinator.fixup_ms;
+                crit_ms :=
+                  !crit_ms
+                  +. Array.fold_left Float.max 0. b.Cells.Coordinator.cell_ms;
+                active := !active + b.Cells.Coordinator.active_cells)
+          waves;
+        Aladdin.Cells_scheduler.shutdown comp;
+        let total = sum batch_ms in
+        Format.printf
+          "cells(%d): %.2f ms over %d batches (critical-path %.2f ms, fixup \
+           %.2f ms, %.2f active cells/batch), placed %d@."
+          n_cells total n_waves !crit_ms !fixup_ms
+          (float_of_int !active /. float_of_int (max 1 n_waves))
+          !placed;
+        (n_cells, batch_ms, total, !placed, !fixup_ms, !crit_ms, !active))
+      cells_counts
+  in
+  let cells_json =
+    match cells_runs with
+    | [] -> {|{"counts":[],"runs":{}}|}
+    | (_, _, base_total, _, _, _, _) :: _ ->
+        let runs =
+          String.concat ","
+            (List.map
+               (fun (n, batch_ms, total, placed, fixup, crit, active) ->
+                 Printf.sprintf
+                   {|"%d":{"batch_ms":%s,"total_ms":%.4f,"critical_path_ms":%.4f,"fixup_ms":%.4f,"active_cells_per_batch":%.4f,"placed":%d,"speedup_vs_first":%.4f}|}
+                   n (json_float_array batch_ms) total crit fixup
+                   (float_of_int active /. float_of_int (max 1 n_waves))
+                   placed
+                   (base_total /. Float.max 1e-9 total))
+               cells_runs)
+        in
+        Printf.sprintf {|{"counts":[%s],"runs":{%s}}|}
+          (String.concat "," (List.map string_of_int cells_counts))
+          runs
+  in
   Format.printf "@.";
   let gc_json prefix =
     Printf.sprintf
@@ -487,6 +551,7 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
         (gc_json "gc.solver_cold") (gc_json "gc.solver_warm");
     t_placed =
       Printf.sprintf {|{"cold":%d,"warm":%d}|} !placed_cold !placed_warm;
+    t_cells = cells_json;
     t_obs = Obs.json ();
   }
 
@@ -509,8 +574,8 @@ let run_sched_bench () =
       (List.map
          (fun (tier, o) ->
            Printf.sprintf
-             {|"%s":{"config":%s,"summary":%s,"gc":%s,"containers_placed":%s}|}
-             tier o.t_config o.t_summary o.t_gc o.t_placed)
+             {|"%s":{"config":%s,"summary":%s,"gc":%s,"containers_placed":%s,"cells":%s}|}
+             tier o.t_config o.t_summary o.t_gc o.t_placed o.t_cells)
          outs)
   in
   let oc = open_out "BENCH_sched.json" in
@@ -519,13 +584,14 @@ let run_sched_bench () =
 "solver":{"backend":"%s","min_cost":%b,"supports_max_flow":%b,"warm_start":%b},
 "per_batch":%s,
 "summary":%s,
+"cells":%s,
 "tiers":{%s},
 "obs":%s}
 |}
     last.t_config backend_name caps.Flownet.Solver_intf.min_cost
     caps.Flownet.Solver_intf.supports_max_flow
     caps.Flownet.Solver_intf.warm_start last.t_per_batch last.t_summary
-    tiers_json last.t_obs;
+    last.t_cells tiers_json last.t_obs;
   close_out oc;
   Format.printf "wrote BENCH_sched.json@.@."
 

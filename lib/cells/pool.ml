@@ -1,0 +1,128 @@
+(* A persistent pool of worker domains for the cells coordinator.
+
+   Domains are spawned once and parked on a condition variable between
+   batches — spawning per batch would cost more than a small cell solve.
+   Jobs are dispatched as an epoch bump: [run] publishes a task array,
+   wakes the workers, and participates in the draining itself, so a pool
+   with [workers = n-1] puts n domains on an n-cell batch. With
+   [workers = 0] the pool degenerates to inline sequential execution —
+   the mode a single-core host (or [`Sequential] determinism testing)
+   wants, with no domain overhead at all.
+
+   The mutex/condition handshake doubles as the memory-model edge: task
+   results written by a worker happen-before the coordinator's read of
+   [unfinished = 0], so [run]'s caller sees fully initialised results
+   (and fully merged Obs shard updates). *)
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable tasks : (unit -> unit) array;
+  mutable next : int;
+  mutable unfinished : int;
+  mutable epoch : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+(* Pull and run tasks until the current job is drained. Called (and
+   returns) with the lock held. *)
+let drain t =
+  let continue_ = ref true in
+  while !continue_ do
+    if t.next < Array.length t.tasks then begin
+      let i = t.next in
+      t.next <- i + 1;
+      let task = t.tasks.(i) in
+      Mutex.unlock t.lock;
+      (* Tasks are wrapped by [run] and never raise. *)
+      task ();
+      Mutex.lock t.lock;
+      t.unfinished <- t.unfinished - 1;
+      if t.unfinished = 0 then Condition.broadcast t.done_
+    end
+    else continue_ := false
+  done
+
+let worker t () =
+  Mutex.lock t.lock;
+  let seen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    while (not t.stop) && t.epoch = !seen do
+      Condition.wait t.work t.lock
+    done;
+    if t.stop then continue_ := false
+    else begin
+      seen := t.epoch;
+      drain t
+    end
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  let ds =
+    Mutex.protect t.lock (fun () ->
+        let ds = t.domains in
+        t.domains <- [||];
+        t.stop <- true;
+        Condition.broadcast t.work;
+        ds)
+  in
+  Array.iter Domain.join ds
+
+let create ~workers =
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      tasks = [||];
+      next = 0;
+      unfinished = 0;
+      epoch = 0;
+      stop = false;
+      domains = [||];
+    }
+  in
+  if workers > 0 then begin
+    t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
+    (* Parked workers would keep the process alive past the last batch;
+       shutdown is idempotent, so an explicit earlier shutdown is fine. *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
+
+let n_workers t = Array.length t.domains
+
+let run t fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (Error Exit) in
+    let thunks =
+      Array.init n (fun i () ->
+          results.(i) <- (try Ok (fs.(i) ()) with e -> Error e))
+    in
+    if Array.length t.domains = 0 then Array.iter (fun f -> f ()) thunks
+    else begin
+      Mutex.lock t.lock;
+      if t.unfinished > 0 then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.run: pool is already running a job"
+      end;
+      t.tasks <- thunks;
+      t.next <- 0;
+      t.unfinished <- n;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work;
+      drain t;
+      while t.unfinished > 0 do
+        Condition.wait t.done_ t.lock
+      done;
+      t.tasks <- [||];
+      Mutex.unlock t.lock
+    end;
+    results
+  end

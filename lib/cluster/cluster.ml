@@ -1,5 +1,9 @@
 type denial = No_capacity | Blacklisted of Application.id
 
+type event =
+  | Placed of Container.t * Machine.id * bool
+  | Removed of Container.t * Machine.id
+
 type t = {
   topology : Topology.t;
   constraints : Constraint_set.t;
@@ -7,6 +11,13 @@ type t = {
   blacklist : Blacklist.t;
   placed : (Container.id, Container.t * Machine.id) Hashtbl.t;
   offline : bool array;
+  (* Every mutation bumps [version], so a mirror (a cells coordinator's
+     per-cell copy) can detect out-of-band changes — a revocation, an
+     audit repair, a transactional restore — with one integer compare
+     instead of a full diff. The optional tracer sees each mutation as it
+     happens; mirrors replay the events instead of re-deriving state. *)
+  mutable version : int;
+  mutable tracer : (event -> unit) option;
 }
 
 let create topology ~constraints =
@@ -22,9 +33,18 @@ let create topology ~constraints =
     blacklist = Blacklist.create constraints ~n_machines:n;
     placed = Hashtbl.create 1024;
     offline = Array.make n false;
+    version = 0;
+    tracer = None;
   }
 
 let topology t = t.topology
+let version t = t.version
+let set_tracer t tr = t.tracer <- tr
+
+let emit t ev =
+  t.version <- t.version + 1;
+  match t.tracer with None -> () | Some f -> f ev
+
 let constraints t = t.constraints
 let n_machines t = Array.length t.machines
 
@@ -37,7 +57,10 @@ let machines t = t.machines
 
 let set_offline t mid v =
   let _ = machine t mid in
-  t.offline.(mid) <- v
+  if t.offline.(mid) <> v then begin
+    t.offline.(mid) <- v;
+    t.version <- t.version + 1
+  end
 
 let is_offline t mid =
   let _ = machine t mid in
@@ -76,6 +99,7 @@ let place ?(force = false) t (c : Container.t) mid =
       Machine.place (machine t mid) c;
       Blacklist.on_place t.blacklist ~machine:mid ~app:c.Container.app;
       Hashtbl.replace t.placed c.Container.id (c, mid);
+      emit t (Placed (c, mid, force));
       Ok ()
 
 let remove t cid =
@@ -84,7 +108,8 @@ let remove t cid =
   | Some (c, mid) ->
       Machine.remove (machine t mid) c;
       Blacklist.on_remove t.blacklist ~machine:mid ~app:c.Container.app;
-      Hashtbl.remove t.placed cid
+      Hashtbl.remove t.placed cid;
+      emit t (Removed (c, mid))
 
 let machine_of t cid =
   Option.map (fun (_, mid) -> mid) (Hashtbl.find_opt t.placed cid)

@@ -13,8 +13,24 @@ type denial =
   | Blacklisted of Application.id
       (** a conflicting app is deployed there (first one reported) *)
 
+type event =
+  | Placed of Container.t * Machine.id * bool
+      (** deployed there; the flag is {!place}'s [force] *)
+  | Removed of Container.t * Machine.id
+
 val create : Topology.t -> constraints:Constraint_set.t -> t
 val topology : t -> Topology.t
+
+val version : t -> int
+(** Bumped on every mutation ({!place}, {!remove}, an effective
+    {!set_offline}); lets a mirror detect out-of-band changes with one
+    integer compare. *)
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Install (or clear) a mutation tracer: called synchronously on every
+    {!place} / {!remove}, in order. The cells coordinator uses it to
+    replay per-cell mutations onto the outer cluster and back. *)
+
 val constraints : t -> Constraint_set.t
 val n_machines : t -> int
 val machine : t -> Machine.id -> Machine.t

@@ -35,6 +35,30 @@ let heterogeneous ?(machines_per_rack = 32) ?(racks_per_group = 40) ~capacities
     shape = Heterogeneous (Array.copy capacities);
   }
 
+let machines_per_rack t = t.machines_per_rack
+let racks_per_group t = t.racks_per_group
+
+(* A rack-aligned contiguous sub-topology: machine j of the slice is
+   machine [first_machine + j] of the parent, with the same rack/group
+   geometry (rack boundaries line up because [first_machine] must sit on
+   one). The slice's group numbering restarts at 0 — group identity is
+   only ever used relative to one topology, so mirrors are unaffected. *)
+let slice t ~first_machine ~n_machines =
+  if first_machine < 0 || n_machines <= 0
+     || first_machine + n_machines > t.n_machines then
+    invalid_arg "Topology.slice: machine range out of bounds";
+  if first_machine mod t.machines_per_rack <> 0 then
+    invalid_arg "Topology.slice: first_machine not rack-aligned";
+  {
+    n_machines;
+    machines_per_rack = t.machines_per_rack;
+    racks_per_group = t.racks_per_group;
+    shape =
+      (match t.shape with
+      | Homogeneous c -> Homogeneous c
+      | Heterogeneous cs -> Heterogeneous (Array.sub cs first_machine n_machines));
+  }
+
 let is_homogeneous t =
   match t.shape with Homogeneous _ -> true | Heterogeneous _ -> false
 

@@ -25,6 +25,16 @@ val heterogeneous :
     @raise Invalid_argument on an empty array or mismatched dimensions. *)
 
 val is_homogeneous : t -> bool
+val machines_per_rack : t -> int
+val racks_per_group : t -> int
+
+val slice : t -> first_machine:int -> n_machines:int -> t
+(** Rack-aligned contiguous sub-topology: machine [j] of the slice is
+    machine [first_machine + j] of the parent, same rack/group geometry
+    (group numbering restarts at 0). The scheduling-cells partition is
+    built from these.
+    @raise Invalid_argument when the range is out of bounds or
+    [first_machine] is not a rack boundary. *)
 
 val n_machines : t -> int
 val n_racks : t -> int

@@ -218,6 +218,8 @@ let schedule_batch ?warm options cluster batch =
     rounds = !rounds;
   }
 
+let schedule_raw options cluster batch = schedule_batch options cluster batch
+
 (* ---- Batch-level recovery -------------------------------------------- *)
 
 let warm_invalidate w =

@@ -44,6 +44,16 @@ val make : ?options:options -> unit -> Scheduler.t
     tiered network for the batch, orders containers by weighted magnitude
     (Eq. 9) and augments one impartible container-flow at a time. *)
 
+val schedule_raw :
+  options -> Cluster.t -> Container.t array -> Scheduler.outcome
+(** One bare Algorithm-1 batch: no transaction, no obs, no warm state.
+    For embedders (the cells coordinator's fix-up phase) that provide
+    their own recovery envelope around the call. *)
+
+val recoverable : exn -> bool
+(** The exception class the batch transaction recovers from:
+    {!Aladdin_error.E} and the {!Fault} harness injections. *)
+
 (** {2 Incremental warm start}
 
     A warm scheduler keeps per-cluster state alive between successive

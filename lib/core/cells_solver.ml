@@ -1,0 +1,143 @@
+(* Sharded scalar max-flow: per-cell projections solved independently
+   (in parallel on the coordinator's pool), then one tiny border network
+   that lets cells with leftover demand draw on cells with leftover
+   capacity.
+
+   The tiered projection is tier-ample — every task reaches every machine
+   through infinite inner arcs — so a cell's max flow is exactly
+   [min (cell demand, cell free)] and the decomposition is *exact*, not a
+   bound: [sum of cell flows + border flow = global max flow]. The
+   differential suite asserts this equality against the unsharded solve
+   for every registry backend. *)
+
+type cell_result = {
+  cell_flow : int;
+  cell_cost : int;
+  leftover_demand : int;    (** unrouted batch demand in this cell *)
+  leftover_capacity : int;  (** unused machine capacity in this cell *)
+  solve_ns : int64;
+}
+
+type result = {
+  total_flow : int;
+  border_flow : int;
+  total_cost : int;
+  cells : cell_result array;
+}
+
+let h_cell_solve = Obs.histogram "cells.solver.cell_ns"
+let h_border_solve = Obs.histogram "cells.solver.border_ns"
+
+let fail_error e =
+  failwith ("cells solver backend: " ^ Flownet.Error.to_string e)
+
+(* Source-side (capacity, flow) over the forward arcs leaving [v]. *)
+let out_caps g v =
+  Flownet.Graph.fold_out g v
+    (fun (c, f) a ->
+      if Flownet.Graph.is_forward a then
+        (c + Flownet.Graph.capacity g a, f + Flownet.Graph.flow g a)
+      else (c, f))
+    (0, 0)
+
+(* Sink-side (capacity, flow) over the forward arcs entering [v], reached
+   through their residual twins in [v]'s adjacency. *)
+let in_caps g v =
+  Flownet.Graph.fold_out g v
+    (fun (c, f) a ->
+      if Flownet.Graph.is_forward a then (c, f)
+      else
+        let fw = Flownet.Graph.rev a in
+        (c + Flownet.Graph.capacity g fw, f + Flownet.Graph.flow g fw))
+    (0, 0)
+
+let solve_cell backend ~mirror ~sub =
+  let t0 = Obs.now_ns () in
+  let fg = Flow_graph.build mirror sub in
+  let g, s, t = Flow_graph.scalar_projection fg in
+  let stats =
+    match Flownet.Registry.solve backend g ~src:s ~dst:t with
+    | Ok st -> st
+    | Error e -> fail_error e
+  in
+  let dcap, dflow = out_caps g s in
+  let ccap, cflow = in_caps g t in
+  let dt = Int64.sub (Obs.now_ns ()) t0 in
+  Obs.observe_ns h_cell_solve dt;
+  {
+    cell_flow = stats.Flownet.Mincost.flow;
+    cell_cost = stats.Flownet.Mincost.cost;
+    leftover_demand = dcap - dflow;
+    leftover_capacity = ccap - cflow;
+    solve_ns = dt;
+  }
+
+(* s -> l_c (leftover demand) -> r_j (infinite) -> t (leftover capacity):
+   one vertex pair per cell, arcs only between non-empty sides, so the
+   border problem is O(cells^2) however large the cluster is. *)
+let solve_border backend cells =
+  let n = Array.length cells in
+  let total_ld =
+    Array.fold_left (fun acc c -> acc + c.leftover_demand) 0 cells
+  in
+  let total_lc =
+    Array.fold_left (fun acc c -> acc + c.leftover_capacity) 0 cells
+  in
+  if total_ld = 0 || total_lc = 0 then (0, 0)
+  else begin
+    let t0 = Obs.now_ns () in
+    let g = Flownet.Graph.create ~arc_hint:(4 * n * n) (2 + (2 * n)) in
+    let s = 0 and t = 1 in
+    let lv c = 2 + c and rv c = 2 + n + c in
+    let inf = total_ld + 1 in
+    Array.iteri
+      (fun c cr ->
+        if cr.leftover_demand > 0 then
+          ignore
+            (Flownet.Graph.add_arc g ~src:s ~dst:(lv c)
+               ~cap:cr.leftover_demand ~cost:0);
+        if cr.leftover_capacity > 0 then
+          ignore
+            (Flownet.Graph.add_arc g ~src:(rv c) ~dst:t
+               ~cap:cr.leftover_capacity ~cost:0))
+      cells;
+    Array.iteri
+      (fun i ci ->
+        if ci.leftover_demand > 0 then
+          Array.iteri
+            (fun j cj ->
+              if cj.leftover_capacity > 0 then
+                ignore
+                  (Flownet.Graph.add_arc g ~src:(lv i) ~dst:(rv j) ~cap:inf
+                     ~cost:0))
+            cells)
+      cells;
+    let stats =
+      match Flownet.Registry.solve backend g ~src:s ~dst:t with
+      | Ok st -> st
+      | Error e -> fail_error e
+    in
+    Obs.observe_ns h_border_solve (Int64.sub (Obs.now_ns ()) t0);
+    (stats.Flownet.Mincost.flow, stats.Flownet.Mincost.cost)
+  end
+
+let solve ?backend coord outer batch =
+  let backend =
+    match backend with Some b -> b | None -> Flownet.Registry.of_env ()
+  in
+  let per_cell =
+    Cells.Coordinator.map_cells coord outer ~batch
+      ~f:(fun ~cell:_ ~lo:_ ~mirror ~sub -> solve_cell backend ~mirror ~sub)
+  in
+  let cells =
+    Array.map (function Ok r -> r | Error e -> raise e) per_cell
+  in
+  let border_flow, border_cost = solve_border backend cells in
+  {
+    total_flow =
+      Array.fold_left (fun acc c -> acc + c.cell_flow) 0 cells + border_flow;
+    border_flow;
+    total_cost =
+      Array.fold_left (fun acc c -> acc + c.cell_cost) 0 cells + border_cost;
+    cells;
+  }

@@ -1,0 +1,40 @@
+(** Sharded scalar max-flow over scheduling cells.
+
+    Each cell's tiered projection ({!Flow_graph.scalar_projection} of the
+    cell's mirror and sub-batch) is solved independently on the
+    coordinator's domain pool; a border bipartite network then routes
+    leftover demand to leftover capacity across cells. Because the tiered
+    projection is tier-ample (every task can reach every machine), the
+    decomposition is exact:
+
+    [total_flow = global unsharded max flow],
+
+    for every registry backend — the invariant the differential suite
+    checks. Costs are not comparable to the global solve (the sharded
+    routing is a restriction), only the flow value is. *)
+
+type cell_result = {
+  cell_flow : int;
+  cell_cost : int;
+  leftover_demand : int;    (** unrouted batch demand in this cell *)
+  leftover_capacity : int;  (** unused machine capacity in this cell *)
+  solve_ns : int64;
+}
+
+type result = {
+  total_flow : int;  (** sum of cell flows + border flow *)
+  border_flow : int;
+  total_cost : int;
+  cells : cell_result array;
+}
+
+val solve :
+  ?backend:(module Flownet.Solver_intf.S) ->
+  Cells.Coordinator.t ->
+  Cluster.t ->
+  Container.t array ->
+  result
+(** Assign [batch] to cells with the coordinator's deterministic policy,
+    solve per-cell projections in parallel, then the border network.
+    [backend] defaults to [ALADDIN_SOLVER]'s choice.
+    @raise Failure when the backend reports a solver error. *)

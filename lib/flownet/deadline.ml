@@ -68,21 +68,30 @@ let check_now t site =
 
 (* ---- ambient ---- *)
 
-let installed : t option ref = ref None
+(* Per-domain: each domain gets its own ambient slot, so a coordinator
+   arming a deadline on one domain never leaks it into solver loops
+   running on another. Cross-domain propagation is explicit — the cells
+   coordinator captures its ambient and re-arms it inside each worker
+   task with [with_ambient]. *)
+let installed_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let ambient () = !installed
+let installed () = Domain.DLS.get installed_key
+
+let ambient () = !(installed ())
 
 let with_ambient t f =
-  let prev = !installed in
-  installed := Some t;
-  Fun.protect ~finally:(fun () -> installed := prev) f
+  let slot = installed () in
+  let prev = !slot in
+  slot := Some t;
+  Fun.protect ~finally:(fun () -> slot := prev) f
 
 let tick_ambient site =
-  match !installed with None -> () | Some t -> tick t site
+  match !(installed ()) with None -> () | Some t -> tick t site
 
 let check_ambient site =
-  match !installed with None -> () | Some t -> check_now t site
+  match !(installed ()) with None -> () | Some t -> check_now t site
 
 let tick_opt d site = match d with None -> () | Some t -> tick t site
 
-let resolve = function Some _ as d -> d | None -> !installed
+let resolve = function Some _ as d -> d | None -> ambient ()

@@ -1,57 +1,145 @@
-type counter = { c_name : string; mutable count : int }
+(* Domain-safe observability.
+
+   Series are registered once in a global, mutex-guarded registry that
+   hands out dense integer ids; the *values* live in per-domain shards
+   reached through [Domain.DLS], so the hot operations — [incr], [add],
+   [observe_ns] — touch only domain-local arrays and take no lock. Reads
+   ([count], [counters], [histograms], [json]) merge every shard under the
+   registry lock. A merge that races a concurrently running domain may
+   miss its very latest in-flight updates (monitoring-grade snapshot), but
+   updates are never lost: each one lands in exactly one shard, and any
+   happens-before edge to the reader (Domain.join, a pool handshake) makes
+   it visible — the two-domain regression test pins this down. *)
+
+type counter = { c_name : string; c_id : int }
 
 (* 64 power-of-two buckets over nanoseconds: bucket i holds samples with
    floor(log2 ns) = i. Constant storage, <= 2x percentile error. *)
-type histogram = {
-  h_name : string;
+type hcell = {
   buckets : int array;
   mutable samples : int;
   mutable sum_ns : float;
   mutable max_ns : float;
 }
 
+type histogram = { h_name : string; h_id : int }
+
+(* One domain's slice of every series. The arrays grow on demand without
+   the lock — they are only ever touched by the owning domain; the
+   registry lock is taken just to publish the shard itself. *)
+type shard = {
+  mutable counts : int array;
+  mutable hists : hcell option array;
+}
+
+let registry_lock = Mutex.create ()
+let locked f = Mutex.protect registry_lock f
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let n_counters = ref 0
+let n_histograms = ref 0
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      locked (fun () ->
+          let s =
+            {
+              counts = Array.make (max 64 !n_counters) 0;
+              hists = Array.make (max 16 !n_histograms) None;
+            }
+          in
+          shards := s :: !shards;
+          s))
+
+let my_shard () = Domain.DLS.get shard_key
 
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.replace counters_tbl name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_id = !n_counters } in
+          incr n_counters;
+          Hashtbl.replace counters_tbl name c;
+          c)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
+let counts_for s id =
+  let a = s.counts in
+  if id < Array.length a then a
+  else begin
+    let b = Array.make (max (id + 1) (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    s.counts <- b;
+    b
+  end
+
+let add c n =
+  let a = counts_for (my_shard ()) c.c_id in
+  a.(c.c_id) <- a.(c.c_id) + n
+
+let incr c = add c 1
+
+(* Merge across shards. Shard arrays may be shorter than the registry
+   (a domain that never touched a late-registered series) — missing
+   entries contribute zero. *)
+let count c =
+  locked (fun () ->
+      List.fold_left
+        (fun acc s ->
+          if c.c_id < Array.length s.counts then acc + s.counts.(c.c_id)
+          else acc)
+        0 !shards)
 
 let now_ns () = Monotonic_clock.now ()
 
 let histogram name =
-  match Hashtbl.find_opt histograms_tbl name with
-  | Some h -> h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h -> h
+      | None ->
+          let h = { h_name = name; h_id = !n_histograms } in
+          n_histograms := !n_histograms + 1;
+          Hashtbl.replace histograms_tbl name h;
+          h)
+
+let hcell_for s id =
+  let a =
+    if id < Array.length s.hists then s.hists
+    else begin
+      let b = Array.make (max (id + 1) (2 * Array.length s.hists)) None in
+      Array.blit s.hists 0 b 0 (Array.length s.hists);
+      s.hists <- b;
+      b
+    end
+  in
+  match a.(id) with
+  | Some cell -> cell
   | None ->
-      let h =
-        { h_name = name; buckets = Array.make 64 0; samples = 0; sum_ns = 0.; max_ns = 0. }
+      let cell =
+        { buckets = Array.make 64 0; samples = 0; sum_ns = 0.; max_ns = 0. }
       in
-      Hashtbl.replace histograms_tbl name h;
-      h
+      a.(id) <- Some cell;
+      cell
 
 let bucket_of_ns ns =
   if ns <= 0L then 0
   else
     (* floor(log2 ns): position of the highest set bit *)
-    let rec go i v = if v = 0L then i - 1 else go (i + 1) (Int64.shift_right_logical v 1) in
+    let rec go i v =
+      if v = 0L then i - 1 else go (i + 1) (Int64.shift_right_logical v 1)
+    in
     go 0 ns
 
 let observe_ns h ns =
   let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let cell = hcell_for (my_shard ()) h.h_id in
   let b = bucket_of_ns ns in
-  h.buckets.(b) <- h.buckets.(b) + 1;
-  h.samples <- h.samples + 1;
+  cell.buckets.(b) <- cell.buckets.(b) + 1;
+  cell.samples <- cell.samples + 1;
   let f = Int64.to_float ns in
-  h.sum_ns <- h.sum_ns +. f;
-  if f > h.max_ns then h.max_ns <- f
+  cell.sum_ns <- cell.sum_ns +. f;
+  if f > cell.max_ns then cell.max_ns <- f
 
 let time h f =
   let t0 = now_ns () in
@@ -69,44 +157,69 @@ type histogram_stats = {
   max_ns : float;
 }
 
+(* Caller holds the registry lock. *)
+let merged_hcell h =
+  let m =
+    { buckets = Array.make 64 0; samples = 0; sum_ns = 0.; max_ns = 0. }
+  in
+  List.iter
+    (fun s ->
+      if h.h_id < Array.length s.hists then
+        match s.hists.(h.h_id) with
+        | None -> ()
+        | Some cell ->
+            for i = 0 to 63 do
+              m.buckets.(i) <- m.buckets.(i) + cell.buckets.(i)
+            done;
+            m.samples <- m.samples + cell.samples;
+            m.sum_ns <- m.sum_ns +. cell.sum_ns;
+            if cell.max_ns > m.max_ns then m.max_ns <- cell.max_ns)
+    !shards;
+  m
+
 (* Percentile from the bucket CDF; a bucket is reported at its geometric
    midpoint (1.5 * 2^i). *)
-let percentile (h : histogram) q =
-  if h.samples = 0 then 0.
+let percentile (cell : hcell) q =
+  if cell.samples = 0 then 0.
   else begin
-    let target = Float.max 1. (Float.round (q *. float_of_int h.samples)) in
+    let target = Float.max 1. (Float.round (q *. float_of_int cell.samples)) in
     let acc = ref 0. in
-    let result = ref h.max_ns in
+    let result = ref cell.max_ns in
     (try
        for i = 0 to 63 do
-         acc := !acc +. float_of_int h.buckets.(i);
+         acc := !acc +. float_of_int cell.buckets.(i);
          if !acc >= target then begin
            result := 1.5 *. Float.pow 2. (float_of_int i);
            raise Exit
          end
        done
      with Exit -> ());
-    Float.min !result h.max_ns
+    Float.min !result cell.max_ns
   end
 
-let histogram_stats (h : histogram) =
+let stats_of_hcell (cell : hcell) =
   {
-    samples = h.samples;
-    sum_ns = h.sum_ns;
-    mean_ns = (if h.samples = 0 then 0. else h.sum_ns /. float_of_int h.samples);
-    p50_ns = percentile h 0.50;
-    p90_ns = percentile h 0.90;
-    p99_ns = percentile h 0.99;
-    max_ns = h.max_ns;
+    samples = cell.samples;
+    sum_ns = cell.sum_ns;
+    mean_ns =
+      (if cell.samples = 0 then 0.
+       else cell.sum_ns /. float_of_int cell.samples);
+    p50_ns = percentile cell 0.50;
+    p90_ns = percentile cell 0.90;
+    p99_ns = percentile cell 0.99;
+    max_ns = cell.max_ns;
   }
+
+let histogram_stats h = locked (fun () -> stats_of_hcell (merged_hcell h))
 
 (* GC accounting around a region of code: word/compaction deltas accumulate
    into ordinary counters, so they ride along in [counters ()] and [json ()]
-   snapshots. Sampling allocates a few boxed floats itself (minor_words
-   returns a boxed float, quick_stat a record); the closing reads happen
-   before their own boxing, so the only self-pollution in a delta is the
-   opening sample's box — a handful of words, visible as a small floor in
-   per-call averages. *)
+   snapshots. Gc stats are per-domain in OCaml 5, so a delta taken on the
+   running domain is exact for that domain's allocations. Sampling
+   allocates a few boxed floats itself (minor_words returns a boxed float,
+   quick_stat a record); the closing reads happen before their own boxing,
+   so the only self-pollution in a delta is the opening sample's box — a
+   handful of words, visible as a small floor in per-call averages. *)
 type gc_scope = {
   g_minor : counter;
   g_major : counter;
@@ -127,30 +240,52 @@ let with_gc scope f =
   let mw1 = Gc.minor_words () in
   let q1 = Gc.quick_stat () in
   add scope.g_minor (int_of_float (mw1 -. mw0));
-  add scope.g_major
-    (int_of_float (q1.Gc.major_words -. q0.Gc.major_words));
+  add scope.g_major (int_of_float (q1.Gc.major_words -. q0.Gc.major_words));
   add scope.g_compactions (q1.Gc.compactions - q0.Gc.compactions);
   r
 
-let by_name name_of l = List.sort (fun a b -> String.compare (name_of a) (name_of b)) l
+let by_name name_of l =
+  List.sort (fun a b -> String.compare (name_of a) (name_of b)) l
 
 let counters () =
-  Hashtbl.fold (fun _ c acc -> (c.c_name, c.count) :: acc) counters_tbl []
-  |> by_name fst
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ c acc ->
+          let v =
+            List.fold_left
+              (fun acc s ->
+                if c.c_id < Array.length s.counts then acc + s.counts.(c.c_id)
+                else acc)
+              0 !shards
+          in
+          (c.c_name, v) :: acc)
+        counters_tbl []
+      |> by_name fst)
 
 let histograms () =
-  Hashtbl.fold (fun _ h acc -> (h.h_name, histogram_stats h) :: acc) histograms_tbl []
-  |> by_name fst
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ h acc -> (h.h_name, stats_of_hcell (merged_hcell h)) :: acc)
+        histograms_tbl []
+      |> by_name fst)
 
+(* Zeroing races updates from domains still running; call at quiescence
+   (between bench phases, after joins) for an exact reset. *)
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters_tbl;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.buckets 0 64 0;
-      h.samples <- 0;
-      h.sum_ns <- 0.;
-      h.max_ns <- 0.)
-    histograms_tbl
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.counts 0 (Array.length s.counts) 0;
+          Array.iter
+            (function
+              | None -> ()
+              | Some cell ->
+                  Array.fill cell.buckets 0 64 0;
+                  cell.samples <- 0;
+                  cell.sum_ns <- 0.;
+                  cell.max_ns <- 0.)
+            s.hists)
+        !shards)
 
 let escape s =
   let buf = Buffer.create (String.length s) in

@@ -3,8 +3,15 @@
 
     Series are registered in a global registry keyed by name, so independent
     modules can obtain the same series ([counter "x"] is get-or-create) and a
-    harness can snapshot everything at once. Counter increments are a single
-    record-field update — cheap enough for solver inner loops. *)
+    harness can snapshot everything at once.
+
+    Domain-safe by sharding: registration takes a lock, but the values
+    live in per-domain shards ([Domain.DLS]), so [incr] / [add] /
+    [observe_ns] are lock-free domain-local array updates — cheap enough
+    for solver inner loops, and never lost under concurrent domains.
+    Reads merge every shard; a snapshot racing a running domain may miss
+    its in-flight tail, and is exact once a happens-before edge to that
+    domain exists (a [Domain.join], a pool handshake). *)
 
 type counter
 
@@ -63,7 +70,9 @@ val histograms : unit -> (string * histogram_stats) list
 (** All registered histograms with their current stats, sorted by name. *)
 
 val reset : unit -> unit
-(** Zero every registered series (registrations are kept). *)
+(** Zero every registered series in every shard (registrations are kept).
+    Call at quiescence — zeroing races updates from still-running
+    domains. *)
 
 val json : unit -> string
 (** JSON object [{"counters": {...}, "histograms": {...}}] of the current

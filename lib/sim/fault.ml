@@ -27,6 +27,21 @@ type state = {
 
 let installed : state option ref = ref None
 
+(* One lock serialises every draw and state mutation, so concurrent
+   domains (the cells coordinator probes from worker tasks) keep the
+   draw-counted stream well-defined: each draw lands at exactly one
+   stream position and the counters stay exact. The [None] fast path —
+   no fault configuration installed, i.e. every production run — stays
+   lock-free; probes re-check under the lock before drawing. *)
+let lock = Mutex.create ()
+
+let with_state f =
+  match !installed with
+  | None -> None
+  | Some _ ->
+      Mutex.protect lock (fun () ->
+          match !installed with None -> None | Some st -> Some (f st))
+
 let c_solver = Obs.counter "fault.injected_solver_failures"
 let c_lines = Obs.counter "fault.corrupted_lines"
 let c_arcs = Obs.counter "fault.flipped_arcs"
@@ -49,7 +64,8 @@ let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
   }
 
 let install cfg =
-  installed :=
+  Mutex.protect lock (fun () ->
+      installed :=
     Some
       {
         cfg;
@@ -57,9 +73,9 @@ let install cfg =
         failures_left = cfg.solver_failure_budget;
         draws = 0;
         kill_countdown = cfg.process_kill_after;
-      }
+      })
 
-let clear () = installed := None
+let clear () = Mutex.protect lock (fun () -> installed := None)
 let active () = !installed <> None
 
 (* Counted wrappers — every probe draws through these so [draws] stays an
@@ -77,51 +93,58 @@ let rint st bound =
 let draw st p = p > 0. && rfloat st < p
 
 let stream_position () =
-  Option.map (fun st -> (st.draws, st.failures_left, st.kill_countdown)) !installed
+  with_state (fun st -> (st.draws, st.failures_left, st.kill_countdown))
 
 let fast_forward ?kill_countdown ~draws ~failures_left () =
-  match !installed with
+  match
+    with_state (fun st ->
+        if draws < st.draws then
+          invalid_arg "Fault.fast_forward: stream already past that position";
+        while st.draws < draws do
+          ignore (rfloat st)
+        done;
+        st.failures_left <- failures_left;
+        (* The kill countdown is a per-process drill device: a resumed run
+           keeps the countdown of the configuration it was launched with
+           (usually disarmed) unless the caller explicitly re-arms it —
+           otherwise recovery would faithfully re-execute its own crash. *)
+        Option.iter (fun k -> st.kill_countdown <- k) kill_countdown)
+  with
+  | Some () -> ()
   | None -> invalid_arg "Fault.fast_forward: no configuration installed"
-  | Some st ->
-      if draws < st.draws then
-        invalid_arg "Fault.fast_forward: stream already past that position";
-      while st.draws < draws do
-        ignore (rfloat st)
-      done;
-      st.failures_left <- failures_left;
-      (* The kill countdown is a per-process drill device: a resumed run
-         keeps the countdown of the configuration it was launched with
-         (usually disarmed) unless the caller explicitly re-arms it —
-         otherwise recovery would faithfully re-execute its own crash. *)
-      Option.iter (fun k -> st.kill_countdown <- k) kill_countdown
 
 let trip_solver_step site =
-  match !installed with
-  | None -> ()
-  | Some st ->
-      if st.failures_left <> 0 && draw st st.cfg.solver_step_failure then begin
-        if st.failures_left > 0 then st.failures_left <- st.failures_left - 1;
-        Obs.incr c_solver;
-        raise (Injected site)
-      end
+  let tripped =
+    with_state (fun st ->
+        if st.failures_left <> 0 && draw st st.cfg.solver_step_failure then begin
+          if st.failures_left > 0 then st.failures_left <- st.failures_left - 1;
+          Obs.incr c_solver;
+          true
+        end
+        else false)
+  in
+  if tripped = Some true then raise (Injected site)
 
 let trip_process_kill site =
-  match !installed with
-  | None -> ()
-  | Some st ->
-      if st.kill_countdown = 0 then begin
-        st.kill_countdown <- -1;
-        (* one-shot: the resumed run must get past this point *)
-        Obs.incr c_kills;
-        raise (Killed site)
-      end
-      else if st.kill_countdown > 0 then
-        st.kill_countdown <- st.kill_countdown - 1
+  let killed =
+    with_state (fun st ->
+        if st.kill_countdown = 0 then begin
+          st.kill_countdown <- -1;
+          (* one-shot: the resumed run must get past this point *)
+          Obs.incr c_kills;
+          true
+        end
+        else begin
+          if st.kill_countdown > 0 then
+            st.kill_countdown <- st.kill_countdown - 1;
+          false
+        end)
+  in
+  if killed = Some true then raise (Killed site)
 
 let corrupt_line line =
-  match !installed with
-  | None -> line
-  | Some st ->
+  match
+    with_state (fun st ->
       if not (draw st st.cfg.trace_line_corruption) then line
       else begin
         Obs.incr c_lines;
@@ -143,12 +166,14 @@ let corrupt_line line =
             (* Splice a non-numeric token into a field position. *)
             let cut = if len = 0 then 0 else rint st len in
             String.sub line 0 cut ^ " NaN " ^ String.sub line cut (len - cut)
-      end
+      end)
+  with
+  | None -> line
+  | Some l -> l
 
 let perturb_arc ~cost ~capacity =
-  match !installed with
-  | None -> (cost, capacity)
-  | Some st ->
+  match
+    with_state (fun st ->
       let cost =
         if draw st st.cfg.arc_cost_flip then begin
           Obs.incr c_arcs;
@@ -163,12 +188,14 @@ let perturb_arc ~cost ~capacity =
         end
         else capacity
       in
-      (cost, capacity)
+      (cost, capacity))
+  with
+  | None -> (cost, capacity)
+  | Some r -> r
 
 let pick_revocation ?(is_offline = fun _ -> false) ~n_machines () =
-  match !installed with
-  | None -> None
-  | Some st ->
+  Option.join
+    (with_state (fun st ->
       if n_machines > 0 && draw st st.cfg.machine_revocation then begin
         (* Draw among the machines still online: revoking an offline
            machine would be a no-op drain, yet the old draw-any-id scheme
@@ -191,4 +218,4 @@ let pick_revocation ?(is_offline = fun _ -> false) ~n_machines () =
           Some (List.nth !online k)
         end
       end
-      else None
+      else None))

@@ -8,103 +8,16 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
-let mincost_exn ?warm ?max_flow g ~src ~dst =
-  match Flownet.Mincost.run ?warm ?max_flow g ~src ~dst with
-  | Ok s -> s
-  | Error e -> Alcotest.failf "mincost error: %s" (Flownet.Error.to_string e)
-
-(* ---------- seeded random networks ---------- *)
-
-(* General digraph for max-flow differentials: random arcs plus a few
-   forced source/sink attachments so the flow is usually nonzero. *)
-let random_flow_graph rng ~n ~m ~max_cap =
-  let g = Flownet.Graph.create ~arc_hint:(m + 8) n in
-  let src = 0 and dst = n - 1 in
-  for _ = 1 to m do
-    let s = Rng.int rng n and d = Rng.int rng n in
-    if s <> d then
-      ignore
-        (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng max_cap)
-           ~cost:0)
-  done;
-  for _ = 1 to 4 do
-    let v = 1 + Rng.int rng (n - 2) in
-    ignore
-      (Flownet.Graph.add_arc g ~src ~dst:v ~cap:(1 + Rng.int rng max_cap)
-         ~cost:0);
-    ignore
-      (Flownet.Graph.add_arc g ~src:v ~dst ~cap:(1 + Rng.int rng max_cap)
-         ~cost:0)
-  done;
-  (g, src, dst)
-
-(* DAG (arcs only low → high vertex) for min-cost differentials: negative
-   costs allowed, acyclicity rules out negative cycles. *)
-let random_dag rng ~n ~m ~max_cap ~max_cost =
-  let g = Flownet.Graph.create ~arc_hint:(m + n) n in
-  let src = 0 and dst = n - 1 in
-  for _ = 1 to m do
-    let s = Rng.int rng (n - 1) in
-    let d = s + 1 + Rng.int rng (n - 1 - s) in
-    let cost =
-      if Rng.bool rng 0.25 then -(1 + Rng.int rng (max_cost / 4))
-      else Rng.int rng max_cost
-    in
-    ignore
-      (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng max_cap)
-         ~cost)
-  done;
-  for v = 0 to n - 2 do
-    if Rng.bool rng 0.3 then
-      ignore
-        (Flownet.Graph.add_arc g ~src:v ~dst:(v + 1)
-           ~cap:(1 + Rng.int rng max_cap) ~cost:(Rng.int rng max_cost))
-  done;
-  (g, src, dst)
-
-(* ---------- feasibility oracle ---------- *)
-
-let assert_feasible g ~src ~dst ~value =
-  let n = Flownet.Graph.n_vertices g in
-  for a = 0 to Flownet.Graph.n_arcs g - 1 do
-    if Flownet.Graph.is_forward a then begin
-      let f = Flownet.Graph.flow g a in
-      if f < 0 || f > Flownet.Graph.capacity g a then
-        Alcotest.failf "arc %d: flow %d outside [0, %d]" a f
-          (Flownet.Graph.capacity g a)
-    end;
-    if Flownet.Graph.residual g a < 0 then
-      Alcotest.failf "arc %d: negative residual" a
-  done;
-  for v = 0 to n - 1 do
-    let out = Flownet.Graph.outflow g v in
-    if v = src then check int "source outflow = value" value out
-    else if v = dst then check int "sink outflow = -value" (-value) out
-    else if out <> 0 then Alcotest.failf "vertex %d: conservation broken" v
-  done
-
-(* ---------- Bellman–Ford successive-shortest-path oracle ---------- *)
-
-let ssp_bellman_ford g ~src ~dst =
-  Flownet.Graph.reset_flows g;
-  let flow = ref 0 and cost = ref 0 in
-  let continue_ = ref true in
-  while !continue_ do
-    let r = Flownet.Bellman_ford.run g ~src in
-    if r.Flownet.Bellman_ford.negative_cycle then
-      Alcotest.fail "oracle: negative cycle in residual graph";
-    match
-      Flownet.Path.of_parents g ~parent:r.Flownet.Bellman_ford.parent ~src ~dst
-    with
-    | None -> continue_ := false
-    | Some p ->
-        let d = p.Flownet.Path.bottleneck in
-        let c = Flownet.Path.cost g p in
-        Flownet.Path.augment g p d;
-        flow := !flow + d;
-        cost := !cost + (d * c)
-  done;
-  (!flow, !cost)
+(* Generators and oracles come from the shared [Gen] module; aliases keep
+   the test bodies unchanged. *)
+let random_flow_graph = Gen.random_flow_graph
+let random_dag = Gen.random_dag
+let random_nonneg_graph = Gen.random_nonneg_graph
+let assert_feasible = Gen.assert_feasible
+let ssp_bellman_ford = Gen.ssp_bellman_ford
+let mincost_exn = Gen.mincost_exn
+let solve_exn = Gen.solve_exn
+let registered = Gen.registered
 
 (* ---------- max-flow differential ---------- *)
 
@@ -182,22 +95,6 @@ let test_mincost_warm_matches_cold () =
   done
 
 (* ---------- registry differential ---------- *)
-
-let solve_exn backend ?max_flow g ~src ~dst =
-  match Flownet.Registry.solve backend ?max_flow g ~src ~dst with
-  | Ok s -> s
-  | Error e ->
-      Alcotest.failf "%s error: %s"
-        (Flownet.Registry.name backend)
-        (Flownet.Error.to_string e)
-
-let registered () =
-  List.map
-    (fun n ->
-      match Flownet.Registry.find n with
-      | Some b -> b
-      | None -> Alcotest.failf "registry lost backend %s" n)
-    (Flownet.Registry.names ())
 
 let test_registry_lists_all_backends () =
   Alcotest.(check (list string))
@@ -324,20 +221,6 @@ let with_policy p f =
   let old = Flownet.Dijkstra.queue_policy () in
   Flownet.Dijkstra.set_queue_policy p;
   Fun.protect ~finally:(fun () -> Flownet.Dijkstra.set_queue_policy old) f
-
-(* One random nonnegative-cost graph; a fraction of the arcs get cost
-   [zero_w] exactly (the bucket queue's batch-pop regime), the rest up to
-   [max_cost]. *)
-let random_nonneg_graph rng ~n ~max_cost =
-  let g = Flownet.Graph.create ~arc_hint:(n * 4) n in
-  for _ = 1 to n * 3 do
-    let s = Rng.int rng n and d = Rng.int rng n in
-    if s <> d then
-      let cost = if Rng.bool rng 0.3 then 0 else Rng.int rng (max_cost + 1) in
-      ignore
-        (Flownet.Graph.add_arc g ~src:s ~dst:d ~cap:(1 + Rng.int rng 10) ~cost)
-  done;
-  g
 
 let dijkstra_dists p g ~n ~potential =
   let r =

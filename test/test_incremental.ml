@@ -7,41 +7,14 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
-let mincost_exn ?warm g ~src ~dst =
-  match Flownet.Mincost.run ?warm g ~src ~dst with
-  | Ok s -> s
-  | Error e -> Alcotest.failf "mincost error: %s" (Flownet.Error.to_string e)
-
-let fresh_cluster w ~n_machines =
-  Cluster.create
-    (Workload.topology w ~n_machines)
-    ~constraints:(Workload.constraint_set w)
-
-(* Machines needed to hold the workload's total CPU demand, plus headroom. *)
-let machines_for w ~headroom =
-  let total =
-    (Resource.to_array (Workload.total_demand w)).(Resource.cpu_dim)
-  in
-  let per =
-    (Resource.to_array w.Workload.machine_capacity).(Resource.cpu_dim)
-  in
-  max 4 (int_of_float (ceil (headroom *. float_of_int total /. float_of_int per)))
-
-let waves containers ~n_batches =
-  let n = Array.length containers in
-  let per = max 1 ((n + n_batches - 1) / n_batches) in
-  let rec go i acc =
-    if i >= n then List.rev acc
-    else
-      let len = min per (n - i) in
-      go (i + len) (Array.sub containers i len :: acc)
-  in
-  go 0 []
-
-let sorted_placements cl =
-  List.sort compare (Cluster.placements cl)
-
-let ids l = List.map (fun (c : Container.t) -> c.Container.id) l
+(* Workload sizing, batch splitting and fingerprint helpers come from the
+   shared [Gen] module. *)
+let mincost_exn = Gen.mincost_exn
+let fresh_cluster = Gen.fresh_cluster
+let machines_for = Gen.machines_for
+let waves = Gen.waves
+let sorted_placements = Gen.sorted_placements
+let ids = Gen.ids
 
 (* ---------- equivalence: warm scheduler == from-scratch scheduler ---------- *)
 
