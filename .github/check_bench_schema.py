@@ -75,6 +75,81 @@ def check_cells(cells, where, require_speedup=None):
                  f"required {require_speedup:.2f}x")
 
 
+def check_serve(serve, require_saturation=False):
+    where = "serve"
+    cfg = serve.get("config")
+    if not isinstance(cfg, dict):
+        fail(f"{where}.config must be an object")
+    for key in ("queue_bound", "watermark", "batch_size", "seed"):
+        if not isinstance(cfg.get(key), int):
+            fail(f"{where}.config.{key} must be an int")
+    if cfg["queue_bound"] <= 0 or not (0 < cfg["watermark"] <= cfg["queue_bound"]):
+        fail(f"{where}.config: need 0 < watermark <= queue_bound")
+    if cfg["batch_size"] <= 0:
+        fail(f"{where}.config.batch_size must be positive")
+    for key in ("rate", "duration_s", "batch_deadline_ms", "overload_deadline_ms"):
+        v = cfg.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{where}.config.{key} must be a nonnegative number")
+    if cfg.get("modulation") not in ("steady", "burst", "diurnal"):
+        fail(f"{where}.config.modulation must be steady/burst/diurnal")
+    base_rate = serve.get("base_rate")
+    if not isinstance(base_rate, (int, float)) or base_rate <= 0:
+        fail(f"{where}.base_rate must be positive")
+    if not isinstance(serve.get("calibrated"), bool):
+        fail(f"{where}.calibrated must be a bool")
+    points = serve.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{where}.points must be a non-empty array")
+    prev_rate = 0.0
+    for i, p in enumerate(points):
+        pw = f"{where}.points[{i}]"
+        for key in ("arrivals", "admitted", "rejected", "shed", "placed",
+                    "undeployed", "failed_requests", "removed",
+                    "noop_removes", "batches", "failed_batches",
+                    "overload_batches"):
+            v = p.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{pw}.{key} must be a nonnegative int")
+        if p["admitted"] != p["arrivals"] - p["rejected"]:
+            fail(f"{pw}: admitted must equal arrivals - rejected")
+        rate = p.get("rate")
+        if not isinstance(rate, (int, float)) or rate <= prev_rate:
+            fail(f"{pw}.rate must increase along the sweep")
+        prev_rate = rate
+        lat = p.get("latency_ms")
+        if not isinstance(lat, dict):
+            fail(f"{pw}.latency_ms must be an object")
+        if not isinstance(lat.get("samples"), int) or lat["samples"] < 0:
+            fail(f"{pw}.latency_ms.samples must be a nonnegative int")
+        for key in ("p50", "p99", "p999", "max", "mean"):
+            v = lat.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{pw}.latency_ms.{key} must be a nonnegative number")
+        eps = 1e-6
+        if not (lat["p50"] <= lat["p99"] + eps
+                and lat["p99"] <= lat["p999"] + eps
+                and lat["p999"] <= lat["max"] + eps):
+            fail(f"{pw}.latency_ms: tails must be monotone "
+                 f"(p50 <= p99 <= p999 <= max)")
+        depth = p.get("queue_depth")
+        if not isinstance(depth, dict) or \
+                not isinstance(depth.get("max"), int) or depth["max"] < 0 or \
+                not isinstance(depth.get("mean"), (int, float)) or depth["mean"] < 0:
+            fail(f"{pw}.queue_depth needs nonnegative max/mean")
+        if not isinstance(p.get("saturated"), bool):
+            fail(f"{pw}.saturated must be a bool")
+    if require_saturation:
+        last = points[-1]
+        if not last["saturated"]:
+            fail(f"{where}: sweep never saturated (last point "
+                 f"rate {last['rate']})")
+        if last["rejected"] + last["shed"] <= 0:
+            fail(f"{where}: saturated point shows no shed/rejected requests")
+        if not any(p["arrivals"] > 0 and p["batches"] > 0 for p in points):
+            fail(f"{where}: no point actually served traffic")
+
+
 def check_tier(name, tier, require_warm_win=False, require_cells_speedup=None):
     where = f"tiers[{name!r}]"
     for section in ("config", "summary", "gc", "containers_placed", "cells"):
@@ -113,7 +188,7 @@ def check_tier(name, tier, require_warm_win=False, require_cells_speedup=None):
 
 
 def main(path, chaos=False, tiers=None, require_warm_win=False,
-         require_cells_speedup=None):
+         require_cells_speedup=None, require_serve_saturation=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -121,7 +196,7 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
         fail(f"cannot load {path}: {e}")
 
     for section in ("config", "solver", "per_batch", "summary", "cells",
-                    "tiers", "obs"):
+                    "tiers", "serve", "obs"):
         if section not in doc:
             fail(f"missing section {section!r}")
 
@@ -182,6 +257,8 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
             fail(f"required tier {required!r} missing "
                  f"(present: {sorted(tier_map)})")
 
+    check_serve(doc["serve"], require_saturation=require_serve_saturation)
+
     obs = doc["obs"]
     for key in ("counters", "histograms"):
         if not isinstance(obs.get(key), dict):
@@ -226,6 +303,8 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
         "audit.repairs",
         "audit.unrepaired",
         "journal.commits",
+        "journal.corrupt_records",
+        "journal.dropped_commits",
         "journal.resumes",
         "journal.resume_drops",
         "fault.process_kills",
@@ -240,6 +319,20 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
         "cells.rejected_batches",
         "cells.fixup_containers",
         "cells.fixup_placed",
+        # typed solver-error channel of the sharded cells solver
+        "cells.solver.errors",
+        # serving front end: registered whenever lib/serve is linked; the
+        # serve phase always runs, so arrivals/batches are checked via the
+        # serve section itself, >= 0 here.
+        "serve.arrivals",
+        "serve.admitted",
+        "serve.rejected",
+        "serve.shed",
+        "serve.placed",
+        "serve.failed_requests",
+        "serve.batches",
+        "serve.failed_batches",
+        "serve.overload_batches",
     ):
         v = obs["counters"].get(key)
         if not isinstance(v, int) or v < 0:
@@ -269,18 +362,24 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
 
     cells_runs = doc["cells"]["runs"]
     best_cells = max(r["speedup_vs_first"] for r in cells_runs.values())
+    serve_points = doc["serve"]["points"]
     print(f"{path}: schema OK "
           f"(tiers {sorted(tier_map)}, {config['batches']} batches, "
           f"solver speedup {summary['solver_speedup']:.2f}x, "
           f"cells {sorted(doc['cells']['counts'])} "
-          f"best {best_cells:.2f}x)")
+          f"best {best_cells:.2f}x, "
+          f"serve {len(serve_points)} points"
+          f"{' saturated' if serve_points and serve_points[-1]['saturated'] else ''})")
 
 
 if __name__ == "__main__":
     args = sys.argv[1:]
     chaos_flag = "--chaos" in args
     warm_win_flag = "--require-warm-win" in args
-    args = [a for a in args if a not in ("--chaos", "--require-warm-win")]
+    serve_sat_flag = "--require-serve-saturation" in args
+    args = [a for a in args
+            if a not in ("--chaos", "--require-warm-win",
+                         "--require-serve-saturation")]
     tiers_arg = []
     cells_speedup = None
     for a in list(args):
@@ -292,4 +391,5 @@ if __name__ == "__main__":
             args.remove(a)
     main(args[0] if args else "BENCH_sched.json", chaos=chaos_flag,
          tiers=tiers_arg, require_warm_win=warm_win_flag,
-         require_cells_speedup=cells_speedup)
+         require_cells_speedup=cells_speedup,
+         require_serve_saturation=serve_sat_flag)

@@ -164,6 +164,11 @@ let fault_rate = getenv_float "ALADDIN_FAULT_RATE" 0.
 let deadline_ms = getenv_float "ALADDIN_DEADLINE_MS" 0.
 let ladder_active = deadline_ms > 0.
 
+(* Force-link the sharded cells solver: its typed-error counters
+   (cells.solver.errors) must register so the schema check can assert
+   their presence even though the bench drives it via Cells_scheduler. *)
+let _ = Aladdin.Cells_solver.solve
+
 let install_faults () =
   if fault_rate > 0. then
     Fault.install
@@ -239,7 +244,6 @@ type tier_out = {
   t_gc : string;
   t_placed : string;
   t_cells : string;
-  t_obs : string;
 }
 
 let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
@@ -552,8 +556,54 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
     t_placed =
       Printf.sprintf {|{"cold":%d,"warm":%d}|} !placed_cold !placed_warm;
     t_cells = cells_json;
-    t_obs = Obs.json ();
   }
+
+(* Open-loop serving phase (runs after the batch tiers, sharing their
+   fault configuration): the lib/serve front end drives the chosen
+   scheduler stack through a load sweep to saturation; tail latencies,
+   queue depth and shed/reject counts become the "serve" section of
+   BENCH_sched.json. ALADDIN_SERVE_* knobs configure it (see
+   Serve.Runner.config_of_env); ALADDIN_SERVE_MACHINES sizes the cluster
+   and ALADDIN_SERVE_SCHED picks the stack ("aladdin", "aladdin-warm",
+   "cells", "gokube", or any registry backend name). *)
+let run_serve_phase ~seed =
+  let cfg = Serve.Runner.config_of_env () in
+  let machines = getenv_int "ALADDIN_SERVE_MACHINES" 500 in
+  let factor = Float.max 0.002 (float_of_int machines /. 10_000.) in
+  let w =
+    Alibaba.generate { (Alibaba.scaled factor) with Alibaba.seed = seed }
+  in
+  let sched_name =
+    Option.value ~default:"aladdin" (Sys.getenv_opt "ALADDIN_SERVE_SCHED")
+  in
+  let make_sched () =
+    match sched_name with
+    | "aladdin" -> Aladdin.Aladdin_scheduler.make ()
+    | "aladdin-warm" -> Aladdin.Aladdin_scheduler.make_warm ()
+    | "cells" -> Aladdin.Cells_scheduler.make ()
+    | other -> Ladder.rung other
+  in
+  let make_cluster () =
+    Cluster.create
+      (Workload.topology w ~n_machines:machines)
+      ~constraints:(Workload.constraint_set w)
+  in
+  Format.printf "== Open-loop serving sweep (%d machines, sched %s) ==@."
+    machines sched_name;
+  let r = Serve.Runner.sweep cfg ~make_sched ~make_cluster ~workload:w in
+  if r.Serve.Runner.calibrated then
+    Format.printf "calibrated base rate: %.1f req/s@." r.Serve.Runner.base_rate;
+  List.iter
+    (fun (p : Serve.Runner.point) ->
+      Format.printf
+        "  rate %9.1f/s: p50 %8.3f ms  p99 %9.3f ms  p999 %9.3f ms  \
+         depth_max %5d  shed %d  rejected %d%s@."
+        p.Serve.Runner.rate p.Serve.Runner.p50_ms p.Serve.Runner.p99_ms
+        p.Serve.Runner.p999_ms p.Serve.Runner.queue_depth_max
+        p.Serve.Runner.shed p.Serve.Runner.rejected
+        (if p.Serve.Runner.saturated then "  [saturated]" else ""))
+    r.Serve.Runner.points;
+  Serve.Runner.sweep_json cfg r
 
 let run_sched_bench () =
   let seed = getenv_int "ALADDIN_BENCH_SEED" 42 in
@@ -578,6 +628,10 @@ let run_sched_bench () =
              tier o.t_config o.t_summary o.t_gc o.t_placed o.t_cells)
          outs)
   in
+  (* the serve phase shares the last tier's obs epoch (no reset), so the
+     top-level obs snapshot carries both the tier's and the serve
+     counters *)
+  let serve_json = run_serve_phase ~seed in
   let oc = open_out "BENCH_sched.json" in
   Printf.fprintf oc
     {|{"config":%s,
@@ -586,12 +640,13 @@ let run_sched_bench () =
 "summary":%s,
 "cells":%s,
 "tiers":{%s},
+"serve":%s,
 "obs":%s}
 |}
     last.t_config backend_name caps.Flownet.Solver_intf.min_cost
     caps.Flownet.Solver_intf.supports_max_flow
     caps.Flownet.Solver_intf.warm_start last.t_per_batch last.t_summary
-    last.t_cells tiers_json last.t_obs;
+    last.t_cells tiers_json serve_json (Obs.json ());
   close_out oc;
   Format.printf "wrote BENCH_sched.json@.@."
 

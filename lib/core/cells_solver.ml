@@ -27,9 +27,7 @@ type result = {
 
 let h_cell_solve = Obs.histogram "cells.solver.cell_ns"
 let h_border_solve = Obs.histogram "cells.solver.border_ns"
-
-let fail_error e =
-  failwith ("cells solver backend: " ^ Flownet.Error.to_string e)
+let c_solver_errors = Obs.counter "cells.solver.errors"
 
 (* Source-side (capacity, flow) over the forward arcs leaving [v]. *)
 let out_caps g v =
@@ -51,26 +49,31 @@ let in_caps g v =
         (c + Flownet.Graph.capacity g fw, f + Flownet.Graph.flow g fw))
     (0, 0)
 
+(* A failing per-cell solve must not kill the worker domain (and with it
+   every other cell's work): both the backend's typed [Error] and a
+   fault-harness injection surface as a clean [Error] that [solve] routes
+   through the {!Aladdin_error} channel, so the caller can degrade —
+   ladder, fallback, or batch reject — instead of crashing. *)
 let solve_cell backend ~mirror ~sub =
   let t0 = Obs.now_ns () in
+  Fault.trip_solver_step "cells.solver.cell";
   let fg = Flow_graph.build mirror sub in
   let g, s, t = Flow_graph.scalar_projection fg in
-  let stats =
-    match Flownet.Registry.solve backend g ~src:s ~dst:t with
-    | Ok st -> st
-    | Error e -> fail_error e
-  in
-  let dcap, dflow = out_caps g s in
-  let ccap, cflow = in_caps g t in
-  let dt = Int64.sub (Obs.now_ns ()) t0 in
-  Obs.observe_ns h_cell_solve dt;
-  {
-    cell_flow = stats.Flownet.Mincost.flow;
-    cell_cost = stats.Flownet.Mincost.cost;
-    leftover_demand = dcap - dflow;
-    leftover_capacity = ccap - cflow;
-    solve_ns = dt;
-  }
+  match Flownet.Registry.solve backend g ~src:s ~dst:t with
+  | Error e -> Error e
+  | Ok stats ->
+      let dcap, dflow = out_caps g s in
+      let ccap, cflow = in_caps g t in
+      let dt = Int64.sub (Obs.now_ns ()) t0 in
+      Obs.observe_ns h_cell_solve dt;
+      Ok
+        {
+          cell_flow = stats.Flownet.Mincost.flow;
+          cell_cost = stats.Flownet.Mincost.cost;
+          leftover_demand = dcap - dflow;
+          leftover_capacity = ccap - cflow;
+          solve_ns = dt;
+        }
 
 (* s -> l_c (leftover demand) -> r_j (infinite) -> t (leftover capacity):
    one vertex pair per cell, arcs only between non-empty sides, so the
@@ -83,7 +86,7 @@ let solve_border backend cells =
   let total_lc =
     Array.fold_left (fun acc c -> acc + c.leftover_capacity) 0 cells
   in
-  if total_ld = 0 || total_lc = 0 then (0, 0)
+  if total_ld = 0 || total_lc = 0 then Ok (0, 0)
   else begin
     let t0 = Obs.now_ns () in
     let g = Flownet.Graph.create ~arc_hint:(4 * n * n) (2 + (2 * n)) in
@@ -112,13 +115,11 @@ let solve_border backend cells =
                      ~cost:0))
             cells)
       cells;
-    let stats =
-      match Flownet.Registry.solve backend g ~src:s ~dst:t with
-      | Ok st -> st
-      | Error e -> fail_error e
-    in
-    Obs.observe_ns h_border_solve (Int64.sub (Obs.now_ns ()) t0);
-    (stats.Flownet.Mincost.flow, stats.Flownet.Mincost.cost)
+    match Flownet.Registry.solve backend g ~src:s ~dst:t with
+    | Error e -> Error e
+    | Ok stats ->
+        Obs.observe_ns h_border_solve (Int64.sub (Obs.now_ns ()) t0);
+        Ok (stats.Flownet.Mincost.flow, stats.Flownet.Mincost.cost)
   end
 
 let solve ?backend coord outer batch =
@@ -129,15 +130,45 @@ let solve ?backend coord outer batch =
     Cells.Coordinator.map_cells coord outer ~batch
       ~f:(fun ~cell:_ ~lo:_ ~mirror ~sub -> solve_cell backend ~mirror ~sub)
   in
+  (* First typed failure wins (deterministic: lowest cell index); anything
+     untyped is a genuine bug and still propagates. *)
+  let err = ref None in
+  let note e = if !err = None then err := Some e in
   let cells =
-    Array.map (function Ok r -> r | Error e -> raise e) per_cell
+    Array.map
+      (function
+        | Ok (Ok r) -> Some r
+        | Ok (Error e) ->
+            note (Aladdin_error.Solver e);
+            None
+        | Error (Aladdin_error.E e) ->
+            note e;
+            None
+        | Error (Fault.Injected site) ->
+            note (Aladdin_error.Injected_fault site);
+            None
+        | Error e -> raise e)
+      per_cell
   in
-  let border_flow, border_cost = solve_border backend cells in
-  {
-    total_flow =
-      Array.fold_left (fun acc c -> acc + c.cell_flow) 0 cells + border_flow;
-    border_flow;
-    total_cost =
-      Array.fold_left (fun acc c -> acc + c.cell_cost) 0 cells + border_cost;
-    cells;
-  }
+  match !err with
+  | Some e ->
+      Obs.incr c_solver_errors;
+      Error e
+  | None -> (
+      let cells = Array.map Option.get cells in
+      match solve_border backend cells with
+      | Error e ->
+          Obs.incr c_solver_errors;
+          Error (Aladdin_error.Solver e)
+      | Ok (border_flow, border_cost) ->
+          Ok
+            {
+              total_flow =
+                Array.fold_left (fun acc c -> acc + c.cell_flow) 0 cells
+                + border_flow;
+              border_flow;
+              total_cost =
+                Array.fold_left (fun acc c -> acc + c.cell_cost) 0 cells
+                + border_cost;
+              cells;
+            })

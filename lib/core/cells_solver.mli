@@ -33,8 +33,14 @@ val solve :
   Cells.Coordinator.t ->
   Cluster.t ->
   Container.t array ->
-  result
+  (result, Aladdin_error.t) Stdlib.result
 (** Assign [batch] to cells with the coordinator's deterministic policy,
     solve per-cell projections in parallel, then the border network.
     [backend] defaults to [ALADDIN_SOLVER]'s choice.
-    @raise Failure when the backend reports a solver error. *)
+
+    A backend failure in any cell (or the border solve) is routed through
+    the typed channel — [Error (Solver _)] for {!Flownet.Error} reports,
+    [Error (Injected_fault _)] for fault-harness injections — never an
+    exception, so one failing cell degrades the solve instead of killing
+    the worker domains ([cells.solver.errors] counts these). The first
+    failing cell (lowest index) determines the report. *)

@@ -154,6 +154,7 @@ type histogram_stats = {
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;
+  p999_ns : float;
   max_ns : float;
 }
 
@@ -207,6 +208,7 @@ let stats_of_hcell (cell : hcell) =
     p50_ns = percentile cell 0.50;
     p90_ns = percentile cell 0.90;
     p99_ns = percentile cell 0.99;
+    p999_ns = percentile cell 0.999;
     max_ns = cell.max_ns;
   }
 
@@ -313,9 +315,9 @@ let json () =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "\"%s\":{\"samples\":%d,\"sum_ns\":%.0f,\"mean_ns\":%.0f,\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\"max_ns\":%.0f}"
+           "\"%s\":{\"samples\":%d,\"sum_ns\":%.0f,\"mean_ns\":%.0f,\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\"p999_ns\":%.0f,\"max_ns\":%.0f}"
            (escape name) s.samples s.sum_ns s.mean_ns s.p50_ns s.p90_ns s.p99_ns
-           s.max_ns))
+           s.p999_ns s.max_ns))
     (histograms ());
   Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -44,6 +44,9 @@ type histogram_stats = {
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;
+  p999_ns : float;
+      (** tail percentile for SLO reporting; monotone with p50/p99 by
+          construction (same bucket CDF at increasing quantiles) *)
   max_ns : float;
 }
 

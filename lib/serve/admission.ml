@@ -1,0 +1,90 @@
+type t = {
+  bound : int;
+  watermark : int;
+  classes : (int, Request.t Queue.t) Hashtbl.t;  (* priority -> FIFO *)
+  mutable len : int;
+}
+
+let create ~bound ~watermark =
+  if bound <= 0 || watermark <= 0 || watermark > bound then
+    invalid_arg "Admission.create: need 0 < watermark <= bound";
+  { bound; watermark; classes = Hashtbl.create 8; len = 0 }
+
+let length t = t.len
+
+let lane t p =
+  match Hashtbl.find_opt t.classes p with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.classes p q;
+      q
+
+(* Priority classes are few (trace priorities are small ints), so a fold
+   over the lane table is cheaper than keeping an ordered index. *)
+let lowest_nonempty t =
+  Hashtbl.fold
+    (fun p q acc ->
+      if Queue.is_empty q then acc
+      else match acc with Some p' when p' <= p -> acc | _ -> Some p)
+    t.classes None
+
+let highest_nonempty t =
+  Hashtbl.fold
+    (fun p q acc ->
+      if Queue.is_empty q then acc
+      else match acc with Some p' when p' >= p -> acc | _ -> Some p)
+    t.classes None
+
+(* Oldest entry of the lowest class. *)
+let shed_one t =
+  match lowest_nonempty t with
+  | None -> None
+  | Some p ->
+      let r = Queue.pop (Hashtbl.find t.classes p) in
+      t.len <- t.len - 1;
+      Some r
+
+type verdict = Admitted of Request.t list | Rejected
+
+let offer t (r : Request.t) =
+  if t.len >= t.bound then
+    match lowest_nonempty t with
+    | Some p when p < r.priority ->
+        let shed = Option.to_list (shed_one t) in
+        Queue.push r (lane t r.priority);
+        t.len <- t.len + 1;
+        Admitted shed
+    | _ -> Rejected
+  else begin
+    Queue.push r (lane t r.priority);
+    t.len <- t.len + 1;
+    let shed = ref [] in
+    let blocked = ref false in
+    while (not !blocked) && t.len > t.watermark do
+      match lowest_nonempty t with
+      | Some p when p < r.priority -> (
+          match shed_one t with
+          | Some s -> shed := s :: !shed
+          | None -> blocked := true)
+      | _ -> blocked := true
+    done;
+    Admitted (List.rev !shed)
+  end
+
+let take t ~max =
+  let out = ref [] in
+  let n = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) && !n < max do
+    match highest_nonempty t with
+    | None -> exhausted := true
+    | Some p ->
+        let q = Hashtbl.find t.classes p in
+        while !n < max && not (Queue.is_empty q) do
+          out := Queue.pop q :: !out;
+          t.len <- t.len - 1;
+          incr n
+        done
+  done;
+  List.rev !out

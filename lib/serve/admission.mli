@@ -1,0 +1,34 @@
+(** Bounded priority-aware admission queue.
+
+    One FIFO lane per priority class. Backpressure is two-tier:
+
+    - past the {e watermark}, admitting a request sheds waiting requests
+      of {e strictly lower} priority (oldest first from the lowest class)
+      until the depth is back at the watermark — latecomers of higher
+      priority displace queued low-priority work;
+    - at the hard {e bound}, an arrival either displaces one
+      strictly-lower-priority entry or is rejected outright.
+
+    Within a class order is FIFO, and {!take} drains highest class first
+    — so under overload the queue converges to the highest-priority
+    backlog, which is exactly the degradation the PR 5 ladder expects
+    upstream of it. *)
+
+type t
+
+val create : bound:int -> watermark:int -> t
+(** @raise Invalid_argument unless [0 < watermark <= bound]. *)
+
+val length : t -> int
+
+type verdict =
+  | Admitted of Request.t list
+      (** admitted; the listed (lower-priority) requests were shed to
+          make or keep room *)
+  | Rejected  (** queue full of equal-or-higher-priority work *)
+
+val offer : t -> Request.t -> verdict
+
+val take : t -> max:int -> Request.t list
+(** Up to [max] requests, highest priority class first, FIFO within a
+    class. *)

@@ -1,0 +1,71 @@
+type modulation =
+  | Steady
+  | Burst of { period : float; duty : float; amp : float }
+  | Diurnal of { period : float; amp : float }
+
+type kind_mix = { place : float; remove : float; scale : float }
+
+let default_mix = { place = 0.6; remove = 0.25; scale = 0.15 }
+
+type t = {
+  rng : Rng.t;
+  rate : float;
+  modulation : modulation;
+  mix : kind_mix;
+}
+
+let create ?(modulation = Steady) ?(mix = default_mix) ~rate ~seed () =
+  if rate <= 0. || not (Float.is_finite rate) then
+    invalid_arg "Arrivals.create: rate must be positive";
+  if mix.place < 0. || mix.remove < 0. || mix.scale < 0. then
+    invalid_arg "Arrivals.create: negative mix weight";
+  { rng = Rng.create seed; rate; modulation; mix }
+
+let rate t = t.rate
+
+let peak_factor = function
+  | Steady -> 1.
+  | Burst { amp; _ } | Diurnal { amp; _ } -> 1. +. amp
+
+(* Instantaneous rate multiplier at virtual time [at]. *)
+let factor m ~at =
+  match m with
+  | Steady -> 1.
+  | Burst { period; duty; amp } ->
+      let phase = Float.rem at period /. period in
+      if phase < duty then 1. +. amp else 1.
+  | Diurnal { period; amp } ->
+      1. +. (amp *. 0.5 *. (1. +. sin (2. *. Float.pi *. at /. period)))
+
+(* Thinning (Lewis–Shedler): draw exponential gaps at the peak rate,
+   accept each candidate with probability rate(at)/peak. Exact for any
+   modulation bounded by the peak, and O(peak/mean) draws per arrival. *)
+let next_gap t ~now =
+  let peak = t.rate *. peak_factor t.modulation in
+  let rec go at =
+    let u = 1. -. Rng.float t.rng in
+    (* u in (0,1] so log is finite *)
+    let at = at +. (-.log u /. peak) in
+    if Rng.float t.rng *. peak <= t.rate *. factor t.modulation ~at then
+      at -. now
+    else go at
+  in
+  let gap = go now in
+  if gap > 0. then gap else Float.min_float
+
+let draw_kind t =
+  let u = Rng.float t.rng in
+  if u < t.mix.place then `Place
+  else if u < t.mix.place +. t.mix.remove then `Remove
+  else `Scale
+
+let modulation_of_string = function
+  | "steady" -> Steady
+  | "burst" -> Burst { period = 1.0; duty = 0.25; amp = 3.0 }
+  | "diurnal" -> Diurnal { period = 10.0; amp = 1.0 }
+  | s -> invalid_arg ("Arrivals.modulation_of_string: " ^ s)
+
+let modulation_label = function
+  | Steady -> "steady"
+  | Burst _ -> "burst"
+  | Diurnal _ -> "diurnal"

@@ -1,0 +1,45 @@
+(** Seeded open-loop arrival process.
+
+    Inter-arrival gaps are drawn from a (possibly nonhomogeneous) Poisson
+    process: a base [rate] in requests per virtual second, optionally
+    modulated by a burst square wave or a diurnal sinusoid. Nonhomogeneous
+    gaps are sampled by thinning against the peak rate, so the stream is
+    exact for any bounded modulation. Everything is driven by one
+    splitmix64 stream per process instance — equal seeds give equal
+    arrival schedules, independent of how the served system behaves
+    (open-loop: the generator never waits for the server). *)
+
+type modulation =
+  | Steady
+  | Burst of { period : float; duty : float; amp : float }
+      (** square wave: rate * (1+amp) for the first [duty] fraction of
+          every [period] seconds, base rate otherwise *)
+  | Diurnal of { period : float; amp : float }
+      (** sinusoid between base rate and rate * (1+amp) *)
+
+type kind_mix = { place : float; remove : float; scale : float }
+(** Request-kind probabilities; must sum to ~1. *)
+
+val default_mix : kind_mix
+(** Placement-heavy: 0.6 place / 0.25 remove / 0.15 scale. *)
+
+type t
+
+val create :
+  ?modulation:modulation -> ?mix:kind_mix -> rate:float -> seed:int ->
+  unit -> t
+(** @raise Invalid_argument on a non-positive rate or a negative mix. *)
+
+val rate : t -> float
+
+val next_gap : t -> now:float -> float
+(** Seconds until the next arrival after virtual time [now]. Strictly
+    positive. *)
+
+val draw_kind : t -> [ `Place | `Remove | `Scale ]
+
+val modulation_of_string : string -> modulation
+(** ["steady"], ["burst"] or ["diurnal"] (preset shapes).
+    @raise Invalid_argument on anything else. *)
+
+val modulation_label : modulation -> string

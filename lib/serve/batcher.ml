@@ -1,0 +1,37 @@
+type t = {
+  size : int;
+  deadline : float;
+  mutable armed : (Des.handle * int) option;
+  mutable gen : int;
+}
+
+let create ~size ~deadline =
+  if size <= 0 then invalid_arg "Batcher.create: size must be positive";
+  if deadline <= 0. then
+    invalid_arg "Batcher.create: deadline must be positive";
+  { size; deadline; armed = None; gen = 0 }
+
+let size t = t.size
+let size_ready t ~queued = queued >= t.size
+
+let arm t des ~flush =
+  match t.armed with
+  | Some _ -> ()
+  | None ->
+      t.gen <- t.gen + 1;
+      let h = Des.after_handle des ~delay:t.deadline (flush t.gen) in
+      t.armed <- Some (h, t.gen)
+
+let note_fired t ~gen =
+  match t.armed with
+  | Some (_, g) when g = gen ->
+      t.armed <- None;
+      true
+  | _ -> false
+
+let disarm t des =
+  match t.armed with
+  | Some (h, _) ->
+      ignore (Des.cancel des h);
+      t.armed <- None
+  | None -> ()

@@ -1,0 +1,28 @@
+(** Adaptive batch trigger: size or deadline, whichever fires first.
+
+    The runner starts a batch immediately when the queue reaches the size
+    threshold; otherwise the batcher arms a one-shot flush timer on the
+    DES so a lone request is served within [deadline] seconds instead of
+    waiting for company. Starting a size-triggered batch {e disarms} the
+    pending flush through {!Des.cancel} — the production user of the
+    DES's eager cancellation path. A generation counter guards against a
+    stale flush racing a newer arm. *)
+
+type t
+
+val create : size:int -> deadline:float -> t
+(** @raise Invalid_argument on a non-positive size or deadline. *)
+
+val size : t -> int
+val size_ready : t -> queued:int -> bool
+
+val arm : t -> 'a Des.t -> flush:(int -> 'a) -> unit
+(** Schedule [flush gen] after [deadline] unless a flush is already
+    armed. *)
+
+val note_fired : t -> gen:int -> bool
+(** A flush event popped; [true] iff it is the currently armed
+    generation (then the batcher is disarmed). *)
+
+val disarm : t -> 'a Des.t -> unit
+(** Cancel the pending flush event, if any. *)

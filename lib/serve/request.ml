@@ -1,0 +1,24 @@
+type kind =
+  | Place of Container.t
+  | Remove of Container.id
+  | Scale of { app : Application.id; delta : int }
+
+type t = { id : int; kind : kind; priority : int; arrival : float }
+
+let kind_label t =
+  match t.kind with
+  | Place _ -> "place"
+  | Remove _ -> "remove"
+  | Scale _ -> "scale"
+
+let pp ppf t =
+  match t.kind with
+  | Place c ->
+      Format.fprintf ppf "#%d place c%d prio=%d @%g" t.id c.Container.id
+        t.priority t.arrival
+  | Remove id ->
+      Format.fprintf ppf "#%d remove c%d prio=%d @%g" t.id id t.priority
+        t.arrival
+  | Scale { app; delta } ->
+      Format.fprintf ppf "#%d scale a%d %+d prio=%d @%g" t.id app delta
+        t.priority t.arrival

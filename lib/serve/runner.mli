@@ -1,0 +1,110 @@
+(** Open-loop serving runner: arrivals → admission queue → adaptive
+    batches → any {!Scheduler.t}, on virtual time.
+
+    The runner lives on a {!Des} whose clock is the serving clock:
+    arrival gaps come from the seeded {!Arrivals} process, and each
+    batch's service time is the {e measured wall time} of the real
+    scheduler call, mapped 1:1 onto virtual seconds. That makes the
+    latency distribution an honest open-loop measurement — arrivals keep
+    coming while a batch is in flight, the queue grows, and
+    arrival→commit latency includes queueing delay — while the whole
+    sweep still runs as fast as the scheduler can compute.
+
+    Backpressure is layered: the bounded priority queue sheds / rejects
+    at the edge ({!Admission}), and a batch that starts with the queue
+    above the watermark is routed through the PR 5 degradation ladder
+    ({!Ladder.make} with the serving scheduler as preferred first rung,
+    [overload_deadline_ms] per batch) instead of the bare scheduler.
+    Injected faults ({!Fault.Injected}) escaping the scheduler fail the
+    batch cleanly: its requests count as failed, the run continues.
+
+    Per-request arrival→commit latency lands in a per-run
+    [serve.latency.<n>] histogram plus the aggregate
+    [serve.latency_ns]; counters are [serve.arrivals], [.admitted],
+    [.rejected], [.shed], [.placed], [.undeployed], [.failed_requests],
+    [.removed], [.noop_removes], [.batches], [.failed_batches] and
+    [.overload_batches]. *)
+
+type config = {
+  rate : float;  (** arrivals per virtual second; [run] requires > 0 *)
+  duration : float;  (** virtual seconds of open-loop arrivals *)
+  queue_bound : int;
+  watermark : int;
+  batch_size : int;
+  batch_deadline : float;  (** flush timer, virtual seconds *)
+  overload_deadline_ms : float;  (** ladder budget for overload batches *)
+  seed : int;
+  modulation : Arrivals.modulation;
+}
+
+val config_of_env : unit -> config
+(** Defaults overridable through [ALADDIN_SERVE_RATE] (0 = calibrate in
+    {!sweep}), [ALADDIN_SERVE_DURATION_S], [ALADDIN_SERVE_QUEUE],
+    [ALADDIN_SERVE_WATERMARK], [ALADDIN_SERVE_BATCH],
+    [ALADDIN_SERVE_BATCH_DEADLINE_MS],
+    [ALADDIN_SERVE_OVERLOAD_DEADLINE_MS], [ALADDIN_SERVE_SEED] and
+    [ALADDIN_SERVE_MODULATION]. *)
+
+type point = {
+  rate : float;
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  shed : int;
+  placed : int;  (** containers actually deployed *)
+  undeployed : int;  (** containers the scheduler declined *)
+  failed_requests : int;  (** requests lost to failed batches *)
+  removed : int;
+  noop_removes : int;  (** remove/scale-down targets already gone *)
+  batches : int;
+  failed_batches : int;
+  overload_batches : int;  (** batches routed through the ladder *)
+  mean_batch_fill : float;
+  samples : int;  (** committed requests with a recorded latency *)
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+  mean_ms : float;
+  queue_depth_max : int;
+  queue_depth_mean : float;
+  saturated : bool;  (** backpressure engaged: [rejected + shed > 0] *)
+  sim_s : float;  (** virtual time at drain *)
+  wall_ms : float;
+}
+
+val run :
+  config -> sched:Scheduler.t -> cluster:Cluster.t ->
+  workload:Workload.t -> point
+(** One serving run at [config.rate] until [duration] of arrivals plus
+    drain. The cluster may be pre-warmed; fresh containers get ids above
+    anything in the workload or cluster.
+    @raise Invalid_argument when [config.rate <= 0]. *)
+
+type sweep_result = {
+  base_rate : float;  (** multiplier-1 rate of the sweep *)
+  calibrated : bool;  (** base rate measured from a probe batch *)
+  points : point list;  (** increasing rate, last one saturated *)
+}
+
+val sweep :
+  ?max_points:int ->
+  config ->
+  make_sched:(unit -> Scheduler.t) ->
+  make_cluster:(unit -> Cluster.t) ->
+  workload:Workload.t ->
+  sweep_result
+(** Load sweep bracketing the saturation knee: when [config.rate <= 0]
+    the base rate is calibrated from a short probe run on a throwaway
+    cluster (the scheduler's worst per-request batch service). The
+    anchor point runs at [base * 0.25] on a fresh cluster/scheduler
+    pair; from there rates double until a point saturates — or, if the
+    anchor is already saturated, halve until one is underloaded — up to
+    [max_points] (default 8) runs, returned in increasing-rate order.
+    Each point's latency histogram gets its own [serve.latency.<n>]
+    series. *)
+
+val point_json : point -> string
+val sweep_json : config -> sweep_result -> string
+(** The bench's ["serve"] section: [{"config": {...}, "base_rate": ...,
+    "calibrated": ..., "points": [...]}]. *)

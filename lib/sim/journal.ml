@@ -14,9 +14,24 @@ type commit = {
   fault : (int * int * int) option;
 }
 
+type corruption =
+  | Bad_checksum
+  | Bad_keyword of { expected : string; got : string }
+  | Bad_field of string
+  | Trailing_tokens
+
 type t = { oc : out_channel; mutable commits : int }
 
 let c_commits = Obs.counter "journal.commits"
+let c_corrupt = Obs.counter "journal.corrupt_records"
+let c_dropped = Obs.counter "journal.dropped_commits"
+
+let pp_corruption ppf = function
+  | Bad_checksum -> Format.fprintf ppf "checksum mismatch"
+  | Bad_keyword { expected; got } ->
+      Format.fprintf ppf "keyword mismatch: expected %S, got %S" expected got
+  | Bad_field what -> Format.fprintf ppf "bad field: %s" what
+  | Trailing_tokens -> Format.fprintf ppf "trailing tokens after placements"
 
 let checksum s =
   let h = ref 5381 in
@@ -44,77 +59,109 @@ let encode c =
   let body = Buffer.contents buf in
   Printf.sprintf "%s # %d" body (checksum body)
 
+(* Typed record parser. Every malformation maps to a {!corruption}
+   constructor — no catch-all: a [failwith] here used to masquerade a
+   mid-file keyword mismatch as an anonymous exception, which (depending
+   on the caller) either crashed the resume or silently skipped the
+   record while trusting everything after it. *)
+exception Corrupt of corruption
+
 let decode line =
-  match String.rindex_opt line '#' with
-  | None -> None
-  | Some i when i < 1 || line.[i - 1] <> ' ' -> None
-  | Some i -> (
-      let body = String.sub line 0 (i - 1) in
-      let tail = String.sub line (i + 1) (String.length line - i - 1) in
-      match int_of_string_opt (String.trim tail) with
-      | Some h when h = checksum body -> (
-          let toks =
-            String.split_on_char ' ' body
-            |> List.filter (fun s -> s <> "")
-            |> Array.of_list
-          in
-          let pos = ref 0 in
-          let next () =
-            let t = toks.(!pos) in
-            incr pos;
-            t
-          in
-          let int () = int_of_string (next ()) in
-          let expect kw =
-            if next () <> kw then failwith "journal keyword mismatch"
-          in
-          try
-            expect "C";
-            let next_pos = int () in
-            expect "F";
-            let draws = int () in
-            let failures_left = int () in
-            let kill_countdown = int () in
-            expect "O";
-            let no = int () in
-            let offline = List.init no (fun _ -> int ()) in
-            expect "P";
-            let np = int () in
-            let placements =
-              List.init np (fun _ ->
-                  let cid = int () in
-                  (cid, int ()))
-            in
-            if !pos <> Array.length toks then None
-            else
-              Some
-                {
-                  next_pos;
-                  placements;
-                  offline;
-                  fault =
-                    (if draws < 0 then None
-                     else Some (draws, failures_left, kill_countdown));
-                }
-          with _ -> None)
-      | _ -> None)
+  let corrupt c = raise (Corrupt c) in
+  try
+    let body, tail =
+      match String.rindex_opt line '#' with
+      | None -> corrupt Bad_checksum
+      | Some i when i < 1 || line.[i - 1] <> ' ' -> corrupt Bad_checksum
+      | Some i ->
+          ( String.sub line 0 (i - 1),
+            String.sub line (i + 1) (String.length line - i - 1) )
+    in
+    (match int_of_string_opt (String.trim tail) with
+    | Some h when h = checksum body -> ()
+    | _ -> corrupt Bad_checksum);
+    let toks =
+      String.split_on_char ' ' body
+      |> List.filter (fun s -> s <> "")
+      |> Array.of_list
+    in
+    let pos = ref 0 in
+    let next what =
+      if !pos >= Array.length toks then
+        corrupt (Bad_field (what ^ ": record truncated"));
+      let t = toks.(!pos) in
+      incr pos;
+      t
+    in
+    let int what =
+      let t = next what in
+      match int_of_string_opt t with
+      | Some v -> v
+      | None -> corrupt (Bad_field (Printf.sprintf "%s: %S is not an int" what t))
+    in
+    let expect kw =
+      let got = next kw in
+      if got <> kw then corrupt (Bad_keyword { expected = kw; got })
+    in
+    expect "C";
+    let next_pos = int "next_pos" in
+    expect "F";
+    let draws = int "fault.draws" in
+    let failures_left = int "fault.failures_left" in
+    let kill_countdown = int "fault.kill_countdown" in
+    expect "O";
+    let no = int "n_offline" in
+    let offline = List.init no (fun _ -> int "offline machine") in
+    expect "P";
+    let np = int "n_placements" in
+    let placements =
+      List.init np (fun _ ->
+          let cid = int "placement container" in
+          (cid, int "placement machine"))
+    in
+    if !pos <> Array.length toks then corrupt Trailing_tokens;
+    Ok
+      {
+        next_pos;
+        placements;
+        offline;
+        fault =
+          (if draws < 0 then None
+           else Some (draws, failures_left, kill_countdown));
+      }
+  with Corrupt c -> Error c
 
 let create path = { oc = open_out path; commits = 0 }
 
+(* A corrupt record is dropped together with everything after it — the
+   torn-tail treatment generalised. A record that fails its checksum or
+   parse mid-file means the file itself is damaged (not just cut short by
+   a crash), so later records cannot be trusted as the true history: the
+   resume point is the last commit *before* the corruption. Valid-looking
+   commits discarded from the suffix are counted separately so a recovery
+   report can distinguish "torn tail" from "lost real history". *)
 let load path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
-    let commits = ref [] in
+    let records = ref [] in
     (try
        while true do
-         match decode (input_line ic) with
-         | Some c -> commits := c :: !commits
-         | None -> () (* torn or corrupt record: skip, keep scanning *)
+         records := decode (input_line ic) :: !records
        done
      with End_of_file -> ());
     close_in ic;
-    List.rev !commits
+    let rec prefix acc = function
+      | [] -> List.rev acc
+      | Ok c :: rest -> prefix (c :: acc) rest
+      | Error _ :: rest ->
+          Obs.incr c_corrupt;
+          List.iter
+            (function Ok _ -> Obs.incr c_dropped | Error _ -> Obs.incr c_corrupt)
+            rest;
+          List.rev acc
+    in
+    prefix [] (List.rev !records)
   end
 
 let last path =

@@ -13,10 +13,17 @@
       kill countdown), so the resumed fault schedule continues exactly
       where the dead process left it.
 
-    Records are single text lines ending in a checksum; a line torn by
-    the crash fails the checksum and is skipped on {!load}. Counters:
-    [journal.commits] (and [journal.resumes], incremented by the
-    resuming {!Replay.run}). *)
+    Records are single text lines ending in a checksum. A line torn by
+    the crash fails the checksum; any undecodable record — bad checksum,
+    keyword mismatch, truncated or non-numeric field — is a typed
+    {!corruption}, and {!load} drops it {e together with every record
+    after it}: a mid-file corruption means the file is damaged, so the
+    suffix cannot be trusted as true history and the resume point is the
+    last commit before the damage. Counters: [journal.commits],
+    [journal.corrupt_records] (undecodable lines),
+    [journal.dropped_commits] (valid-looking commits discarded from a
+    corrupt suffix), and [journal.resumes] / [journal.resume_drops],
+    incremented by the resuming {!Replay.run}. *)
 
 type commit = {
   next_pos : int;  (** submission index of the first wave still to run *)
@@ -27,6 +34,20 @@ type commit = {
           {!Fault.stream_position}; [None] when no fault config was
           installed *)
 }
+
+type corruption =
+  | Bad_checksum      (** torn tail, mangled body, or a non-record line *)
+  | Bad_keyword of { expected : string; got : string }
+      (** framing keyword ([C]/[F]/[O]/[P]) out of place — previously a
+          bare [failwith] that defeated crash recovery *)
+  | Bad_field of string  (** truncated record or non-numeric field *)
+  | Trailing_tokens      (** spliced line: valid prefix, extra tokens *)
+
+val pp_corruption : Format.formatter -> corruption -> unit
+
+val decode : string -> (commit, corruption) result
+(** Parse one journal line. Never raises — every malformation is a typed
+    [Error]. *)
 
 type t
 (** An open journal sink. *)
@@ -45,11 +66,13 @@ val commits : t -> int
 val close : t -> unit
 
 val load : string -> commit list
-(** All valid commits, in order; a missing file is an empty journal and
-    torn/corrupt lines are dropped. *)
+(** The trustworthy prefix, in order: commits up to (excluding) the first
+    corrupt record; the corrupt record and everything after it are
+    dropped and counted ([journal.corrupt_records] /
+    [journal.dropped_commits]). A missing file is an empty journal. *)
 
 val last : string -> commit option
-(** The most recent valid commit — the resume point. *)
+(** The most recent trustworthy commit — the resume point. *)
 
 val placement_fingerprint : (Container.id * Machine.id) list -> int
 (** Order-insensitive fingerprint of a placement map (sorted fold), for

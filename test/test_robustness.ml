@@ -667,6 +667,103 @@ let test_journal_kill_resume_reproduces_placements () =
         (Journal.placement_fingerprint
            (Cluster.placements r2.Replay.cluster)))
 
+(* A garbled record *mid-file* is handled like the torn tail — typed
+   corruption, suffix dropped, resume from the last good commit. The old
+   decoder hit [failwith "journal keyword mismatch"] on exactly this
+   shape (valid checksum, displaced keyword), defeating crash recovery on
+   a damaged journal. *)
+let journal_checksum s =
+  let h = ref 5381 in
+  String.iter
+    (fun ch -> h := (((!h lsl 5) + !h) + Char.code ch) land 0x3FFFFFFF)
+    s;
+  !h
+
+let test_journal_midfile_corruption_resumes_from_last_good () =
+  let w = small_workload 9 in
+  let n_machines = machines_for w ~headroom:1.3 in
+  let r_ref =
+    Replay.run ~batch:16
+      (Aladdin.Aladdin_scheduler.make ())
+      ~cluster:(fresh_cluster w ~n_machines)
+      ~containers:w.Workload.containers
+  in
+  let fp_ref =
+    Journal.placement_fingerprint (Cluster.placements r_ref.Replay.cluster)
+  in
+  let path = Filename.temp_file "aladdin_journal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let j = Journal.create path in
+      ignore
+        (Replay.run ~batch:16 ~journal:j
+           (Aladdin.Aladdin_scheduler.make ())
+           ~cluster:(fresh_cluster w ~n_machines)
+           ~containers:w.Workload.containers);
+      Journal.close j;
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun s -> s <> "")
+      in
+      let n = List.length lines in
+      check bool "several commits journaled" true (n >= 3);
+      let mid = n / 2 in
+      (* garble the framing keyword of the middle record but keep its
+         checksum valid: the exact shape the old failwith died on *)
+      let garble line =
+        let body =
+          match String.rindex_opt line '#' with
+          | Some i -> String.sub line 0 (i - 1)
+          | None -> Alcotest.fail "record has no checksum"
+        in
+        let b = Bytes.of_string body in
+        let rec find i =
+          if i + 2 >= Bytes.length b then Alcotest.fail "no F keyword"
+          else if
+            Bytes.get b i = ' '
+            && Bytes.get b (i + 1) = 'F'
+            && Bytes.get b (i + 2) = ' '
+          then i + 1
+          else find (i + 1)
+        in
+        Bytes.set b (find 0) 'X';
+        let body = Bytes.to_string b in
+        Printf.sprintf "%s # %d" body (journal_checksum body)
+      in
+      let lines = List.mapi (fun i l -> if i = mid then garble l else l) lines in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+      (match Journal.decode (List.nth lines mid) with
+      | Error (Journal.Bad_keyword { expected = "F"; got = "X" }) -> ()
+      | Error c ->
+          Alcotest.failf "wrong corruption class: %s"
+            (Format.asprintf "%a" Journal.pp_corruption c)
+      | Ok _ -> Alcotest.fail "tampered record decoded");
+      let c_corrupt = Obs.counter "journal.corrupt_records" in
+      let c_dropped = Obs.counter "journal.dropped_commits" in
+      let b_corrupt = Obs.count c_corrupt in
+      let b_dropped = Obs.count c_dropped in
+      let commits = Journal.load path in
+      check int "only the pre-corruption prefix survives" mid
+        (List.length commits);
+      check int "corrupt record counted" (b_corrupt + 1) (Obs.count c_corrupt);
+      check int "dropped suffix commits counted" (b_dropped + (n - mid - 1))
+        (Obs.count c_dropped);
+      let commit = Option.get (Journal.last path) in
+      check int "resume point is the last good commit" (16 * mid)
+        commit.Journal.next_pos;
+      let r2 =
+        Replay.run ~batch:16 ~resume:commit
+          (Aladdin.Aladdin_scheduler.make ())
+          ~cluster:(fresh_cluster w ~n_machines)
+          ~containers:w.Workload.containers
+      in
+      check int "resumed run reproduces uninterrupted placements" fp_ref
+        (Journal.placement_fingerprint
+           (Cluster.placements r2.Replay.cluster)))
+
 let () =
   Alcotest.run "robustness"
     [
@@ -736,5 +833,7 @@ let () =
             test_journal_roundtrip_and_torn_tail;
           Alcotest.test_case "kill/resume reproduces placements" `Quick
             test_journal_kill_resume_reproduces_placements;
+          Alcotest.test_case "mid-file corruption drops suffix, resumes"
+            `Quick test_journal_midfile_corruption_resumes_from_last_good;
         ] );
     ]

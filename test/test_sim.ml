@@ -274,6 +274,109 @@ let test_des_cancel_preserves_order () =
   check bool "remaining events still pop sorted" true
     (times = List.sort compare times)
 
+(* ---------- des properties ----------
+
+   Random schedule/after/cancel/pop programs checked against a reference
+   model: events pop in (time, insertion-seq) order, a cancelled payload
+   never pops, [cancel] answers exactly "was it still pending", and
+   [pending] stays exact throughout. *)
+
+let prop_des_random_programs =
+  QCheck.Test.make ~count:300 ~name:"random programs match reference model"
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let q : int Des.t = Des.create () in
+      let handles = ref [] in (* (seq, handle), newest first *)
+      let alive : (int, float) Hashtbl.t = Hashtbl.create 64 in
+      let n_sched = ref 0 in
+      let expected_next () =
+        Hashtbl.fold
+          (fun seq t best ->
+            match best with
+            | Some (bt, bs) when (bt, bs) <= (t, seq) -> best
+            | _ -> Some (t, seq))
+          alive None
+      in
+      let pop () =
+        match (Des.next q, expected_next ()) with
+        | None, None -> true
+        | Some (t, payload), Some (et, eseq) ->
+            Hashtbl.remove alive eseq;
+            t = et && payload = eseq
+        | Some _, None | None, Some _ -> false
+      in
+      let step_ok = ref true in
+      for _ = 1 to 200 do
+        if !step_ok then
+          match Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 ->
+              (* schedule on an integer grid so same-timestamp ties are
+                 common, alternating the two scheduling entry points *)
+              let seq = !n_sched in
+              incr n_sched;
+              let delay = float_of_int (Rng.int rng 4) in
+              let h =
+                if Rng.bool rng 0.5 then Des.after_handle q ~delay seq
+                else Des.schedule_handle q ~at:(Des.now q +. delay) seq
+              in
+              handles := (seq, h) :: !handles;
+              Hashtbl.replace alive seq (Des.now q +. delay)
+          | 5 | 6 | 7 -> step_ok := pop ()
+          | _ -> (
+              (* cancel a random handle, possibly already popped or
+                 cancelled: Des.cancel must answer "was it pending" *)
+              match !handles with
+              | [] -> ()
+              | hs ->
+                  let seq, h = List.nth hs (Rng.int rng (List.length hs)) in
+                  let was_alive = Hashtbl.mem alive seq in
+                  step_ok := !step_ok && Des.cancel q h = was_alive;
+                  Hashtbl.remove alive seq)
+      done;
+      let exact = Des.pending q = Hashtbl.length alive in
+      let drained = ref !step_ok in
+      while not (Des.is_empty q) do
+        drained := !drained && pop ()
+      done;
+      !step_ok && exact && !drained && Hashtbl.length alive = 0)
+
+let prop_des_mass_cancel_pending_exact =
+  QCheck.Test.make ~count:300 ~name:"pending exact under mass cancellation"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1_000_000) (int_range 1 150)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let q : int Des.t = Des.create () in
+      let hs =
+        Array.init n (fun i ->
+            Des.schedule_handle q ~at:(float_of_int (Rng.int rng 8)) i)
+      in
+      let cancelled = Hashtbl.create 16 in
+      (* cancel a random subset, some of them twice *)
+      for _ = 1 to n do
+        let i = Rng.int rng n in
+        if Rng.bool rng 0.6 then begin
+          let first = not (Hashtbl.mem cancelled i) in
+          if Des.cancel q hs.(i) <> first then
+            Hashtbl.replace cancelled (-1) () (* poison: count mismatch *)
+          else Hashtbl.replace cancelled i ()
+        end
+      done;
+      let n_cancelled = Hashtbl.length cancelled in
+      let exact = Des.pending q = n - n_cancelled in
+      let popped = ref 0 in
+      let ok = ref (not (Hashtbl.mem cancelled (-1))) in
+      let rec drain () =
+        match Des.next q with
+        | None -> ()
+        | Some (_, i) ->
+            incr popped;
+            if Hashtbl.mem cancelled i then ok := false;
+            drain ()
+      in
+      drain ();
+      exact && !ok && !popped = n - n_cancelled)
+
 let () =
   Alcotest.run "sim"
     [
@@ -310,5 +413,10 @@ let () =
           Alcotest.test_case "cancel" `Quick test_des_cancel;
           Alcotest.test_case "cancel preserves order" `Quick
             test_des_cancel_preserves_order;
+        ] );
+      ( "des-properties",
+        [
+          QCheck_alcotest.to_alcotest prop_des_random_programs;
+          QCheck_alcotest.to_alcotest prop_des_mass_cancel_pending_exact;
         ] );
     ]
