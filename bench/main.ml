@@ -139,29 +139,19 @@ let run_microbenches () =
    latency for (a) the scalar min-cost solver path (projection + SSP) and
    (b) the full Aladdin scheduler. Results go to BENCH_sched.json. *)
 
-let getenv_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
-  | None -> default
+let getenv_int = Engine.Env.int
 
-let getenv_float name default =
-  match Sys.getenv_opt name with
-  | Some s -> ( try float_of_string (String.trim s) with _ -> default)
-  | None -> default
-
-(* ALADDIN_FAULT_RATE > 0 runs the whole sched bench under the fault
-   harness: arc perturbation on the cold projection, injected solver-step
-   failures in the schedulers, machine revocations in any replay — the
-   recovery counters then land in BENCH_sched.json's obs section. *)
-let fault_rate = getenv_float "ALADDIN_FAULT_RATE" 0.
-
-(* ALADDIN_DEADLINE_MS > 0 runs the sched bench deadline-bounded: the
-   solver columns go through the registry degradation ladder
-   (ALADDIN_LADDER picks the rungs) and the scheduler columns through the
-   scheduler-level ladder with the Aladdin stack as first rung, the
-   invariant auditor wrapped outermost. The deadline/ladder/audit
-   counters then land in BENCH_sched.json's obs section. *)
-let deadline_ms = getenv_float "ALADDIN_DEADLINE_MS" 0.
+(* The whole ALADDIN_* stack configuration — fault harness, deadline
+   ladder, solver pin, cells counts — now comes from the engine's one
+   parser; only the bench-local ALADDIN_BENCH_* tier knobs stay here.
+   ALADDIN_FAULT_RATE > 0 runs the sched bench under the fault harness;
+   ALADDIN_DEADLINE_MS > 0 runs it deadline-bounded (registry ladder on
+   the solver columns, scheduler ladder + auditor on the scheduler
+   columns); the recovery/deadline/audit counters land in
+   BENCH_sched.json's obs section. *)
+let env_spec = Engine.Stack.of_env ()
+let fault_rate = env_spec.Engine.Stack.fault_rate
+let deadline_ms = env_spec.Engine.Stack.deadline_ms
 let ladder_active = deadline_ms > 0.
 
 (* Force-link the sharded cells solver: its typed-error counters
@@ -169,14 +159,7 @@ let ladder_active = deadline_ms > 0.
    their presence even though the bench drives it via Cells_scheduler. *)
 let _ = Aladdin.Cells_solver.solve
 
-let install_faults () =
-  if fault_rate > 0. then
-    Fault.install
-      (Fault.make ~arc_cost_flip:fault_rate ~arc_capacity_drop:fault_rate
-         ~solver_step_failure:fault_rate ~machine_revocation:fault_rate
-         ~trace_line_corruption:fault_rate
-         ~seed:(getenv_int "ALADDIN_FAULT_SEED" 1337)
-         ())
+let install_faults () = Engine.Stack.install_faults env_spec
 
 (* Re-roll cost/capacity on the forward arcs of a projection (flows are
    still zero right after the build, so capacities may shrink freely). *)
@@ -276,19 +259,15 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
   in
   let cl_cold = mk_cluster () in
   let cl_warm = mk_cluster () in
-  (* Under a deadline the Aladdin stacks become the first rung of the
-     degradation ladder, with the post-batch auditor outermost — the
+  (* Engine-built stacks: under a deadline they become the first rung of
+     the degradation ladder, with the post-batch auditor outermost — the
      bench then measures the whole graceful-degradation path. *)
-  let repair cl c = Aladdin.Migration.repair_placement cl c in
-  let deadline_wrap label s =
-    if ladder_active then
-      Audit.wrap ~place:repair (Ladder.make ~deadline_ms ~first:(label, s) ())
-    else s
+  let build kind =
+    (Engine.Stack.build { env_spec with Engine.Stack.kind }).Engine.Stack
+      .scheduler
   in
-  let sched_cold = deadline_wrap "aladdin" (Aladdin.Aladdin_scheduler.make ()) in
-  let sched_warm =
-    deadline_wrap "aladdin-warm" (Aladdin.Aladdin_scheduler.make_warm ())
-  in
+  let sched_cold = build Engine.Stack.Aladdin in
+  let sched_warm = build Engine.Stack.Aladdin_warm in
   (* heterogeneous machine prices (a Firmament-style cost model): the
      min-cost solve is then cost-directed rather than a pure feasibility
      max-flow, as in the paper's solver-overhead comparison *)
@@ -304,7 +283,7 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
   install_faults ();
   if fault_rate > 0. then
     Format.printf "fault injection active (rate %.3f, seed %d)@." fault_rate
-      (getenv_int "ALADDIN_FAULT_SEED" 1337);
+      env_spec.Engine.Stack.fault_seed;
   let ladder_rungs = Flownet.Registry.rungs_of_env () in
   if ladder_active then
     Format.printf "deadline active (%.3f ms per solve, ladder %s)@."
@@ -464,15 +443,20 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
      anchors the speedup baseline and is placement-equivalent to the warm
      stack). Runs clean — no faults, no ladder — so the timings are
      comparable across counts. *)
-  let cells_counts =
-    match Cells.Partition.cells_of_env () with Some ns -> ns | None -> [ 1; 4 ]
-  in
+  let cells_counts = Engine.Stack.cells_sweep_of_env () in
   let cells_runs =
     List.map
       (fun n_cells ->
         let cl = mk_cluster () in
-        let comp = Aladdin.Cells_scheduler.create ~cells:n_cells () in
-        let sched = Aladdin.Cells_scheduler.scheduler comp in
+        let built =
+          Engine.Stack.build
+            {
+              Engine.Stack.default with
+              Engine.Stack.kind = Engine.Stack.Cells;
+              cells = Some n_cells;
+            }
+        in
+        let sched = built.Engine.Stack.scheduler in
         let batch_ms = Array.make n_waves 0. in
         let placed = ref 0 in
         let fixup_ms = ref 0. and crit_ms = ref 0. and active = ref 0 in
@@ -482,7 +466,7 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
             let o = sched.Scheduler.schedule cl wave in
             batch_ms.(i) <- ms_of t0 (Obs.now_ns ());
             placed := !placed + List.length o.Scheduler.placed;
-            match Aladdin.Cells_scheduler.last_breakdown comp with
+            match built.Engine.Stack.breakdown () with
             | None -> ()
             | Some b ->
                 fixup_ms := !fixup_ms +. b.Cells.Coordinator.fixup_ms;
@@ -491,7 +475,7 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
                   +. Array.fold_left Float.max 0. b.Cells.Coordinator.cell_ms;
                 active := !active + b.Cells.Coordinator.active_cells)
           waves;
-        Aladdin.Cells_scheduler.shutdown comp;
+        built.Engine.Stack.shutdown ();
         let total = sum batch_ms in
         Format.printf
           "cells(%d): %.2f ms over %d batches (critical-path %.2f ms, fixup \
@@ -567,30 +551,20 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
    and ALADDIN_SERVE_SCHED picks the stack ("aladdin", "aladdin-warm",
    "cells", "gokube", or any registry backend name). *)
 let run_serve_phase ~seed =
-  let cfg = Serve.Runner.config_of_env () in
-  let machines = getenv_int "ALADDIN_SERVE_MACHINES" 500 in
+  let sspec = Engine.Stack.serve_of_env () in
+  let cfg, machines =
+    match sspec.Engine.Stack.serve with
+    | Some sv ->
+        (sv.Engine.Stack.serve_cfg, sv.Engine.Stack.serve_machines)
+    | None -> assert false (* serve_of_env always attaches a serve config *)
+  in
   let factor = Float.max 0.002 (float_of_int machines /. 10_000.) in
   let w =
     Alibaba.generate { (Alibaba.scaled factor) with Alibaba.seed = seed }
   in
-  let sched_name =
-    Option.value ~default:"aladdin" (Sys.getenv_opt "ALADDIN_SERVE_SCHED")
-  in
-  let make_sched () =
-    match sched_name with
-    | "aladdin" -> Aladdin.Aladdin_scheduler.make ()
-    | "aladdin-warm" -> Aladdin.Aladdin_scheduler.make_warm ()
-    | "cells" -> Aladdin.Cells_scheduler.make ()
-    | other -> Ladder.rung other
-  in
-  let make_cluster () =
-    Cluster.create
-      (Workload.topology w ~n_machines:machines)
-      ~constraints:(Workload.constraint_set w)
-  in
   Format.printf "== Open-loop serving sweep (%d machines, sched %s) ==@."
-    machines sched_name;
-  let r = Serve.Runner.sweep cfg ~make_sched ~make_cluster ~workload:w in
+    machines (Engine.Stack.label sspec);
+  let r = Engine.Stack.serve_sweep sspec ~workload:w in
   if r.Serve.Runner.calibrated then
     Format.printf "calibrated base rate: %.1f req/s@." r.Serve.Runner.base_rate;
   List.iter

@@ -1,4 +1,7 @@
-(* CLI driver: reproduce any table/figure of the paper by id. *)
+(* CLI driver: reproduce any table/figure of the paper by id. Stack
+   configuration (--sched/--cells/--serve/...) goes through the engine's
+   one parser, so anything expressible here is the same stack the bench
+   and fault drivers build. *)
 
 let known =
   [
@@ -23,6 +26,34 @@ let run_one cfg id =
       Format.eprintf "unknown experiment %S@." id;
       exit 2
 
+(* Open-loop serving sweep over the experiment workload, through the
+   configured stack (ROADMAP item 3: the serving path is no longer
+   bench-only). *)
+let run_serve cfg spec data_dir =
+  let w = Exp_config.workload cfg in
+  Format.printf "== Serving sweep: %s over %d machines ==@."
+    (Engine.Stack.label spec) cfg.Exp_config.machines;
+  let r =
+    Engine.Stack.serve_sweep ~n_machines:cfg.Exp_config.machines spec
+      ~workload:w
+  in
+  if r.Serve.Runner.calibrated then
+    Format.printf "calibrated base rate: %.1f req/s@." r.Serve.Runner.base_rate;
+  List.iter
+    (fun (p : Serve.Runner.point) ->
+      Format.printf
+        "  rate %9.1f/s: p50 %8.3f ms  p99 %9.3f ms  p999 %9.3f ms  depth_max \
+         %5d  shed %d  rejected %d%s@."
+        p.Serve.Runner.rate p.Serve.Runner.p50_ms p.Serve.Runner.p99_ms
+        p.Serve.Runner.p999_ms p.Serve.Runner.queue_depth_max
+        p.Serve.Runner.shed p.Serve.Runner.rejected
+        (if p.Serve.Runner.saturated then "  [saturated]" else ""))
+    r.Serve.Runner.points;
+  match data_dir with
+  | Some dir ->
+      List.iter (fun p -> Format.printf "wrote %s@." p) (Data_export.serve ~dir r)
+  | None -> ()
+
 open Cmdliner
 
 let ids =
@@ -44,13 +75,77 @@ let data_dir =
   let doc = "Also write each figure's raw data as TSV files into this directory." in
   Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
 
-let main ids scale seed data_dir =
-  let cfg = Exp_config.make ~seed ~factor:scale () in
-  (match data_dir with
-  | Some dir ->
-      let written = Data_export.export ~dir cfg in
-      List.iter (fun p -> Format.printf "wrote %s@." p) written
-  | None -> ());
+(* Stack flags: collected back into the engine's one argv vocabulary so
+   Engine.Stack.of_args stays the single parser. *)
+let sched =
+  let doc =
+    "Scheduler stack for the extra Fig. 9/13 column and --serve: aladdin, \
+     aladdin-warm, cells, firmament[-quincy|-trivial|-octopus], medea, \
+     gokube, ladder, or a solver backend name."
+  in
+  Arg.(value & opt (some string) None & info [ "sched" ] ~docv:"NAME" ~doc)
+
+let solver =
+  let doc = "Pin a Flownet.Registry solver backend by name." in
+  Arg.(value & opt (some string) None & info [ "solver" ] ~docv:"NAME" ~doc)
+
+let dijkstra =
+  let doc = "Dijkstra queue policy: auto, heap or dial." in
+  Arg.(value & opt (some string) None & info [ "dijkstra" ] ~docv:"POLICY" ~doc)
+
+let cells =
+  let doc = "Cell count for the sharded cells stack." in
+  Arg.(value & opt (some int) None & info [ "cells" ] ~docv:"N" ~doc)
+
+let cells_mode =
+  let doc = "Cells coordinator mode: auto, domains or sequential." in
+  Arg.(value & opt (some string) None & info [ "cells-mode" ] ~docv:"MODE" ~doc)
+
+let deadline_ms =
+  let doc = "Per-batch deadline (ms); wraps the stack in the ladder + auditor." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let ladder =
+  let doc = "Comma-separated ladder rungs behind the configured stack." in
+  Arg.(value & opt (some string) None & info [ "ladder" ] ~docv:"RUNGS" ~doc)
+
+let serve_flag =
+  let doc =
+    "Run an open-loop serving sweep of the configured stack over the \
+     experiment workload (ALADDIN_SERVE_* tune rate/duration/queue)."
+  in
+  Arg.(value & flag & info [ "serve" ] ~doc)
+
+let stack_argv sched solver dijkstra cells cells_mode deadline_ms ladder serve
+    =
+  let opt flag = function Some v -> [ flag; v ] | None -> [] in
+  List.concat
+    [
+      opt "--sched" sched;
+      opt "--solver" solver;
+      opt "--dijkstra" dijkstra;
+      opt "--cells" (Option.map string_of_int cells);
+      opt "--cells-mode" cells_mode;
+      opt "--deadline-ms" (Option.map string_of_float deadline_ms);
+      opt "--ladder" ladder;
+      (if serve then [ "--serve" ] else []);
+    ]
+
+let main ids scale seed data_dir sched solver dijkstra cells cells_mode
+    deadline_ms ladder serve =
+  let argv =
+    stack_argv sched solver dijkstra cells cells_mode deadline_ms ladder serve
+  in
+  let stack =
+    if argv = [] then None
+    else
+      match Engine.Stack.of_args argv with
+      | Ok spec -> Some spec
+      | Error e ->
+          Format.eprintf "%s@." e;
+          exit 2
+  in
+  let cfg = Exp_config.make ~seed ?stack ~factor:scale () in
   let ids =
     if List.mem "all" ids then List.map fst known
     else ids
@@ -60,12 +155,23 @@ let main ids scale seed data_dir =
     if List.mem "fig10" ids then List.filter (fun i -> i <> "fig11") ids
     else ids
   in
-  List.iter (run_one cfg) ids
+  (match data_dir with
+  | Some dir ->
+      let written = Data_export.export ~ids ~dir cfg in
+      List.iter (fun p -> Format.printf "wrote %s@." p) written
+  | None -> ());
+  List.iter (run_one cfg) ids;
+  match stack with
+  | Some spec when spec.Engine.Stack.serve <> None ->
+      run_serve cfg spec data_dir
+  | _ -> ()
 
 let cmd =
   let doc = "Reproduce the Aladdin paper's tables and figures" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ ids $ scale $ seed $ data_dir)
+    Term.(
+      const main $ ids $ scale $ seed $ data_dir $ sched $ solver $ dijkstra
+      $ cells $ cells_mode $ deadline_ms $ ladder $ serve_flag)
 
 let () = exit (Cmd.eval cmd)

@@ -16,20 +16,29 @@
    resumed placements are checked bit-for-bit against an uninterrupted
    run of the same fault stream. *)
 
-let getenv_int name default =
-  match Sys.getenv_opt name with
-  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
-  | None -> default
+let budget_s = float_of_int (Engine.Env.int "ALADDIN_FAULT_SMOKE_SECS" 5)
+let base_seed = Engine.Env.int "ALADDIN_FAULT_SMOKE_SEED" 1337
 
-let getenv_float name default =
-  match Sys.getenv_opt name with
-  | Some v -> (
-      match float_of_string_opt v with Some f -> f | None -> default)
-  | None -> default
+(* The stack knobs (fault rate, ladder deadline, solver pin) come from the
+   engine's one env parser; this driver's defaults are deliberately hot —
+   a 0.3 fault rate and a 0.05 ms deadline so the recovery machinery and
+   the degradation ladder actually fire. *)
+let base_spec =
+  Engine.Stack.of_env
+    ~base:
+      { Engine.Stack.default with fault_rate = 0.3; deadline_ms = 0.05 }
+    ()
 
-let budget_s = float_of_int (getenv_int "ALADDIN_FAULT_SMOKE_SECS" 5)
-let base_seed = getenv_int "ALADDIN_FAULT_SMOKE_SEED" 1337
-let rate = getenv_float "ALADDIN_FAULT_RATE" 0.3
+let rate = base_spec.Engine.Stack.fault_rate
+let deadline_ms = base_spec.Engine.Stack.deadline_ms
+
+(* Middleware-free spec of one kind: the replay/baseline/journal
+   exercises run the bare schedulers, the ladder exercise adds the
+   deadline + auditor back. *)
+let bare kind =
+  { base_spec with Engine.Stack.kind; deadline_ms = 0.; audit = false }
+
+let sched_of spec = (Engine.Stack.build spec).Engine.Stack.scheduler
 let now_s () = Int64.to_float (Obs.now_ns ()) *. 1e-9
 
 let fault_config ~seed ~budget =
@@ -76,30 +85,27 @@ let exercise_solver rng =
 
 let exercise_replay w ~n_machines ~warm =
   let sched =
-    if warm then Aladdin.Aladdin_scheduler.make_warm ()
-    else Aladdin.Aladdin_scheduler.make ()
+    sched_of
+      (bare
+         (if warm then Engine.Stack.Aladdin_warm else Engine.Stack.Aladdin))
   in
   let r = Replay.run_workload ~batch:32 sched w ~n_machines in
   ignore r.Replay.elapsed_s
 
 let exercise_baselines w ~n_machines =
   List.iter
-    (fun sched ->
-      ignore (Replay.run_workload ~batch:32 sched w ~n_machines))
-    [ Gokube.make (); Medea.make (); Firmament.make () ]
-
-let deadline_ms = getenv_float "ALADDIN_DEADLINE_MS" 0.05
+    (fun kind ->
+      ignore
+        (Replay.run_workload ~batch:32 (sched_of (bare kind)) w ~n_machines))
+    [ Engine.Stack.Gokube; Engine.Stack.Medea; Engine.Stack.Firmament ]
 
 (* Degradation ladder under faults: Aladdin first rung, registry rungs
    behind it, the invariant auditor outermost. Unrepaired violations are
    exactly the silent-corruption bugs this driver exists to catch. *)
 let exercise_ladder w ~n_machines =
   let sched =
-    Audit.wrap
-      ~place:(fun cl c -> Aladdin.Migration.repair_placement cl c)
-      (Ladder.make ~deadline_ms
-         ~first:("aladdin", Aladdin.Aladdin_scheduler.make ())
-         ())
+    sched_of { base_spec with Engine.Stack.kind = Engine.Stack.Aladdin;
+               deadline_ms; audit = true }
   in
   ignore (Replay.run_workload ~batch:32 sched w ~n_machines);
   let unrepaired = Obs.count (Obs.counter "audit.unrepaired") in
@@ -123,7 +129,7 @@ let exercise_journal w ~n_machines ~seed =
   Fault.install (cfg ());
   let r_ref =
     Replay.run ~batch:32
-      (Aladdin.Aladdin_scheduler.make ())
+      (sched_of (bare Engine.Stack.Aladdin))
       ~cluster:(fresh_cluster w ~n_machines)
       ~containers:w.Workload.containers
   in
@@ -138,7 +144,7 @@ let exercise_journal w ~n_machines ~seed =
       Fault.install { (cfg ()) with Fault.process_kill_after = 2 };
       (match
          Replay.run ~batch:32 ~journal:j
-           (Aladdin.Aladdin_scheduler.make ())
+           (sched_of (bare Engine.Stack.Aladdin))
            ~cluster:(fresh_cluster w ~n_machines)
            ~containers:w.Workload.containers
        with
@@ -155,7 +161,7 @@ let exercise_journal w ~n_machines ~seed =
               ~finally:(fun () -> Journal.close j2)
               (fun () ->
                 Replay.run ~batch:32 ~journal:j2 ~resume:commit
-                  (Aladdin.Aladdin_scheduler.make ())
+                  (sched_of (bare Engine.Stack.Aladdin))
                   ~cluster:(fresh_cluster w ~n_machines)
                   ~containers:w.Workload.containers)
           in

@@ -1,0 +1,15 @@
+let int_opt name =
+  match Sys.getenv_opt name with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let float_opt name =
+  match Sys.getenv_opt name with
+  | Some s -> float_of_string_opt (String.trim s)
+  | None -> None
+
+let string_opt name = Sys.getenv_opt name
+let int name default = Option.value ~default (int_opt name)
+let float name default = Option.value ~default (float_opt name)
+let string name default = Option.value ~default (string_opt name)
+let set name = Sys.getenv_opt name <> None

@@ -1,0 +1,13 @@
+(** Environment-variable parsing shared by every driver. A malformed
+    value falls back to the default rather than aborting — bench runs are
+    long and a typo'd knob should not kill one at startup. *)
+
+val int : string -> int -> int
+val float : string -> float -> float
+val string : string -> string -> string
+val int_opt : string -> int option
+val float_opt : string -> float option
+val string_opt : string -> string option
+
+val set : string -> bool
+(** Whether the variable is present at all (even if malformed). *)

@@ -96,13 +96,17 @@ let fig13 ~dir cfg =
   let points = Fig13.run cfg in
   [
     write_tsv ~dir "fig13_overhead.tsv"
-      [ "machines"; "order"; "elapsed_s"; "paths"; "migrations"; "preemptions" ]
+      [
+        "machines"; "order"; "elapsed_s"; "stack_elapsed_s"; "paths";
+        "migrations"; "preemptions";
+      ]
       (List.map
          (fun (p : Fig13.point) ->
            [
              string_of_int p.Fig13.machines;
              Arrival.abbrev p.Fig13.order;
              Printf.sprintf "%.4f" p.Fig13.elapsed_s;
+             Printf.sprintf "%.4f" p.Fig13.stack_elapsed_s;
              string_of_int p.Fig13.paths_explored;
              string_of_int p.Fig13.migrations;
              string_of_int p.Fig13.preemptions;
@@ -110,12 +114,48 @@ let fig13 ~dir cfg =
          points);
   ]
 
-let export ~dir cfg =
+let serve ~dir (r : Serve.Runner.sweep_result) =
+  [
+    write_tsv ~dir "serve_sweep.tsv"
+      [
+        "rate"; "arrivals"; "admitted"; "rejected"; "shed"; "placed";
+        "undeployed"; "batches"; "p50_ms"; "p99_ms"; "p999_ms"; "max_ms";
+        "queue_depth_max"; "saturated";
+      ]
+      (List.map
+         (fun (p : Serve.Runner.point) ->
+           [
+             Printf.sprintf "%.2f" p.Serve.Runner.rate;
+             string_of_int p.Serve.Runner.arrivals;
+             string_of_int p.Serve.Runner.admitted;
+             string_of_int p.Serve.Runner.rejected;
+             string_of_int p.Serve.Runner.shed;
+             string_of_int p.Serve.Runner.placed;
+             string_of_int p.Serve.Runner.undeployed;
+             string_of_int p.Serve.Runner.batches;
+             Printf.sprintf "%.4f" p.Serve.Runner.p50_ms;
+             Printf.sprintf "%.4f" p.Serve.Runner.p99_ms;
+             Printf.sprintf "%.4f" p.Serve.Runner.p999_ms;
+             Printf.sprintf "%.4f" p.Serve.Runner.max_ms;
+             string_of_int p.Serve.Runner.queue_depth_max;
+             string_of_bool p.Serve.Runner.saturated;
+           ])
+         r.Serve.Runner.points);
+  ]
+
+(* Export only the figures the caller asked for (default: all). The ids
+   follow experiments_main's vocabulary; fig10/fig11 share one run. *)
+let export ?ids ~dir cfg =
+  let wanted id =
+    match ids with
+    | None -> true
+    | Some l -> List.mem id l || List.mem "all" l
+  in
   List.concat
     [
-      [ fig8 ~dir cfg ];
-      [ fig9 ~dir cfg ];
-      fig10_11 ~dir cfg;
-      fig12 ~dir cfg;
-      fig13 ~dir cfg;
+      (if wanted "fig8" then [ fig8 ~dir cfg ] else []);
+      (if wanted "fig9" then [ fig9 ~dir cfg ] else []);
+      (if wanted "fig10" || wanted "fig11" then fig10_11 ~dir cfg else []);
+      (if wanted "fig12" then fig12 ~dir cfg else []);
+      (if wanted "fig13" then fig13 ~dir cfg else []);
     ]

@@ -1,6 +1,11 @@
 (** Raw figure data as tab-separated files, one per figure, for external
     plotting (gnuplot/matplotlib). Columns mirror the paper's axes. *)
 
-val export : dir:string -> Exp_config.t -> string list
-(** Runs fig8/9/10/11/12/13 and writes [figN.tsv] under [dir] (created if
-    missing); returns the paths written. *)
+val export : ?ids:string list -> dir:string -> Exp_config.t -> string list
+(** Runs the requested figures ([?ids] in experiments_main's vocabulary,
+    default all of fig8/9/10/11/12/13) and writes [figN.tsv] under [dir]
+    (created if missing); returns the paths written. *)
+
+val serve : dir:string -> Serve.Runner.sweep_result -> string list
+(** [serve_sweep.tsv]: one row per sweep point (rate, admission and
+    placement counts, latency tails, saturation flag). *)

@@ -1,13 +1,20 @@
-type t = { factor : float; seed : int; machines : int; containers : int }
+type t = {
+  factor : float;
+  seed : int;
+  machines : int;
+  containers : int;
+  stack : Engine.Stack.spec option;
+}
 
 let paper_machines = 10_000
 let paper_containers = 100_000
 
-let make ?(seed = 42) ~factor () =
+let make ?(seed = 42) ?stack ~factor () =
   if factor <= 0. then invalid_arg "Exp_config.make: factor must be positive";
   {
     factor;
     seed;
+    stack;
     machines =
       max 8 (int_of_float (Float.round (float_of_int paper_machines *. factor)));
     containers =
@@ -37,3 +44,9 @@ let workload t =
 
 let scale_machines t n =
   max 4 (int_of_float (Float.round (float_of_int n *. t.factor)))
+
+let stack_or_cells t =
+  match t.stack with
+  | Some spec -> spec
+  | None ->
+      { Engine.Stack.default with kind = Engine.Stack.Cells; cells = Some 4 }

@@ -8,9 +8,13 @@ type t = {
   seed : int;
   machines : int;    (** Fig. 9 cluster size at this scale *)
   containers : int;  (** workload size at this scale *)
+  stack : Engine.Stack.spec option;
+      (** a [--sched]-configured stack to run alongside (or instead of)
+          each figure's default line-up; [None] = defaults only *)
 }
 
-val make : ?seed:int -> factor:float -> unit -> t
+val make :
+  ?seed:int -> ?stack:Engine.Stack.spec -> factor:float -> unit -> t
 
 val default : t
 (** factor 0.1, seed 42 → 1,000 machines / ~10,000 containers. *)
@@ -23,3 +27,8 @@ val workload : t -> Workload.t
 
 val scale_machines : t -> int -> int
 (** Scale a paper machine count (e.g. 4000 → 400 at factor 0.1). *)
+
+val stack_or_cells : t -> Engine.Stack.spec
+(** The configured {!stack}, or the default sharded-cells spec (4 cells)
+    — the extra column Fig. 9 / Fig. 13 report next to the paper
+    line-up. *)

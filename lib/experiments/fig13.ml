@@ -5,6 +5,9 @@ type point = {
   migrations : int;
   preemptions : int;
   paths_explored : int;
+  stack_elapsed_s : float;
+      (** same workload and order through the [--sched]-configured stack
+          (default: Aladdin over 4 cells) *)
 }
 
 let sizes cfg =
@@ -39,6 +42,12 @@ let run cfg =
             | Some s -> s.Aladdin.Search.paths_explored
             | None -> 0
           in
+          let b = Engine.Stack.build (Exp_config.stack_or_cells cfg) in
+          let rs =
+            Replay.run_workload ~order b.Engine.Stack.scheduler w
+              ~n_machines:machines
+          in
+          b.Engine.Stack.shutdown ();
           {
             machines;
             order;
@@ -46,6 +55,7 @@ let run cfg =
             migrations = r.Replay.outcome.Scheduler.migrations;
             preemptions = r.Replay.outcome.Scheduler.preemptions;
             paths_explored = paths;
+            stack_elapsed_s = rs.Replay.elapsed_s;
           })
         orders)
     (sizes cfg)
@@ -57,14 +67,17 @@ let print cfg =
        "Fig. 13: Aladdin+IL+DL algorithm overhead and migration cost (scale %.2f)"
        cfg.Exp_config.factor);
   Report.subsection "(a) total scheduling time (paper: linear, <= ~15 min full scale)";
+  let stack_label = Engine.Stack.label (Exp_config.stack_or_cells cfg) in
   Report.table
-    ~header:[ "machines"; "order"; "elapsed"; "paths explored" ]
+    ~header:
+      [ "machines"; "order"; "elapsed"; stack_label; "paths explored" ]
     (List.map
        (fun p ->
          [
            string_of_int p.machines;
            Arrival.abbrev p.order;
            Printf.sprintf "%.3f s" p.elapsed_s;
+           Printf.sprintf "%.3f s" p.stack_elapsed_s;
            string_of_int p.paths_explored;
          ])
        points);

@@ -9,6 +9,9 @@ type point = {
   migrations : int;
   preemptions : int;
   paths_explored : int;
+  stack_elapsed_s : float;
+      (** same workload/order through the [--sched]-configured stack
+          (default: Aladdin sharded over 4 cells) *)
 }
 
 val sizes : Exp_config.t -> int list

@@ -50,11 +50,17 @@ let panels_spec =
       ] );
   ]
 
-let instantiate = function
-  | `Gokube -> Sched_zoo.gokube ()
-  | `Firmament (cm, i) -> Sched_zoo.firmament cm ~reschd:i
-  | `Medea (a, b, c) -> Sched_zoo.medea ~a ~b ~c
-  | `Aladdin base -> Sched_zoo.aladdin ~base ()
+(* Each row is an engine stack; the extra [`Stack] row is the
+   [--sched]-configured stack (default: Aladdin sharded over 4 cells),
+   shut down after its replay to release any cell domains. *)
+let instantiate cfg = function
+  | `Gokube -> (Sched_zoo.gokube (), fun () -> ())
+  | `Firmament (cm, i) -> (Sched_zoo.firmament cm ~reschd:i, fun () -> ())
+  | `Medea (a, b, c) -> (Sched_zoo.medea ~a ~b ~c, fun () -> ())
+  | `Aladdin base -> (Sched_zoo.aladdin ~base (), fun () -> ())
+  | `Stack ->
+      let b = Engine.Stack.build (Exp_config.stack_or_cells cfg) in
+      (b.Engine.Stack.scheduler, b.Engine.Stack.shutdown)
 
 let run cfg =
   let w = Exp_config.workload cfg in
@@ -64,10 +70,11 @@ let run cfg =
       let rows =
         List.map
           (fun (spec, paper_pct) ->
-            let sched = instantiate spec in
+            let sched, shutdown = instantiate cfg spec in
             let r =
               Replay.run_workload sched w ~n_machines:cfg.Exp_config.machines
             in
+            shutdown ();
             let o = r.Replay.outcome in
             (* Fig. 9 counts "constraint violations": undeployed containers
                plus placements the scheduler tolerated in violation of a
@@ -93,7 +100,7 @@ let run cfg =
               n_violations = List.length o.Scheduler.violations;
               anti_affinity_pct = Metrics.anti_affinity_ratio_pct o;
             })
-          specs
+          (specs @ [ (`Stack, None) ])
       in
       { label; rows })
     panels_spec

@@ -1,19 +1,25 @@
-let gokube () = Gokube.make ()
+(* The evaluation's scheduler line-up, expressed as engine specs: every
+   configuration here is an ordinary {!Engine.Stack.spec}, so anything
+   the experiments run can also be run by the bench, the serving sweep
+   or the fault driver with identical construction. *)
+
+let spec = Engine.Stack.default
+let build s = (Engine.Stack.build s).Engine.Stack.scheduler
+let gokube () = build { spec with kind = Engine.Stack.Gokube }
 
 let firmament ?solver cost_model ~reschd =
-  let solver =
-    match solver with Some s -> s | None -> Firmament.default.Firmament.solver
-  in
-  Firmament.make ~config:{ Firmament.default with cost_model; reschd; solver } ()
+  build { spec with kind = Engine.Stack.Firmament; cost_model; reschd; solver }
 
 let medea ~a ~b ~c =
-  Medea.make ~config:{ Medea.default with weights = { Medea.a; b; c } } ()
+  build
+    { spec with kind = Engine.Stack.Medea; medea_a = a; medea_b = b; medea_c = c }
 
 let aladdin ?base ?(il = true) ?(dl = true) () =
-  Aladdin.Aladdin_scheduler.make
-    ~options:
-      { Aladdin.Aladdin_scheduler.default_options with il; dl; weight_base = base }
-    ()
+  build { spec with kind = Engine.Stack.Aladdin; il; dl; weight_base = base }
+
+let cells ?cells ?mode () =
+  Engine.Stack.build
+    { spec with kind = Engine.Stack.Cells; cells; cells_mode = mode }
 
 let descriptions =
   [
@@ -23,4 +29,6 @@ let descriptions =
     ("Medea", "Balance resource efficiency and constraint violations.");
     ("Go-Kube", "Scoring machines and choose the best one.");
     ("Aladdin", "Optimized maximum flow with nonlinear capacities (this work).");
+    ( "Cells",
+      "Aladdin sharded over rack-aligned cells, one solver domain each." );
   ]

@@ -1,5 +1,7 @@
 (** The scheduler configurations used across the evaluation (Table I plus
-    the parameter sweeps of Fig. 9). *)
+    the parameter sweeps of Fig. 9), all built through {!Engine.Stack} so
+    the experiments, bench and serving harnesses share one construction
+    path. *)
 
 val gokube : unit -> Scheduler.t
 
@@ -9,6 +11,11 @@ val firmament : ?solver:string -> Cost_model.t -> reschd:int -> Scheduler.t
 
 val medea : a:float -> b:float -> c:float -> Scheduler.t
 val aladdin : ?base:int -> ?il:bool -> ?dl:bool -> unit -> Scheduler.t
+
+val cells :
+  ?cells:int -> ?mode:Cells.Coordinator.mode -> unit -> Engine.Stack.built
+(** The sharded composite. Returned as the full {!Engine.Stack.built} —
+    callers must [shutdown] it after the replay to release its domains. *)
 
 val descriptions : (string * string) list
 (** Table I: name → one-line description. *)

@@ -271,6 +271,44 @@ let histograms () =
         histograms_tbl []
       |> by_name fst)
 
+(* An epoch is a merged snapshot of every counter at a point in time;
+   reads "since" it subtract the baseline, scoping counters to one run
+   without zeroing the registry (which would destroy concurrent runs'
+   numbers — the cross-run contamination the engine layer fixes). A
+   counter registered after the epoch has baseline zero. *)
+type epoch = int array
+
+let epoch () =
+  locked (fun () ->
+      let a = Array.make !n_counters 0 in
+      List.iter
+        (fun s ->
+          let n = min (Array.length s.counts) !n_counters in
+          for i = 0 to n - 1 do
+            a.(i) <- a.(i) + s.counts.(i)
+          done)
+        !shards;
+      a)
+
+let baseline e id = if id < Array.length e then e.(id) else 0
+let count_since e c = count c - baseline e c.c_id
+
+let counters_since e =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ c acc ->
+          let v =
+            List.fold_left
+              (fun acc s ->
+                if c.c_id < Array.length s.counts then acc + s.counts.(c.c_id)
+                else acc)
+              0 !shards
+          in
+          let d = v - baseline e c.c_id in
+          if d = 0 then acc else (c.c_name, d) :: acc)
+        counters_tbl []
+      |> by_name fst)
+
 (* Zeroing races updates from domains still running; call at quiescence
    (between bench phases, after joins) for an exact reset. *)
 let reset () =

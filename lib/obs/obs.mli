@@ -72,6 +72,26 @@ val counters : unit -> (string * int) list
 val histograms : unit -> (string * histogram_stats) list
 (** All registered histograms with their current stats, sorted by name. *)
 
+type epoch
+(** A merged snapshot of every counter at a point in time. Reads
+    "since" an epoch subtract that baseline, scoping counters to one
+    run (one engine-built stack, one experiment) without zeroing the
+    global registry — so back-to-back runs in a single process stop
+    contaminating each other's numbers, and concurrent readers keep
+    their own baselines. Counters registered after the epoch have a
+    zero baseline. *)
+
+val epoch : unit -> epoch
+(** Snapshot now. Like any merged read, a snapshot racing a running
+    domain may miss its in-flight tail. *)
+
+val count_since : epoch -> counter -> int
+(** [count c] minus the counter's value at the epoch. *)
+
+val counters_since : epoch -> (string * int) list
+(** Every counter whose value changed since the epoch, with the delta,
+    sorted by name. *)
+
 val reset : unit -> unit
 (** Zero every registered series in every shard (registrations are kept).
     Call at quiescence — zeroing races updates from still-running

@@ -54,11 +54,15 @@ let test_fig9_shapes () =
   check int "four panels" 4 (List.length panels);
   List.iter
     (fun { Fig9.label = _; rows } ->
-      check int "six schedulers" 6 (List.length rows);
+      check int "seven schedulers" 7 (List.length rows);
       (* Aladdin always wins: zero undeployed, zero violations *)
       let aladdin = List.nth rows 5 in
       check (Alcotest.float 1e-9) "aladdin zero" 0. aladdin.Fig9.undeployed_pct;
       check int "aladdin no violations" 0 aladdin.Fig9.n_violations;
+      (* ...and so does the sharded-cells stack (the engine column). *)
+      let cells = List.nth rows 6 in
+      check (Alcotest.float 1e-9) "cells zero" 0. cells.Fig9.undeployed_pct;
+      check int "cells no violations" 0 cells.Fig9.n_violations;
       List.iter
         (fun r ->
           check bool "pct within range" true
