@@ -75,6 +75,44 @@ def check_cells(cells, where, require_speedup=None):
                  f"required {require_speedup:.2f}x")
 
 
+# Counter families of the cell-supervision layer and the crash-consistent
+# serving recovery path; the bench snapshots them into the "supervision"
+# section and Obs dumps them into obs.counters.
+SUPERVISION_COUNTERS = (
+    "cells.supervisor.cell_failures",
+    "cells.supervisor.retries",
+    "cells.supervisor.stalls",
+    "cells.supervisor.quarantines",
+    "cells.supervisor.reinstatements",
+    "cells.supervisor.probes",
+    "cells.supervisor.redistributed_machines",
+    "cells.batch_retries",
+    "serve.resume.resumes",
+    "serve.resume.replayed_batches",
+    "serve.resume.replayed_requests",
+    "serve.taken_requests",
+    "fault.cell_crashes",
+    "fault.cell_stalls",
+    "fault.cell_slowdowns",
+    "fault.cell_corruptions",
+)
+
+
+def check_supervision(sup):
+    where = "supervision"
+    if not isinstance(sup, dict):
+        fail(f"{where} must be an object")
+    if not isinstance(sup.get("enabled"), bool):
+        fail(f"{where}.enabled must be a bool")
+    counters = sup.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{where}.counters must be an object")
+    for key in SUPERVISION_COUNTERS:
+        v = counters.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}.counters[{key!r}] must be a nonnegative int")
+
+
 def check_serve(serve, require_saturation=False):
     where = "serve"
     cfg = serve.get("config")
@@ -196,7 +234,7 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
         fail(f"cannot load {path}: {e}")
 
     for section in ("config", "solver", "per_batch", "summary", "cells",
-                    "tiers", "serve", "obs"):
+                    "tiers", "serve", "supervision", "obs"):
         if section not in doc:
             fail(f"missing section {section!r}")
 
@@ -258,6 +296,7 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
                  f"(present: {sorted(tier_map)})")
 
     check_serve(doc["serve"], require_saturation=require_serve_saturation)
+    check_supervision(doc["supervision"])
 
     obs = doc["obs"]
     for key in ("counters", "histograms"):
@@ -333,6 +372,10 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
         "serve.batches",
         "serve.failed_batches",
         "serve.overload_batches",
+        # cell supervision + crash-consistent serving recovery: registered
+        # whenever the supervisor / runner are linked, nonzero only when
+        # cells misbehave or a serve run resumes from its journal.
+        *SUPERVISION_COUNTERS,
     ):
         v = obs["counters"].get(key)
         if not isinstance(v, int) or v < 0:
@@ -359,6 +402,12 @@ def main(path, chaos=False, tiers=None, require_warm_win=False,
             fail("chaos run recorded no deadline.exceeded")
         if counters.get("ladder.escalations", 0) < 1:
             fail("chaos run recorded no ladder escalation")
+        # the supervision/resume families must be wired end to end: every
+        # counter the bench snapshots into the supervision section must
+        # also be visible in the obs dump
+        for key in SUPERVISION_COUNTERS:
+            if key not in counters:
+                fail(f"chaos run is missing obs counter {key!r}")
 
     cells_runs = doc["cells"]["runs"]
     best_cells = max(r["speedup_vs_first"] for r in cells_runs.values())

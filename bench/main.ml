@@ -444,6 +444,10 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
      stack). Runs clean — no faults, no ladder — so the timings are
      comparable across counts. *)
   let cells_counts = Engine.Stack.cells_sweep_of_env () in
+  (* Supervision rides along when ALADDIN_SUPERVISE* is set — with no
+     faults installed it is behaviour-neutral, but its counters land in
+     the supervision section so chaos CI can check the families exist. *)
+  let supervise_env = (Engine.Stack.of_env ()).Engine.Stack.supervise in
   let cells_runs =
     List.map
       (fun n_cells ->
@@ -454,6 +458,7 @@ let run_sched_tier ~tier ~machines ~batches ~per_batch ~seed ~backend
               Engine.Stack.default with
               Engine.Stack.kind = Engine.Stack.Cells;
               cells = Some n_cells;
+              supervise = supervise_env;
             }
         in
         let sched = built.Engine.Stack.scheduler in
@@ -606,6 +611,28 @@ let run_sched_bench () =
      top-level obs snapshot carries both the tier's and the serve
      counters *)
   let serve_json = run_serve_phase ~seed in
+  let supervision_json =
+    let c name = Obs.count (Obs.counter name) in
+    Printf.sprintf
+      {|{"enabled":%b,"counters":{"cells.supervisor.cell_failures":%d,"cells.supervisor.retries":%d,"cells.supervisor.stalls":%d,"cells.supervisor.quarantines":%d,"cells.supervisor.reinstatements":%d,"cells.supervisor.probes":%d,"cells.supervisor.redistributed_machines":%d,"cells.batch_retries":%d,"serve.resume.resumes":%d,"serve.resume.replayed_batches":%d,"serve.resume.replayed_requests":%d,"serve.taken_requests":%d,"fault.cell_crashes":%d,"fault.cell_stalls":%d,"fault.cell_slowdowns":%d,"fault.cell_corruptions":%d}}|}
+      (Option.is_some (Engine.Stack.of_env ()).Engine.Stack.supervise)
+      (c "cells.supervisor.cell_failures")
+      (c "cells.supervisor.retries")
+      (c "cells.supervisor.stalls")
+      (c "cells.supervisor.quarantines")
+      (c "cells.supervisor.reinstatements")
+      (c "cells.supervisor.probes")
+      (c "cells.supervisor.redistributed_machines")
+      (c "cells.batch_retries")
+      (c "serve.resume.resumes")
+      (c "serve.resume.replayed_batches")
+      (c "serve.resume.replayed_requests")
+      (c "serve.taken_requests")
+      (c "fault.cell_crashes")
+      (c "fault.cell_stalls")
+      (c "fault.cell_slowdowns")
+      (c "fault.cell_corruptions")
+  in
   let oc = open_out "BENCH_sched.json" in
   Printf.fprintf oc
     {|{"config":%s,
@@ -615,12 +642,13 @@ let run_sched_bench () =
 "cells":%s,
 "tiers":{%s},
 "serve":%s,
+"supervision":%s,
 "obs":%s}
 |}
     last.t_config backend_name caps.Flownet.Solver_intf.min_cost
     caps.Flownet.Solver_intf.supports_max_flow
     caps.Flownet.Solver_intf.warm_start last.t_per_batch last.t_summary
-    last.t_cells tiers_json serve_json (Obs.json ());
+    last.t_cells tiers_json serve_json supervision_json (Obs.json ());
   close_out oc;
   Format.printf "wrote BENCH_sched.json@.@."
 

@@ -15,7 +15,14 @@
 
     With [n_cells = 1] the coordinator degenerates to the inner scheduler
     on a full-cluster mirror and reproduces the unsharded scheduler's
-    placements exactly — the anchor case of the differential suite. *)
+    placements exactly — the anchor case of the differential suite.
+
+    With a {!Supervisor.t} attached, cells become fault domains: phase 1
+    survives individual cell failures (bounded per-cell retry with
+    jittered backoff on a rebuilt mirror), hung cells are abandoned at
+    the join timeout, and repeat offenders are quarantined — their
+    machines resliced to neighbouring cells ({!Partition.reslice}) until
+    a half-open probe reinstates them. *)
 
 exception Desync of string
 
@@ -42,6 +49,7 @@ val create :
   ?mode:mode ->
   ?fixup:bool ->
   ?fixup_run:(Cluster.t -> Container.t array -> Scheduler.outcome) ->
+  ?supervisor:Supervisor.t ->
   recoverable:(exn -> bool) ->
   n_cells:int ->
   (cell:int -> n_cells:int -> Scheduler.t) ->
@@ -51,7 +59,14 @@ val create :
     handles phase-2 leftovers on the outer cluster ([~fixup:false]
     disables phase 2; leftovers are then reported undeployed).
     [recoverable] classifies exceptions that reject the batch rather than
-    propagate (mirrors are rebuilt either way). *)
+    propagate (mirrors are rebuilt either way). [supervisor] turns on
+    cell supervision: per-cell retry/quarantine instead of all-or-nothing
+    phase 1; a failed cell's sub-batch rides the fix-up (or goes
+    undeployed when fix-up is off or [n_cells = 1]). Supervised pools in
+    [`Domains]/[`Auto] mode put a worker on every cell so the caller can
+    time the join out instead of draining. *)
+
+val supervisor : t -> Supervisor.t option
 
 val schedule : t -> Cluster.t -> Container.t array -> Scheduler.outcome
 (** One batch through both phases. The outcome lists final placements in

@@ -1,0 +1,177 @@
+(* Per-cell health tracking and circuit breaking for the coordinator.
+
+   Each cell carries a health record: consecutive phase-1 failures and an
+   EWMA of its phase-1 latency. The breaker walks the classic three
+   states —
+
+     Closed      healthy, in rotation
+     Open k      quarantined for k more batches, machines resliced away
+     Half_open   cooldown elapsed, machines restored, next assigned
+                 batch is the probe
+
+   A probe success closes the breaker (reinstatement); a probe failure
+   re-opens it with a doubled cooldown. The supervisor only keeps state
+   and verdicts — the coordinator drives it (retries with backoff, calls
+   {!record_success}/{!record_failure}, reslices the partition from
+   {!live}, and ticks cooldowns once per batch). *)
+
+type config = {
+  max_retries : int;
+  backoff_ms : float;
+  jitter : float;
+  failure_threshold : int;
+  cooldown : int;
+  join_timeout_ms : float;
+  ewma_alpha : float;
+  seed : int;
+}
+
+let default =
+  {
+    max_retries = 2;
+    backoff_ms = 1.0;
+    jitter = 0.2;
+    failure_threshold = 3;
+    cooldown = 8;
+    join_timeout_ms = 1000.;
+    ewma_alpha = 0.3;
+    seed = 77;
+  }
+
+let env_float name d =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string (String.trim s) with _ -> d)
+  | None -> d
+
+let env_int name d =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> d)
+  | None -> d
+
+let config_of_env () =
+  {
+    max_retries = max 0 (env_int "ALADDIN_SUPERVISE_RETRIES" default.max_retries);
+    backoff_ms = Float.max 0. (env_float "ALADDIN_SUPERVISE_BACKOFF_MS" default.backoff_ms);
+    jitter =
+      Float.min 1. (Float.max 0. (env_float "ALADDIN_SUPERVISE_JITTER" default.jitter));
+    failure_threshold =
+      max 1 (env_int "ALADDIN_SUPERVISE_THRESHOLD" default.failure_threshold);
+    cooldown = max 1 (env_int "ALADDIN_SUPERVISE_COOLDOWN" default.cooldown);
+    join_timeout_ms =
+      Float.max 0. (env_float "ALADDIN_SUPERVISE_TIMEOUT_MS" default.join_timeout_ms);
+    ewma_alpha =
+      Float.min 1. (Float.max 0.01 (env_float "ALADDIN_SUPERVISE_EWMA" default.ewma_alpha));
+    seed = env_int "ALADDIN_SUPERVISE_SEED" default.seed;
+  }
+
+type breaker = Closed | Open of int | Half_open
+
+type health = {
+  mutable failures : int;  (* consecutive *)
+  mutable ewma_ms : float; (* 0 until the first sample *)
+  mutable breaker : breaker;
+  mutable cooldown : int;  (* current cooldown length; doubles on re-trip *)
+}
+
+type t = { cfg : config; mutable cells : health array; rng : Rng.t }
+
+let c_failures = Obs.counter "cells.supervisor.cell_failures"
+let c_retries = Obs.counter "cells.supervisor.retries"
+let c_stalls = Obs.counter "cells.supervisor.stalls"
+let c_quarantines = Obs.counter "cells.supervisor.quarantines"
+let c_reinstatements = Obs.counter "cells.supervisor.reinstatements"
+let c_probes = Obs.counter "cells.supervisor.probes"
+let c_redistributed = Obs.counter "cells.supervisor.redistributed_machines"
+
+let note_retry () = Obs.incr c_retries
+let note_stall () = Obs.incr c_stalls
+let note_probe () = Obs.incr c_probes
+let note_redistributed n = Obs.add c_redistributed n
+
+let fresh_health (cfg : config) =
+  { failures = 0; ewma_ms = 0.; breaker = Closed; cooldown = cfg.cooldown }
+
+let create cfg = { cfg; cells = [||]; rng = Rng.create cfg.seed }
+let config t = t.cfg
+
+let ensure t n =
+  let m = Array.length t.cells in
+  if m < n then
+    t.cells <-
+      Array.init n (fun i ->
+          if i < m then t.cells.(i) else fresh_health t.cfg)
+
+let health t ~cell =
+  ensure t (cell + 1);
+  t.cells.(cell)
+
+let ewma_ms t ~cell = (health t ~cell).ewma_ms
+let consecutive_failures t ~cell = (health t ~cell).failures
+let is_probing t ~cell = (health t ~cell).breaker = Half_open
+
+let live t ~n_cells =
+  ensure t n_cells;
+  Array.init n_cells (fun i ->
+      match t.cells.(i).breaker with Open _ -> false | _ -> true)
+
+let n_quarantined t =
+  Array.fold_left
+    (fun acc h -> match h.breaker with Open _ -> acc + 1 | _ -> acc)
+    0 t.cells
+
+let record_success t ~cell ~ms =
+  let h = health t ~cell in
+  h.failures <- 0;
+  h.ewma_ms <-
+    (if h.ewma_ms = 0. then ms
+     else (t.cfg.ewma_alpha *. ms) +. ((1. -. t.cfg.ewma_alpha) *. h.ewma_ms));
+  match h.breaker with
+  | Half_open ->
+      (* probe succeeded: fully reinstated, cooldown resets *)
+      h.breaker <- Closed;
+      h.cooldown <- t.cfg.cooldown;
+      Obs.incr c_reinstatements;
+      `Reinstated
+  | _ -> `Ok
+
+let record_failure t ~cell =
+  let h = health t ~cell in
+  h.failures <- h.failures + 1;
+  Obs.incr c_failures;
+  match h.breaker with
+  | Half_open ->
+      (* probe failed: back out, twice the cooldown *)
+      h.cooldown <- 2 * h.cooldown;
+      h.breaker <- Open h.cooldown;
+      Obs.incr c_quarantines;
+      `Quarantine
+  | Closed when h.failures >= t.cfg.failure_threshold ->
+      h.breaker <- Open h.cooldown;
+      Obs.incr c_quarantines;
+      `Quarantine
+  | _ -> `Ok
+
+(* One tick per batch, before rotation is applied: [Open 0] cells move to
+   [Half_open] (rejoining rotation as probes), other [Open] cells count
+   down. Returns [true] when any cell changed state — the signal that the
+   partition's live set must be recomputed. *)
+let tick t =
+  let changed = ref false in
+  Array.iter
+    (fun h ->
+      match h.breaker with
+      | Open 0 ->
+          h.breaker <- Half_open;
+          changed := true
+      | Open k -> h.breaker <- Open (k - 1)
+      | _ -> ())
+    t.cells;
+  !changed
+
+(* Exponential backoff with +/- jitter for retry [attempt] (0-based).
+   Deterministic: the jitter stream is the supervisor's own seeded Rng,
+   and retries run on the coordinator's calling domain in cell order. *)
+let backoff_s t ~attempt =
+  let base = t.cfg.backoff_ms *. (2. ** float_of_int attempt) /. 1e3 in
+  let u = Rng.float t.rng in
+  Float.max 0. (base *. (1. +. (t.cfg.jitter *. ((2. *. u) -. 1.))))

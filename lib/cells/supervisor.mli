@@ -1,0 +1,89 @@
+(** Per-cell health records and circuit breaking for cell supervision.
+
+    The supervisor tracks, per cell: consecutive phase-1 failures, an
+    EWMA of phase-1 latency, and a three-state circuit breaker —
+    [Closed] (in rotation), [Open k] (quarantined for [k] more batches;
+    the coordinator reslices the cell's machines to its neighbours), and
+    [Half_open] (cooldown elapsed, machines restored; the next batch the
+    cell is assigned is its probe: success closes the breaker, failure
+    re-opens it with a doubled cooldown).
+
+    The supervisor is pure bookkeeping: the {!Coordinator} drives it —
+    bounded per-cell retries with {!backoff_s} between attempts, success/
+    failure verdicts after each phase 1, {!tick} once per batch, and
+    {!Partition.reslice} from {!live}. Counters land under
+    [cells.supervisor.*]: [.retries], [.stalls], [.cell_failures],
+    [.quarantines], [.reinstatements], [.probes] and
+    [.redistributed_machines]. *)
+
+type config = {
+  max_retries : int;  (** per-cell phase-1 retries for transient errors *)
+  backoff_ms : float;  (** base backoff; attempt [k] waits [2^k * base] *)
+  jitter : float;  (** multiplicative backoff jitter in [[0, 1]] *)
+  failure_threshold : int;
+      (** consecutive failures that trip the breaker open *)
+  cooldown : int;  (** batches out of rotation before a half-open probe *)
+  join_timeout_ms : float;
+      (** phase-1 join timeout ({!Pool.run_within}); [0.] disables —
+          note [`Sequential] mode runs inline and can never time out *)
+  ewma_alpha : float;  (** latency EWMA smoothing factor *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default : config
+(** 2 retries, 1 ms base backoff with 20% jitter, threshold 3, cooldown
+    8 batches, 1 s join timeout, EWMA alpha 0.3. *)
+
+val config_of_env : unit -> config
+(** {!default} overridden by [ALADDIN_SUPERVISE_RETRIES],
+    [ALADDIN_SUPERVISE_BACKOFF_MS], [ALADDIN_SUPERVISE_JITTER],
+    [ALADDIN_SUPERVISE_THRESHOLD], [ALADDIN_SUPERVISE_COOLDOWN],
+    [ALADDIN_SUPERVISE_TIMEOUT_MS], [ALADDIN_SUPERVISE_EWMA] and
+    [ALADDIN_SUPERVISE_SEED]. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val live : t -> n_cells:int -> bool array
+(** Rotation verdict per cell: [false] iff the breaker is [Open].
+    [Half_open] cells are live — rejoining rotation {e is} the probe.
+    Sizes the health table on first use. *)
+
+val n_quarantined : t -> int
+val ewma_ms : t -> cell:int -> float
+val consecutive_failures : t -> cell:int -> int
+
+val is_probing : t -> cell:int -> bool
+(** The cell is [Half_open]: its next assigned batch decides
+    reinstatement. *)
+
+val record_success : t -> cell:int -> ms:float -> [ `Ok | `Reinstated ]
+(** Phase-1 success: resets the failure streak, feeds the EWMA, and
+    closes a [Half_open] breaker ([`Reinstated],
+    [cells.supervisor.reinstatements]). *)
+
+val record_failure : t -> cell:int -> [ `Ok | `Quarantine ]
+(** Terminal phase-1 failure (retries exhausted, stall, or crash):
+    bumps the streak; trips the breaker open at [failure_threshold]
+    consecutive failures, or immediately when [Half_open] (failed probe,
+    doubled cooldown). [`Quarantine] tells the coordinator the rotation
+    must change. *)
+
+val tick : t -> bool
+(** Once per batch before rotation is applied: [Open] cells count down,
+    [Open 0] becomes [Half_open]. Returns [true] when any breaker
+    changed state (the live set must be recomputed). *)
+
+val backoff_s : t -> attempt:int -> float
+(** Jittered exponential backoff in seconds for retry [attempt]
+    (0-based), from the supervisor's own seeded stream. *)
+
+(** Counter hooks for the coordinator (the supervisor owns the
+    [cells.supervisor.*] names). *)
+
+val note_retry : unit -> unit
+val note_stall : unit -> unit
+val note_probe : unit -> unit
+val note_redistributed : int -> unit

@@ -15,7 +15,7 @@ let name ~cells options =
     (Aladdin_scheduler.name_of_options options)
 
 let create ?cells ?mode ?(options = Aladdin_scheduler.default_options)
-    ?(warm = true) ?(fixup = true) () =
+    ?(warm = true) ?(fixup = true) ?supervise () =
   let mode =
     match mode with Some m -> m | None -> Cells.Coordinator.mode_of_env ()
   in
@@ -26,10 +26,12 @@ let create ?cells ?mode ?(options = Aladdin_scheduler.default_options)
     if warm then Aladdin_scheduler.make_warm ~options ()
     else Aladdin_scheduler.make ~options ()
   in
+  let supervisor = Option.map Cells.Supervisor.create supervise in
   let coordinator =
     Cells.Coordinator.create ~mode ~fixup
       ~fixup_run:(Aladdin_scheduler.schedule_raw options)
-      ~recoverable:Aladdin_scheduler.recoverable ~n_cells:cells make_cell
+      ?supervisor ~recoverable:Aladdin_scheduler.recoverable ~n_cells:cells
+      make_cell
   in
   let scheduler =
     Cells.Coordinator.scheduler coordinator ~name:(name ~cells options)
@@ -43,5 +45,5 @@ let n_cells t = t.n_cells
 let shutdown t = Cells.Coordinator.shutdown t.coordinator
 let last_breakdown t = Cells.Coordinator.last_breakdown t.coordinator
 
-let make ?cells ?mode ?options ?warm ?fixup () =
-  (create ?cells ?mode ?options ?warm ?fixup ()).scheduler
+let make ?cells ?mode ?options ?warm ?fixup ?supervise () =
+  (create ?cells ?mode ?options ?warm ?fixup ?supervise ()).scheduler

@@ -22,8 +22,12 @@ val create :
   ?options:Aladdin_scheduler.options ->
   ?warm:bool ->
   ?fixup:bool ->
+  ?supervise:Cells.Supervisor.config ->
   unit ->
   t
+(** [?supervise] attaches a {!Cells.Supervisor} to the coordinator —
+    per-cell retry/backoff, join timeouts, and quarantine with machine
+    redistribution instead of all-or-nothing phase 1. *)
 
 val scheduler : t -> Scheduler.t
 (** The composite scheduler, wrapped in [cells.*] batch obs. *)
@@ -41,6 +45,7 @@ val make :
   ?options:Aladdin_scheduler.options ->
   ?warm:bool ->
   ?fixup:bool ->
+  ?supervise:Cells.Supervisor.config ->
   unit ->
   Scheduler.t
 (** {!create} returning just the scheduler (worker domains are parked

@@ -31,6 +31,7 @@ type spec = {
   dijkstra : dijkstra option;
   cells : int option;
   cells_mode : Cells.Coordinator.mode option;
+  supervise : Cells.Supervisor.config option;
   deadline_ms : float;
   ladder_rungs : string list option;
   audit : bool;
@@ -54,6 +55,7 @@ let default =
     dijkstra = None;
     cells = None;
     cells_mode = None;
+    supervise = None;
     deadline_ms = 0.;
     ladder_rungs = None;
     audit = false;
@@ -160,6 +162,20 @@ let of_env ?(base = default) () =
     else spec
   in
   let spec =
+    (* ALADDIN_SUPERVISE turns supervision on; any sub-knob implies it *)
+    if
+      List.exists Env.set
+        [
+          "ALADDIN_SUPERVISE"; "ALADDIN_SUPERVISE_RETRIES";
+          "ALADDIN_SUPERVISE_BACKOFF_MS"; "ALADDIN_SUPERVISE_JITTER";
+          "ALADDIN_SUPERVISE_THRESHOLD"; "ALADDIN_SUPERVISE_COOLDOWN";
+          "ALADDIN_SUPERVISE_TIMEOUT_MS"; "ALADDIN_SUPERVISE_EWMA";
+          "ALADDIN_SUPERVISE_SEED";
+        ]
+    then { spec with supervise = Some (Cells.Supervisor.config_of_env ()) }
+    else spec
+  in
+  let spec =
     match Env.float_opt "ALADDIN_DEADLINE_MS" with
     | Some d ->
         (* the bench always ran deadline-bounded stacks under the
@@ -215,6 +231,14 @@ let of_args ?(base = default) args =
     in
     { spec with serve = Some (f sv) }
   in
+  let with_supervise spec f =
+    let sc =
+      match spec.supervise with
+      | Some sc -> sc
+      | None -> Cells.Supervisor.config_of_env ()
+    in
+    { spec with supervise = Some (f sc) }
+  in
   let rec go spec = function
     | [] -> Ok spec
     | "--sched" :: v :: rest ->
@@ -269,12 +293,51 @@ let of_args ?(base = default) args =
     | "--serve-machines" :: v :: rest ->
         int_arg "--serve-machines" v (fun n ->
             go (with_serve spec (fun sv -> { sv with serve_machines = n })) rest)
+    | "--supervise" :: rest -> go (with_supervise spec Fun.id) rest
+    | "--supervise-retries" :: v :: rest ->
+        int_arg "--supervise-retries" v (fun n ->
+            if n < 0 then Error "--supervise-retries: must be >= 0"
+            else
+              go
+                (with_supervise spec (fun sc ->
+                     { sc with Cells.Supervisor.max_retries = n }))
+                rest)
+    | "--supervise-threshold" :: v :: rest ->
+        int_arg "--supervise-threshold" v (fun n ->
+            if n < 1 then Error "--supervise-threshold: must be >= 1"
+            else
+              go
+                (with_supervise spec (fun sc ->
+                     { sc with Cells.Supervisor.failure_threshold = n }))
+                rest)
+    | "--supervise-cooldown" :: v :: rest ->
+        int_arg "--supervise-cooldown" v (fun n ->
+            if n < 1 then Error "--supervise-cooldown: must be >= 1"
+            else
+              go
+                (with_supervise spec (fun sc ->
+                     { sc with Cells.Supervisor.cooldown = n }))
+                rest)
+    | "--supervise-timeout-ms" :: v :: rest ->
+        float_arg "--supervise-timeout-ms" v (fun d ->
+            go
+              (with_supervise spec (fun sc ->
+                   { sc with Cells.Supervisor.join_timeout_ms = Float.max 0. d }))
+              rest)
+    | "--supervise-backoff-ms" :: v :: rest ->
+        float_arg "--supervise-backoff-ms" v (fun d ->
+            go
+              (with_supervise spec (fun sc ->
+                   { sc with Cells.Supervisor.backoff_ms = Float.max 0. d }))
+              rest)
     | [ flag ]
       when List.mem flag
              [
                "--sched"; "--solver"; "--dijkstra"; "--cells"; "--cells-mode";
                "--deadline-ms"; "--ladder"; "--fault-rate"; "--fault-seed";
-               "--serve-machines";
+               "--serve-machines"; "--supervise-retries";
+               "--supervise-threshold"; "--supervise-cooldown";
+               "--supervise-timeout-ms"; "--supervise-backoff-ms";
              ] ->
         Error (flag ^ " requires a value")
     | arg :: _ -> Error (Printf.sprintf "unknown stack argument %S" arg)
@@ -322,7 +385,7 @@ let build spec =
     | Cells ->
         let comp =
           Aladdin.Cells_scheduler.create ?cells:spec.cells
-            ?mode:spec.cells_mode ()
+            ?mode:spec.cells_mode ?supervise:spec.supervise ()
         in
         ( Aladdin.Cells_scheduler.scheduler comp,
           (fun () -> Aladdin.Cells_scheduler.shutdown comp),

@@ -48,6 +48,10 @@ type spec = {
   (* cells sharding *)
   cells : int option;  (** [None] = {!Cells.Partition.default_cells} *)
   cells_mode : Cells.Coordinator.mode option;
+  supervise : Cells.Supervisor.config option;
+      (** attach a {!Cells.Supervisor} to the cells coordinator:
+          per-cell retry/backoff, join timeouts, quarantine with machine
+          redistribution *)
   (* middleware *)
   deadline_ms : float;  (** > 0 wraps the stack in the deadline ladder *)
   ladder_rungs : string list option;
@@ -79,15 +83,22 @@ val of_env : ?base:spec -> unit -> spec
     [ALADDIN_DIJKSTRA], [ALADDIN_CELLS] (last entry),
     [ALADDIN_CELLS_MODE], [ALADDIN_DEADLINE_MS] (also arms {!audit}, as
     the bench always audited deadline-bounded runs), [ALADDIN_LADDER],
-    [ALADDIN_FAULT_RATE], [ALADDIN_FAULT_SEED]. Unset variables leave
-    [base] untouched. *)
+    [ALADDIN_FAULT_RATE], [ALADDIN_FAULT_SEED], and [ALADDIN_SUPERVISE]
+    (any [ALADDIN_SUPERVISE*] knob implies supervision on, config from
+    {!Cells.Supervisor.config_of_env}). Unset variables leave [base]
+    untouched. *)
 
 val of_args : ?base:spec -> string list -> (spec, string) result
 (** CLI form of {!of_env}: [--sched NAME --solver NAME --dijkstra
     auto|heap|dial --cells N --cells-mode auto|domains|sequential
     --deadline-ms F --ladder r1,r2 --audit --fault-rate F --fault-seed N
-    --serve --serve-machines N]. [--serve] attaches
-    {!Serve.Runner.config_of_env}. Unknown arguments are an [Error]. *)
+    --serve --serve-machines N --supervise --supervise-retries N
+    --supervise-threshold N --supervise-cooldown N
+    --supervise-timeout-ms F --supervise-backoff-ms F]. [--serve]
+    attaches {!Serve.Runner.config_of_env}; [--supervise] (implied by
+    any [--supervise-*] knob) attaches
+    {!Cells.Supervisor.config_of_env}. Unknown arguments are an
+    [Error]. *)
 
 val cells_sweep_of_env : unit -> int list
 (** The cell-count sweep [ALADDIN_CELLS] requests (default [[1; 4]] —

@@ -3,7 +3,13 @@
    is the measured wall time of the real scheduler call mapped 1:1 onto
    virtual seconds — so queueing delay is honest (arrivals accumulate
    while a batch is "in flight") but the sweep runs as fast as the
-   scheduler computes. *)
+   scheduler computes. With [service_ms > 0] the service time is fixed
+   instead, making the whole run a deterministic function of the config —
+   the precondition for crash-consistent journaling ([?journal]): a run
+   killed mid-sweep resumes by replaying the DES from t0, skipping the
+   scheduler for journaled batches (their cluster effects are diffed back
+   from the committed placement maps) and going live at the first
+   uncommitted batch with queue, bags and rng streams rebuilt bit-exact. *)
 
 type config = {
   rate : float;
@@ -13,6 +19,7 @@ type config = {
   batch_size : int;
   batch_deadline : float;
   overload_deadline_ms : float;
+  service_ms : float;
   seed : int;
   modulation : Arrivals.modulation;
 }
@@ -43,6 +50,7 @@ let config_of_env () =
       Float.max 0.1 (env_float "ALADDIN_SERVE_BATCH_DEADLINE_MS" 5.0) /. 1e3;
     overload_deadline_ms =
       Float.max 1. (env_float "ALADDIN_SERVE_OVERLOAD_DEADLINE_MS" 25.0);
+    service_ms = Float.max 0. (env_float "ALADDIN_SERVE_SERVICE_MS" 0.);
     seed = env_int "ALADDIN_SERVE_SEED" 42;
     modulation =
       Arrivals.modulation_of_string
@@ -90,6 +98,10 @@ let c_noop = Obs.counter "serve.noop_removes"
 let c_batches = Obs.counter "serve.batches"
 let c_failed_batches = Obs.counter "serve.failed_batches"
 let c_overload = Obs.counter "serve.overload_batches"
+let c_taken = Obs.counter "serve.taken_requests"
+let c_resumes = Obs.counter "serve.resume.resumes"
+let c_replayed_batches = Obs.counter "serve.resume.replayed_batches"
+let c_replayed_requests = Obs.counter "serve.resume.replayed_requests"
 let h_latency = Obs.histogram "serve.latency_ns"
 
 (* Per-run latency series get a fresh name so the tail percentiles of one
@@ -140,18 +152,38 @@ end
 type ev = Arrive | Flush of int | Commit of commit
 
 and commit = {
+  c_seq : int;  (* 0-based batch sequence number *)
   c_requests : Request.t list;
   c_failed : bool;
   c_placed : int;
   c_undeployed : int;
 }
 
-let run (cfg : config) ~sched ~cluster ~workload =
+let run ?journal (cfg : config) ~sched ~cluster ~workload =
   if cfg.rate <= 0. then invalid_arg "Runner.run: rate must be positive";
   let n_tpl = Array.length workload.Workload.containers in
   let n_apps = Array.length workload.Workload.apps in
   if n_tpl = 0 || n_apps = 0 then
     invalid_arg "Runner.run: empty workload";
+  if journal <> None && cfg.service_ms <= 0. then
+    invalid_arg
+      "Runner.run: a journal requires a fixed service_ms (measured \
+       wall-clock service times are not replayable)";
+  (* Trustworthy committed prefix: those batches replay without touching
+     the scheduler. The caller must hand us the same initial cluster and
+     config as the killed run — the DES re-runs from t0, which is what
+     rebuilds admission-queue and victim-bag state exactly. *)
+  let prefix =
+    match journal with
+    | None -> [||]
+    | Some path -> Array.of_list (Journal.load path)
+  in
+  let n_prefix = Array.length prefix in
+  if n_prefix > 0 then begin
+    Obs.incr c_resumes;
+    Obs.add c_replayed_batches n_prefix
+  end;
+  let jr = Option.map Journal.open_append journal in
   incr run_seq;
   let h_run = Obs.histogram (Printf.sprintf "serve.latency.%d" !run_seq) in
   let wall0 = Obs.now_ns () in
@@ -288,6 +320,7 @@ let run (cfg : config) ~sched ~cluster ~workload =
   and depth_max = ref 0 in
   let busy = ref false in
   let flush_pending = ref false in
+  let batches_started = ref 0 in
   let do_remove cid =
     match Cluster.machine_of cluster cid with
     | Some _ ->
@@ -309,7 +342,17 @@ let run (cfg : config) ~sched ~cluster ~workload =
       Obs.incr c_overload
     end;
     let reqs = Admission.take q ~max:cfg.batch_size in
+    let seq = !batches_started in
+    incr batches_started;
+    let replayed = seq < n_prefix in
     fill_sum := !fill_sum + List.length reqs;
+    Obs.add c_taken (List.length reqs);
+    (* Kill probe after the take: requests pulled here but never committed
+       are not lost on resume — the from-t0 replay regenerates the whole
+       arrival stream and re-takes them. Probes stay silent during replay
+       so a re-armed countdown only counts live batches. *)
+    if Option.is_some jr && not replayed then
+      Fault.trip_process_kill "serve.batch_take";
     let places = ref [] in
     List.iter
       (fun (r : Request.t) ->
@@ -339,31 +382,96 @@ let run (cfg : config) ~sched ~cluster ~workload =
               done)
       reqs;
     let batch = Array.of_list (List.rev !places) in
-    let s = if overload then Lazy.force ladder else sched in
-    let t0 = Obs.now_ns () in
-    let result =
-      if Array.length batch = 0 then Ok Scheduler.empty_outcome
-      else
-        try Ok (s.Scheduler.schedule cluster batch)
-        with e when Scheduler.faults_recoverable e -> Error ()
+    (* Victim bags must evolve bit-identically between a live batch and
+       its journal replay, and Bag.sample is array-order sensitive — so
+       both paths insert freshly placed containers in batch order. *)
+    let bag_add_batch placed_set =
+      Array.iter
+        (fun (c : Container.t) ->
+          if Hashtbl.mem placed_set c.Container.id then bag_add c.Container.id)
+        batch
+    in
+    let measured = ref 1e-6 in
+    let commit =
+      if replayed then begin
+        (* Journal replay: skip the scheduler and diff the cluster onto
+           the committed placement map. Removals of containers that
+           vanished mirror live drift exactly — no bag_remove (live runs
+           do not unbag scheduler-preempted containers either; resync
+           trues the bags up on the same schedule). *)
+        let rec_ = prefix.(seq) in
+        Obs.add c_replayed_requests (List.length reqs);
+        let target = Hashtbl.create 256 in
+        List.iter
+          (fun (cid, mid) -> Hashtbl.replace target cid mid)
+          rec_.Journal.placements;
+        List.iter
+          (fun (cid, mid) ->
+            match Hashtbl.find_opt target cid with
+            | Some m when m = mid -> ()
+            | _ -> Cluster.remove cluster cid)
+          (Cluster.placements cluster);
+        Hashtbl.iter
+          (fun cid mid ->
+            match Cluster.machine_of cluster cid with
+            | Some m when m = mid -> ()
+            | _ -> (
+                match Hashtbl.find_opt known cid with
+                | None -> ()
+                | Some c -> (
+                    try ignore (Cluster.place ~force:true cluster c mid)
+                    with _ -> ())))
+          target;
+        let failed =
+          match rec_.Journal.serve with Some (_, f) -> f <> 0 | None -> false
+        in
+        let fresh_placed = ref 0 in
+        Array.iter
+          (fun (c : Container.t) ->
+            if Hashtbl.mem target c.Container.id then incr fresh_placed)
+          batch;
+        bag_add_batch target;
+        {
+          c_seq = seq;
+          c_requests = reqs;
+          c_failed = failed;
+          c_placed = !fresh_placed;
+          c_undeployed = (if failed then 0 else Array.length batch - !fresh_placed);
+        }
+      end
+      else begin
+        let s = if overload then Lazy.force ladder else sched in
+        let t0 = Obs.now_ns () in
+        let result =
+          if Array.length batch = 0 then Ok Scheduler.empty_outcome
+          else
+            try Ok (s.Scheduler.schedule cluster batch)
+            with e when Scheduler.faults_recoverable e -> Error ()
+        in
+        measured :=
+          Float.max 1e-6
+            (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9);
+        match result with
+        | Ok o ->
+            let placed_set = Hashtbl.create 64 in
+            List.iter
+              (fun (cid, _) -> Hashtbl.replace placed_set cid ())
+              o.Scheduler.placed;
+            bag_add_batch placed_set;
+            {
+              c_seq = seq;
+              c_requests = reqs;
+              c_failed = false;
+              c_placed = List.length o.Scheduler.placed;
+              c_undeployed = List.length o.Scheduler.undeployed;
+            }
+        | Error () ->
+            { c_seq = seq; c_requests = reqs; c_failed = true; c_placed = 0;
+              c_undeployed = 0 }
+      end
     in
     let service =
-      Float.max 1e-6
-        (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9)
-    in
-    let commit =
-      match result with
-      | Ok o ->
-          List.iter (fun (cid, _) -> bag_add cid) o.Scheduler.placed;
-          {
-            c_requests = reqs;
-            c_failed = false;
-            c_placed = List.length o.Scheduler.placed;
-            c_undeployed = List.length o.Scheduler.undeployed;
-          }
-      | Error () ->
-          { c_requests = reqs; c_failed = true; c_placed = 0;
-            c_undeployed = 0 }
+      if cfg.service_ms > 0. then cfg.service_ms /. 1e3 else !measured
     in
     Des.after des ~delay:service (Commit commit)
   in
@@ -397,6 +505,32 @@ let run (cfg : config) ~sched ~cluster ~workload =
     undeployed_n := !undeployed_n + c.c_undeployed;
     Obs.add c_undeployed c.c_undeployed;
     if !batches_n mod 64 = 0 then resync ();
+    (match jr with
+    | Some j when c.c_seq >= n_prefix ->
+        (* Live batch: make it durable, then offer the kill probe — a
+           death here loses nothing that was committed. *)
+        Journal.append j
+          {
+            Journal.next_pos = c.c_seq + 1;
+            placements = Cluster.placements cluster;
+            offline =
+              List.filter
+                (Cluster.is_offline cluster)
+                (List.init (Cluster.n_machines cluster) (fun i -> i));
+            fault = Fault.stream_position ();
+            serve =
+              Some (List.length c.c_requests, if c.c_failed then 1 else 0);
+          };
+        Fault.trip_process_kill "serve.batch_commit"
+    | Some _ ->
+        (* Last replayed commit: jump the fault stream to where the dead
+           process left it — replayed batches never touched it. *)
+        if c.c_seq = n_prefix - 1 then (
+          match prefix.(c.c_seq).Journal.fault with
+          | Some (draws, failures_left, _) when Fault.active () ->
+              Fault.fast_forward ~draws ~failures_left ()
+          | _ -> ())
+    | None -> ());
     if Admission.length q > 0 then begin
       if !flush_pending || Admission.length q >= cfg.batch_size then
         start_batch ()
@@ -409,40 +543,45 @@ let run (cfg : config) ~sched ~cluster ~workload =
   let t0 = Arrivals.next_gap arr ~now:0. in
   if t0 <= horizon then Des.schedule des ~at:t0 Arrive;
   let running = ref true in
-  while !running do
-    match Des.next des with
-    | None -> running := false
-    | Some (now, ev) -> (
-        match ev with
-        | Arrive ->
-            incr arrivals_n;
-            Obs.incr c_arrivals;
-            let r = materialize now in
-            (match Admission.offer q r with
-            | Admission.Rejected ->
-                incr rejected_n;
-                Obs.incr c_rejected
-            | Admission.Admitted shed ->
-                incr admitted_n;
-                Obs.incr c_admitted;
-                List.iter
-                  (fun _ ->
-                    incr shed_n;
-                    Obs.incr c_shed)
-                  shed);
-            let depth = Admission.length q in
-            depth_sum := !depth_sum + depth;
-            incr depth_samples;
-            if depth > !depth_max then depth_max := depth;
-            let t = now +. Arrivals.next_gap arr ~now in
-            if t <= horizon then Des.schedule des ~at:t Arrive;
-            maybe_start ()
-        | Flush gen ->
-            if Batcher.note_fired batcher ~gen then
-              if !busy then flush_pending := true
-              else if Admission.length q > 0 then start_batch ()
-        | Commit c -> on_commit now c)
-  done;
+  (* The journal channel must survive a Killed escape closed and flushed —
+     the whole point is resuming from what it durably recorded. *)
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close jr)
+    (fun () ->
+      while !running do
+        match Des.next des with
+        | None -> running := false
+        | Some (now, ev) -> (
+            match ev with
+            | Arrive ->
+                incr arrivals_n;
+                Obs.incr c_arrivals;
+                let r = materialize now in
+                (match Admission.offer q r with
+                | Admission.Rejected ->
+                    incr rejected_n;
+                    Obs.incr c_rejected
+                | Admission.Admitted shed ->
+                    incr admitted_n;
+                    Obs.incr c_admitted;
+                    List.iter
+                      (fun _ ->
+                        incr shed_n;
+                        Obs.incr c_shed)
+                      shed);
+                let depth = Admission.length q in
+                depth_sum := !depth_sum + depth;
+                incr depth_samples;
+                if depth > !depth_max then depth_max := depth;
+                let t = now +. Arrivals.next_gap arr ~now in
+                if t <= horizon then Des.schedule des ~at:t Arrive;
+                maybe_start ()
+            | Flush gen ->
+                if Batcher.note_fired batcher ~gen then
+                  if !busy then flush_pending := true
+                  else if Admission.length q > 0 then start_batch ()
+            | Commit c -> on_commit now c)
+      done);
   let st = Obs.histogram_stats h_run in
   let ms x = x /. 1e6 in
   {
@@ -562,10 +701,10 @@ let sweep_json (cfg : config) r =
   let b = Buffer.create 2048 in
   Buffer.add_string b
     (Printf.sprintf
-       {|{"config":{"rate":%.2f,"duration_s":%.3f,"queue_bound":%d,"watermark":%d,"batch_size":%d,"batch_deadline_ms":%.3f,"overload_deadline_ms":%.1f,"seed":%d,"modulation":"%s"},"base_rate":%.2f,"calibrated":%b,"points":[|}
+       {|{"config":{"rate":%.2f,"duration_s":%.3f,"queue_bound":%d,"watermark":%d,"batch_size":%d,"batch_deadline_ms":%.3f,"overload_deadline_ms":%.1f,"service_ms":%.3f,"seed":%d,"modulation":"%s"},"base_rate":%.2f,"calibrated":%b,"points":[|}
        cfg.rate cfg.duration cfg.queue_bound cfg.watermark cfg.batch_size
        (cfg.batch_deadline *. 1e3)
-       cfg.overload_deadline_ms cfg.seed
+       cfg.overload_deadline_ms cfg.service_ms cfg.seed
        (Arrivals.modulation_label cfg.modulation)
        r.base_rate r.calibrated);
   List.iteri

@@ -18,6 +18,23 @@
     Injected faults ({!Fault.Injected}) escaping the scheduler fail the
     batch cleanly: its requests count as failed, the run continues.
 
+    With [service_ms > 0] the measured service time is replaced by a
+    fixed virtual one, making the entire run a deterministic function of
+    the config — the precondition for [?journal] crash consistency: each
+    committed batch is appended to a {!Journal} (placement map, fault
+    stream position, request count), and a run killed by
+    {!Fault.trip_process_kill} (probes ["serve.batch_take"] /
+    ["serve.batch_commit"]) resumes by replaying the DES from t0 against
+    the same initial cluster — journaled batches skip the scheduler and
+    diff the cluster onto their committed placements; admission queue,
+    victim bags and rng streams rebuild bit-exact; the first uncommitted
+    batch runs live after the fault stream fast-forwards to the last
+    commit's recorded position. Resumes land in [serve.resume.resumes],
+    [.replayed_batches] and [.replayed_requests];
+    [serve.taken_requests] counts every dequeued request, so
+    [taken - Σ committed batch sizes] is the in-flight loss window at
+    any kill point.
+
     Per-request arrival→commit latency lands in a per-run
     [serve.latency.<n>] histogram plus the aggregate
     [serve.latency_ns]; counters are [serve.arrivals], [.admitted],
@@ -33,6 +50,9 @@ type config = {
   batch_size : int;
   batch_deadline : float;  (** flush timer, virtual seconds *)
   overload_deadline_ms : float;  (** ladder budget for overload batches *)
+  service_ms : float;
+      (** [> 0.]: fixed virtual service time per batch (deterministic
+          runs, required for [?journal]); [0.]: measured wall time *)
   seed : int;
   modulation : Arrivals.modulation;
 }
@@ -42,8 +62,8 @@ val config_of_env : unit -> config
     {!sweep}), [ALADDIN_SERVE_DURATION_S], [ALADDIN_SERVE_QUEUE],
     [ALADDIN_SERVE_WATERMARK], [ALADDIN_SERVE_BATCH],
     [ALADDIN_SERVE_BATCH_DEADLINE_MS],
-    [ALADDIN_SERVE_OVERLOAD_DEADLINE_MS], [ALADDIN_SERVE_SEED] and
-    [ALADDIN_SERVE_MODULATION]. *)
+    [ALADDIN_SERVE_OVERLOAD_DEADLINE_MS], [ALADDIN_SERVE_SERVICE_MS],
+    [ALADDIN_SERVE_SEED] and [ALADDIN_SERVE_MODULATION]. *)
 
 type point = {
   rate : float;
@@ -74,12 +94,18 @@ type point = {
 }
 
 val run :
+  ?journal:string ->
   config -> sched:Scheduler.t -> cluster:Cluster.t ->
   workload:Workload.t -> point
 (** One serving run at [config.rate] until [duration] of arrivals plus
     drain. The cluster may be pre-warmed; fresh containers get ids above
-    anything in the workload or cluster.
-    @raise Invalid_argument when [config.rate <= 0]. *)
+    anything in the workload or cluster. [?journal] is a journal file
+    path: committed batches already in it are replayed (resume after a
+    kill), live batches are appended — pass the same config and an
+    identically initialized cluster as the killed run, and the resumed
+    point is fingerprint-identical to an uninterrupted one.
+    @raise Invalid_argument when [config.rate <= 0], on an empty
+    workload, or when [?journal] is given with [service_ms <= 0]. *)
 
 type sweep_result = {
   base_rate : float;  (** multiplier-1 rate of the sweep *)

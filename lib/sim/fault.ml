@@ -7,6 +7,13 @@ type t = {
   solver_step_failure : float;
   solver_failure_budget : int;
   process_kill_after : int;
+  cell_crash : float;
+  cell_stall : float;
+  cell_slow : float;
+  cell_corrupt : float;
+  cell_stall_s : float;
+  cell_targets : int list;
+  cell_fault_budget : int;
 }
 
 exception Injected of string
@@ -23,6 +30,8 @@ type state = {
   mutable failures_left : int;
   mutable draws : int;
   mutable kill_countdown : int;
+  mutable cell_budget_left : int;
+  cell_probes : (int, int) Hashtbl.t;  (* per-cell probe count *)
 }
 
 let installed : state option ref = ref None
@@ -47,11 +56,17 @@ let c_lines = Obs.counter "fault.corrupted_lines"
 let c_arcs = Obs.counter "fault.flipped_arcs"
 let c_revoked = Obs.counter "fault.revoked_machines"
 let c_kills = Obs.counter "fault.process_kills"
+let c_cell_crashes = Obs.counter "fault.cell_crashes"
+let c_cell_stalls = Obs.counter "fault.cell_stalls"
+let c_cell_slowdowns = Obs.counter "fault.cell_slowdowns"
+let c_cell_corruptions = Obs.counter "fault.cell_corruptions"
 
 let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
     ?(arc_capacity_drop = 0.) ?(machine_revocation = 0.)
     ?(solver_step_failure = 0.) ?(solver_failure_budget = -1)
-    ?(process_kill_after = -1) ~seed () =
+    ?(process_kill_after = -1) ?(cell_crash = 0.) ?(cell_stall = 0.)
+    ?(cell_slow = 0.) ?(cell_corrupt = 0.) ?(cell_stall_s = 0.05)
+    ?(cell_targets = []) ?(cell_fault_budget = -1) ~seed () =
   {
     seed;
     trace_line_corruption;
@@ -61,6 +76,13 @@ let make ?(trace_line_corruption = 0.) ?(arc_cost_flip = 0.)
     solver_step_failure;
     solver_failure_budget;
     process_kill_after;
+    cell_crash;
+    cell_stall;
+    cell_slow;
+    cell_corrupt;
+    cell_stall_s;
+    cell_targets;
+    cell_fault_budget;
   }
 
 let install cfg =
@@ -73,6 +95,8 @@ let install cfg =
         failures_left = cfg.solver_failure_budget;
         draws = 0;
         kill_countdown = cfg.process_kill_after;
+        cell_budget_left = cfg.cell_fault_budget;
+        cell_probes = Hashtbl.create 8;
       })
 
 let clear () = Mutex.protect lock (fun () -> installed := None)
@@ -192,6 +216,98 @@ let perturb_arc ~cost ~capacity =
   with
   | None -> (cost, capacity)
   | Some r -> r
+
+(* ---- domain-level (cell) faults --------------------------------------
+
+   Cell verdicts are drawn from a side stream keyed on
+   (seed, cell, per-cell probe index, fault class) rather than the main
+   counted stream: cell tasks probe concurrently from worker domains, so
+   routing them through the shared stream would make the journaled draw
+   count depend on domain interleaving. A pure per-probe splitmix64 hash
+   keeps every verdict deterministic per (cell, probe) regardless of
+   execution order — and leaves the main stream position untouched, so
+   enabling domain faults never perturbs the schedule of the arc/solver/
+   revocation classes. Each class hashes independently, preserving the
+   "enabling one class does not perturb the others" rule. *)
+
+type cell_verdict = [ `None | `Crash | `Stall of float | `Slow of float ]
+
+let side_draw st ~cell ~probe ~klass =
+  Rng.float
+    (Rng.create
+       (st.cfg.seed
+       lxor (cell * 0x9e3779b9)
+       lxor (probe * 0x85ebca6b)
+       lxor (klass * 0xc2b2ae35)))
+
+let targeted st cell =
+  st.cfg.cell_targets = [] || List.mem cell st.cfg.cell_targets
+
+let next_probe st cell =
+  let k =
+    match Hashtbl.find_opt st.cell_probes cell with Some k -> k | None -> 0
+  in
+  Hashtbl.replace st.cell_probes cell (k + 1);
+  k
+
+let spend st =
+  if st.cell_budget_left > 0 then
+    st.cell_budget_left <- st.cell_budget_left - 1
+
+let cell_fault ~cell =
+  match
+    with_state (fun st ->
+        let cfg = st.cfg in
+        if
+          (cfg.cell_crash = 0. && cfg.cell_stall = 0. && cfg.cell_slow = 0.)
+          || not (targeted st cell)
+        then `None
+        else begin
+          let probe = next_probe st cell in
+          if st.cell_budget_left = 0 then `None
+          else
+            let fire p klass =
+              p > 0. && side_draw st ~cell ~probe ~klass < p
+            in
+            if fire cfg.cell_crash 1 then begin
+              spend st;
+              Obs.incr c_cell_crashes;
+              `Crash
+            end
+            else if fire cfg.cell_stall 2 then begin
+              spend st;
+              Obs.incr c_cell_stalls;
+              `Stall cfg.cell_stall_s
+            end
+            else if fire cfg.cell_slow 3 then begin
+              spend st;
+              Obs.incr c_cell_slowdowns;
+              `Slow (cfg.cell_stall_s /. 4.)
+            end
+            else `None
+        end)
+  with
+  | None -> `None
+  | Some v -> (v : cell_verdict)
+
+let cell_corrupt ~cell =
+  match
+    with_state (fun st ->
+        if st.cfg.cell_corrupt = 0. || not (targeted st cell) then false
+        else begin
+          let probe = next_probe st cell in
+          if st.cell_budget_left = 0 then false
+          else if side_draw st ~cell ~probe ~klass:4 < st.cfg.cell_corrupt
+          then begin
+            spend st;
+            Obs.incr c_cell_corruptions;
+            true
+          end
+          else false
+        end)
+  with
+  | None -> false
+  | Some v -> v
 
 let pick_revocation ?(is_offline = fun _ -> false) ~n_machines () =
   Option.join

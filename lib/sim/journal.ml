@@ -12,6 +12,9 @@ type commit = {
   placements : (Container.id * Machine.id) list;
   offline : Machine.id list;
   fault : (int * int * int) option;
+  serve : (int * int) option;
+      (* serving commits: (requests in the batch, failed flag 0/1) —
+         optional "S" section so pre-existing replay journals still parse *)
 }
 
 type corruption =
@@ -48,6 +51,10 @@ let encode c =
       Buffer.add_string buf
         (Printf.sprintf " %d %d %d" draws failures_left kill_countdown)
   | None -> Buffer.add_string buf " -1 0 0");
+  (match c.serve with
+  | Some (nreq, failed) ->
+      Buffer.add_string buf (Printf.sprintf " S %d %d" nreq failed)
+  | None -> ());
   Buffer.add_string buf (Printf.sprintf " O %d" (List.length c.offline));
   List.iter
     (fun mid -> Buffer.add_string buf (Printf.sprintf " %d" mid))
@@ -109,6 +116,14 @@ let decode line =
     let draws = int "fault.draws" in
     let failures_left = int "fault.failures_left" in
     let kill_countdown = int "fault.kill_countdown" in
+    let serve =
+      if !pos < Array.length toks && toks.(!pos) = "S" then begin
+        incr pos;
+        let nreq = int "serve.requests" in
+        Some (nreq, int "serve.failed")
+      end
+      else None
+    in
     expect "O";
     let no = int "n_offline" in
     let offline = List.init no (fun _ -> int "offline machine") in
@@ -128,6 +143,7 @@ let decode line =
         fault =
           (if draws < 0 then None
            else Some (draws, failures_left, kill_countdown));
+        serve;
       }
   with Corrupt c -> Error c
 

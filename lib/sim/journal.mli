@@ -33,6 +33,11 @@ type commit = {
       (** [(draws, failures_left, kill_countdown)] from
           {!Fault.stream_position}; [None] when no fault config was
           installed *)
+  serve : (int * int) option;
+      (** serving-runner commits only: [(requests in the batch, failed
+          flag)] — enough for {!Serve.Runner} to rebuild per-batch request
+          accounting on resume. Encoded as an optional [S] section, so
+          journals written before it existed still decode ([None]). *)
 }
 
 type corruption =

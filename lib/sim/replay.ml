@@ -106,6 +106,7 @@ let run ?batch ?journal ?resume (sched : Scheduler.t) ~cluster ~containers =
             placements = Cluster.placements cluster;
             offline = offline_set cluster;
             fault = Fault.stream_position ();
+            serve = None;
           };
         (* The simulated process death sits just after the commit: the
            wave that finished is durable, everything after it is lost.

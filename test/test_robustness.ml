@@ -587,6 +587,7 @@ let test_journal_roundtrip_and_torn_tail () =
           placements = [ (0, 3); (1, 2) ];
           offline = [ 5 ];
           fault = Some (42, -1, 3);
+          serve = Some (16, 0);
         }
       in
       let c2 =
@@ -595,6 +596,7 @@ let test_journal_roundtrip_and_torn_tail () =
           placements = [ (0, 3); (1, 2); (2, 0) ];
           offline = [ 5; 1 ];
           fault = None;
+          serve = None;
         }
       in
       Journal.append j c1;

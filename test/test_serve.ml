@@ -119,6 +119,7 @@ let base_cfg =
     batch_size = 16;
     batch_deadline = 0.005;
     overload_deadline_ms = 25.;
+    service_ms = 0.;
     seed = 11;
     modulation = Serve.Arrivals.Steady;
   }
@@ -228,6 +229,83 @@ let test_sweep_reaches_saturation () =
     && String.sub json 0 1 = "{"
     && String.sub json (String.length json - 2) 2 = "]}")
 
+(* ---------- crash-consistent resume ---------- *)
+
+(* Crash consistency needs replayable batch timing, so the resume tests
+   pin a fixed virtual service time. *)
+let resume_cfg =
+  {
+    base_cfg with
+    rate = 400.;
+    duration = 0.3;
+    queue_bound = 128;
+    watermark = 96;
+    service_ms = 2.;
+    seed = 17;
+  }
+
+let resume_workload () = small_workload 13
+
+let run_serve ?journal cfg w =
+  let cluster = cluster_for w 64 in
+  let p = Serve.Runner.run ?journal cfg ~sched:(Gokube.make ()) ~cluster
+            ~workload:w in
+  (p, Journal.placement_fingerprint (Cluster.placements cluster))
+
+(* Kill a journaled serving run at an arbitrary probe offset, resume it,
+   and demand the resumed run be indistinguishable from an uninterrupted
+   one: identical placements, identical admission accounting, monotone
+   latency tails, and exactly the journaled prefix replayed. *)
+let resume_drill ~ref_point ~ref_fp w kill =
+  let path = Filename.temp_file "serve_resume" ".log" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Sys.remove path)
+    (fun () ->
+      Fault.install (Fault.make ~process_kill_after:kill ~seed:3 ());
+      (match run_serve ~journal:path resume_cfg w with
+      | _ -> Alcotest.fail "kill probe never fired"
+      | exception Fault.Killed _ -> ());
+      Fault.clear ();
+      let n_prefix = List.length (Journal.load path) in
+      let replayed0 = Obs.count (Obs.counter "serve.resume.replayed_batches") in
+      let p, fp = run_serve ~journal:path resume_cfg w in
+      let ctx fmt = Printf.sprintf ("kill %d: " ^^ fmt) kill in
+      check bool (ctx "placements identical") true (fp = ref_fp);
+      check int (ctx "arrivals") ref_point.Serve.Runner.arrivals p.arrivals;
+      check int (ctx "admitted") ref_point.Serve.Runner.admitted p.admitted;
+      check int (ctx "rejected") ref_point.Serve.Runner.rejected p.rejected;
+      check int (ctx "batches") ref_point.Serve.Runner.batches p.batches;
+      check int (ctx "placed") ref_point.Serve.Runner.placed p.placed;
+      check int (ctx "accounting exact") p.arrivals (p.admitted + p.rejected);
+      check int (ctx "journaled prefix replayed")
+        n_prefix
+        (Obs.count (Obs.counter "serve.resume.replayed_batches") - replayed0);
+      check bool (ctx "tails monotone") true
+        (p.p50_ms <= p.p99_ms && p.p99_ms <= p.p999_ms
+        && p.p999_ms <= p.max_ms))
+
+let test_resume_fixed_kill_offsets () =
+  Fault.clear ();
+  let w = resume_workload () in
+  let ref_point, ref_fp = run_serve resume_cfg w in
+  check bool "reference run served traffic" true
+    (ref_point.batches > 2 && ref_point.placed > 0);
+  (* offset 0 kills before the first commit: resume from an empty journal
+     is a fresh run; later offsets leave a real prefix *)
+  List.iter (resume_drill ~ref_point ~ref_fp w) [ 0; 1; 2; 5 ]
+
+let resume_prop =
+  QCheck.Test.make ~count:6 ~name:"resume is exact at any kill offset"
+    QCheck.(int_range 0 9)
+    (fun kill ->
+      Fault.clear ();
+      let w = resume_workload () in
+      let ref_point, ref_fp = run_serve resume_cfg w in
+      resume_drill ~ref_point ~ref_fp w kill;
+      true)
+
 let test_arrivals_deterministic_and_modulated () =
   let gaps seed modulation =
     let a =
@@ -287,5 +365,11 @@ let () =
             test_sweep_reaches_saturation;
           Alcotest.test_case "arrival process is seeded and modulated"
             `Quick test_arrivals_deterministic_and_modulated;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill/resume is exact at fixed offsets" `Quick
+            test_resume_fixed_kill_offsets;
+          QCheck_alcotest.to_alcotest resume_prop;
         ] );
     ]
